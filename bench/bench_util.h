@@ -1,0 +1,71 @@
+// Shared helpers for the reproduction benches: workload analysis caching,
+// paper-style table printing, and error formatting. Each bench binary
+// regenerates one table or figure of the paper (see DESIGN.md experiment
+// index) and then runs its google-benchmark timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mira.h"
+#include "support/string_utils.h"
+#include "workloads/workloads.h"
+
+namespace mira::bench {
+
+inline core::AnalysisResult &analyzeCached(const std::string &source,
+                                           const std::string &name) {
+  static std::map<std::string, std::unique_ptr<core::AnalysisResult>> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    DiagnosticEngine diags;
+    core::MiraOptions options;
+    auto result = core::analyzeSource(source, name, options, diags);
+    if (!result) {
+      std::fprintf(stderr, "analysis of %s failed:\n%s\n", name.c_str(),
+                   diags.str().c_str());
+      std::abort();
+    }
+    it = cache
+             .emplace(name, std::make_unique<core::AnalysisResult>(
+                                std::move(*result)))
+             .first;
+  }
+  return *it->second;
+}
+
+inline sim::SimResult simulateFF(const core::AnalysisResult &analysis,
+                                 const std::string &fn,
+                                 const std::vector<sim::Value> &args) {
+  sim::SimOptions options;
+  options.fastForward = true;
+  auto r = core::simulate(*analysis.program, fn, args, options);
+  if (!r.ok) {
+    std::fprintf(stderr, "simulation of %s failed: %s\n", fn.c_str(),
+                 r.error.c_str());
+    std::abort();
+  }
+  return r;
+}
+
+inline void printRule(std::size_t width = 78) {
+  std::puts(std::string(width, '-').c_str());
+}
+
+inline void printHeader(const std::string &title) {
+  printRule();
+  std::puts(title.c_str());
+  printRule();
+}
+
+/// "8.239E7"-style count formatting as in the paper's tables.
+inline std::string fmtCount(double v) { return formatCount(v); }
+inline std::string fmtErr(double modeled, double measured) {
+  return formatPercent(core::relativeError(modeled, measured));
+}
+
+} // namespace mira::bench

@@ -1,0 +1,100 @@
+// Annotation workflow: what happens when static analysis hits its limits
+// (the paper's Listings 3/6). Walks through: (1) a loop whose bounds come
+// from memory — not statically countable; (2) the diagnosis Mira reports;
+// (3) the '#pragma @Annotation' fix; (4) evaluating the completed model
+// with user-supplied parameter values.
+#include <cstdio>
+
+#include "core/mira.h"
+
+int main() {
+  using namespace mira;
+
+  // Without annotation: the inner bound is loaded from memory.
+  const std::string unannotated = R"MC(
+double irregular(double* v, int* limits, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < limits[i]; j++) {
+      acc = acc + v[j];
+    }
+  }
+  return acc;
+}
+)MC";
+
+  DiagnosticEngine diags1;
+  core::MiraOptions options;
+  auto a1 = core::analyzeSource(unannotated, "unannotated.mc", options,
+                                diags1);
+  if (!a1)
+    return 1;
+  std::puts("=== Without annotation ===");
+  const auto *m1 = a1->model.find("irregular");
+  std::printf("model exact: %s\n", m1->exact ? "yes" : "no");
+  for (const auto &note : m1->notes)
+    std::printf("  note: %s\n", note.c_str());
+  std::puts("required parameters:");
+  for (const std::string &p : a1->model.requiredParameters("irregular"))
+    std::printf("  %s\n", p.c_str());
+
+  // With annotation: the user asserts the average trip count.
+  const std::string annotated = R"MC(
+double irregular(double* v, int* limits, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; i++) {
+    #pragma @Annotation {lp_iters:avg_limit}
+    for (int j = 0; j < limits[i]; j++) {
+      acc = acc + v[j];
+    }
+  }
+  return acc;
+}
+
+double driver(int n, int lim) {
+  double v[1024];
+  int limits[n];
+  for (int k = 0; k < 1024; k++) {
+    v[k] = 0.5;
+  }
+  for (int k = 0; k < n; k++) {
+    limits[k] = lim;
+  }
+  double r = irregular(v, limits, n);
+  return r;
+}
+)MC";
+
+  DiagnosticEngine diags2;
+  auto a2 = core::analyzeSource(annotated, "annotated.mc", options, diags2);
+  if (!a2)
+    return 1;
+  std::puts("\n=== With #pragma @Annotation {lp_iters:avg_limit} ===");
+  const auto *m2 = a2->model.find("irregular");
+  for (const auto &note : m2->notes)
+    std::printf("  note: %s\n", note.c_str());
+
+  std::puts("\nmodel vs measured (uniform limits => annotation is exact):");
+  for (std::int64_t lim : {4, 16, 64}) {
+    std::int64_t n = 50;
+    auto counts = a2->model.evaluate("irregular",
+                                     {{"n", n}, {"avg_limit", lim}});
+    auto r = core::simulate(*a2->program, "driver",
+                            {sim::Value::ofInt(n), sim::Value::ofInt(lim)});
+    if (!counts || !r.ok) {
+      std::fprintf(stderr, "evaluation failed\n");
+      return 1;
+    }
+    std::printf("  lim=%-4lld model FPI %10.0f measured %10.0f "
+                "error %.3f%%\n",
+                static_cast<long long>(lim), counts->fpInstructions,
+                r.fpiOf("irregular"),
+                100 * core::relativeError(counts->fpInstructions,
+                                          r.fpiOf("irregular")));
+  }
+
+  std::puts("\nThe same mechanism covers the paper's Listing 6: lp_init/"
+            "lp_cond complete a polyhedral model, ratio:NN estimates "
+            "branch frequency, skip:yes excludes a scope.");
+  return 0;
+}

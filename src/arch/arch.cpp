@@ -1,0 +1,178 @@
+#include "arch/arch.h"
+
+#include <algorithm>
+
+#include "support/string_utils.h"
+
+namespace mira::arch {
+
+using isa::InstrCategory;
+using isa::Opcode;
+
+InstrCategory ArchDescription::categoryOf(Opcode op) const {
+  auto it = overrides_.find(op);
+  return it == overrides_.end() ? isa::defaultCategory(op) : it->second;
+}
+
+void ArchDescription::overrideCategory(Opcode op, InstrCategory category) {
+  overrides_[op] = category;
+}
+
+isa::CategoryArray<double> ArchDescription::categorize(
+    const std::map<Opcode, double> &opcodeCounts) const {
+  isa::CategoryArray<double> out{};
+  for (const auto &[op, count] : opcodeCounts)
+    out[static_cast<std::size_t>(categoryOf(op))] += count;
+  return out;
+}
+
+double ArchDescription::arithmeticIntensity(
+    const isa::CategoryArray<double> &counts) {
+  double arith =
+      counts[static_cast<std::size_t>(InstrCategory::SSE2PackedArith)];
+  double movement =
+      counts[static_cast<std::size_t>(InstrCategory::SSE2DataMovement)];
+  if (movement == 0)
+    return 0;
+  return arith / movement;
+}
+
+double ArchDescription::rooflineAttainable(double flopsPerByte) const {
+  return std::min(peakGFlops(), flopsPerByte * memBandwidthGBs);
+}
+
+std::optional<ArchDescription> ArchDescription::parse(
+    const std::string &text, DiagnosticEngine &diags) {
+  ArchDescription desc;
+  bool inCategories = false;
+  std::uint32_t lineNo = 0;
+  bool ok = true;
+  for (const std::string &rawLine : splitString(text, '\n')) {
+    ++lineNo;
+    std::string_view line = trim(rawLine);
+    if (line.empty() || line.front() == '#')
+      continue;
+    if (line == "[categories]") {
+      inCategories = true;
+      continue;
+    }
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      diags.error({lineNo, 1}, "architecture description: expected "
+                               "'key = value', got: " +
+                                   std::string(line));
+      ok = false;
+      continue;
+    }
+    std::string key{trim(line.substr(0, eq))};
+    std::string value{trim(line.substr(eq + 1))};
+    if (inCategories) {
+      auto op = isa::opcodeFromName(key);
+      auto cat = isa::categoryFromName(value);
+      if (!op) {
+        diags.error({lineNo, 1}, "unknown opcode '" + key + "'");
+        ok = false;
+        continue;
+      }
+      if (!cat) {
+        diags.error({lineNo, 1}, "unknown instruction category '" + value +
+                                     "'");
+        ok = false;
+        continue;
+      }
+      desc.overrideCategory(*op, *cat);
+      continue;
+    }
+    auto parseNum = [&](double &out) {
+      char *end = nullptr;
+      out = std::strtod(value.c_str(), &end);
+      if (end != value.c_str() + value.size()) {
+        diags.error({lineNo, 1},
+                    "invalid numeric value for '" + key + "': " + value);
+        ok = false;
+      }
+    };
+    if (key == "name") {
+      desc.name = value;
+    } else if (key == "cores") {
+      double v = 0;
+      parseNum(v);
+      desc.cores = static_cast<int>(v);
+    } else if (key == "cache_line_bytes") {
+      double v = 0;
+      parseNum(v);
+      desc.cacheLineBytes = static_cast<int>(v);
+    } else if (key == "vector_width_doubles") {
+      double v = 0;
+      parseNum(v);
+      desc.vectorWidthDoubles = static_cast<int>(v);
+    } else if (key == "clock_ghz") {
+      parseNum(desc.clockGHz);
+    } else if (key == "mem_bandwidth_gbs") {
+      parseNum(desc.memBandwidthGBs);
+    } else if (key == "flops_per_cycle") {
+      parseNum(desc.flopsPerCycle);
+    } else {
+      diags.warning({lineNo, 1},
+                    "unknown architecture key '" + key + "' ignored");
+    }
+  }
+  if (!ok)
+    return std::nullopt;
+  return desc;
+}
+
+std::string ArchDescription::str() const {
+  std::string out;
+  out += "name = " + name + "\n";
+  out += "cores = " + std::to_string(cores) + "\n";
+  out += "cache_line_bytes = " + std::to_string(cacheLineBytes) + "\n";
+  out += "vector_width_doubles = " + std::to_string(vectorWidthDoubles) + "\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "clock_ghz = %g\n", clockGHz);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "mem_bandwidth_gbs = %g\n", memBandwidthGBs);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "flops_per_cycle = %g\n", flopsPerCycle);
+  out += buf;
+  if (!overrides_.empty()) {
+    out += "[categories]\n";
+    for (const auto &[op, cat] : overrides_)
+      out += isa::opcodeName(op) + " = " + isa::categoryName(cat) + "\n";
+  }
+  return out;
+}
+
+const ArchDescription &haswellDescription() {
+  static const ArchDescription desc = [] {
+    ArchDescription d;
+    // Arya: two Intel Xeon E5-2699v3 2.30GHz 18-core Haswell CPUs.
+    d.name = "haswell-arya";
+    d.cores = 36;
+    d.cacheLineBytes = 64;
+    d.vectorWidthDoubles = 2; // models are SSE2-based like the paper's
+    d.clockGHz = 2.3;
+    d.memBandwidthGBs = 68;
+    d.flopsPerCycle = 16;
+    return d;
+  }();
+  return desc;
+}
+
+const ArchDescription &nehalemDescription() {
+  static const ArchDescription desc = [] {
+    ArchDescription d;
+    // Frankenstein: two Intel Xeon E5620 2.40GHz 4-core Nehalem CPUs.
+    d.name = "nehalem-frankenstein";
+    d.cores = 8;
+    d.cacheLineBytes = 64;
+    d.vectorWidthDoubles = 2;
+    d.clockGHz = 2.4;
+    d.memBandwidthGBs = 25;
+    d.flopsPerCycle = 4;
+    return d;
+  }();
+  return desc;
+}
+
+} // namespace mira::arch

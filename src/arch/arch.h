@@ -1,0 +1,78 @@
+// Architecture description files (paper Sec. III-B6).
+//
+// A user-editable text file carrying machine parameters (cores, cache
+// line, vector width, clock, bandwidth) and the instruction-category
+// scheme: 64 categories with per-opcode overrides. Mira evaluates models
+// against a description to produce category counts (Table II), derived
+// predictions such as instruction-based arithmetic intensity (Sec. IV-D2),
+// and Roofline operands.
+//
+// Format ('#' comments, key = value, one optional [categories] section):
+//   name = haswell
+//   cores = 36
+//   cache_line_bytes = 64
+//   vector_width_doubles = 2
+//   clock_ghz = 2.3
+//   mem_bandwidth_gbs = 68
+//   flops_per_cycle = 16
+//   [categories]
+//   lea = Integer miscellaneous instruction
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "isa/categories.h"
+#include "isa/opcode.h"
+#include "support/diagnostics.h"
+
+namespace mira::arch {
+
+class ArchDescription {
+public:
+  std::string name = "generic";
+  int cores = 1;
+  int cacheLineBytes = 64;
+  int vectorWidthDoubles = 2; // SSE2
+  double clockGHz = 2.0;
+  double memBandwidthGBs = 50.0;
+  double flopsPerCycle = 8.0;
+
+  /// Category of an opcode: override if present, else Mira's default.
+  isa::InstrCategory categoryOf(isa::Opcode op) const;
+  void overrideCategory(isa::Opcode op, isa::InstrCategory category);
+  const std::map<isa::Opcode, isa::InstrCategory> &overrides() const {
+    return overrides_;
+  }
+
+  /// Aggregate an opcode histogram into the 64 categories.
+  isa::CategoryArray<double>
+  categorize(const std::map<isa::Opcode, double> &opcodeCounts) const;
+
+  /// Instruction-based floating-point arithmetic intensity (paper
+  /// Sec. IV-D2): SSE2 packed arithmetic / SSE2 data movement.
+  static double arithmeticIntensity(const isa::CategoryArray<double> &counts);
+
+  /// Roofline attainable performance for a given arithmetic intensity
+  /// (GFLOP/s): min(peak, intensity * bandwidth).
+  double rooflineAttainable(double flopsPerByte) const;
+  double peakGFlops() const { return clockGHz * flopsPerCycle * cores; }
+
+  /// Parse a description file body. Returns nullopt on malformed input.
+  static std::optional<ArchDescription> parse(const std::string &text,
+                                              DiagnosticEngine &diags);
+  /// Serialize back to file form (round-trips through parse()).
+  std::string str() const;
+
+private:
+  std::map<isa::Opcode, isa::InstrCategory> overrides_;
+};
+
+/// Built-in descriptions of the paper's two validation machines
+/// (Sec. IV-A): Arya (Haswell) and Frankenstein (Nehalem).
+const ArchDescription &haswellDescription();
+const ArchDescription &nehalemDescription();
+
+} // namespace mira::arch

@@ -1,0 +1,28 @@
+// PBound-style source-only estimator (paper Sec. V, reference [1]).
+//
+// The comparison baseline: counts operations from the source AST alone
+// with polyhedral loop counts, mapping each source-level operation to one
+// "expected" machine instruction (FP op -> scalar SSE2 arithmetic, array
+// access -> MOVSD, integer op -> ALU instruction). Because it never looks
+// at the binary, it misses what the compiler did — vectorization halves
+// the retired FP instruction count on eligible loops, constant folding
+// and copy propagation remove work, register allocation adds moves — so
+// its estimates diverge from measured counts exactly as the paper argues
+// (Sec. I: PBound "cannot capture compiler optimizations and hence
+// produces less accurate estimates").
+#pragma once
+
+#include "frontend/ast.h"
+#include "model/model.h"
+#include "sema/sema.h"
+#include "support/diagnostics.h"
+
+namespace mira::baseline {
+
+/// Generate a source-only model with the same evaluation interface as
+/// Mira's (so the ablation bench can swap them).
+model::PerformanceModel generateSourceOnlyModel(
+    const frontend::TranslationUnit &unit, const sema::CallGraph &callGraph,
+    DiagnosticEngine &diags);
+
+} // namespace mira::baseline

@@ -1,0 +1,159 @@
+#include "codegen/regalloc.h"
+
+#include <algorithm>
+#include <set>
+
+namespace mira::codegen {
+
+using mir::kNoVReg;
+using mir::MirBlock;
+using mir::MirFunction;
+using mir::MirInst;
+using mir::MirOp;
+using mir::MirType;
+using mir::VReg;
+
+namespace {
+
+bool isFPType(MirType t) { return t == MirType::F64 || t == MirType::F32; }
+
+const isa::Reg kGPRPool[] = {
+    isa::Reg::RAX, isa::Reg::RBX, isa::Reg::RCX, isa::Reg::RDX,
+    isa::Reg::RSI, isa::Reg::RDI, isa::Reg::R8,  isa::Reg::R9,
+    isa::Reg::R12, isa::Reg::R13,
+};
+const isa::Reg kXMMPool[] = {
+    isa::Reg::XMM0, isa::Reg::XMM1,  isa::Reg::XMM2,  isa::Reg::XMM3,
+    isa::Reg::XMM4, isa::Reg::XMM5,  isa::Reg::XMM6,  isa::Reg::XMM7,
+    isa::Reg::XMM8, isa::Reg::XMM9,  isa::Reg::XMM10, isa::Reg::XMM11,
+    isa::Reg::XMM12, isa::Reg::XMM13,
+};
+
+struct Interval {
+  VReg vreg = kNoVReg;
+  std::size_t start = 0;
+  std::size_t end = 0;
+  bool fp = false;
+  bool crossesCall = false;
+};
+
+} // namespace
+
+AllocationResult allocateRegisters(const MirFunction &fn) {
+  // Linear positions.
+  std::vector<std::pair<std::size_t, std::size_t>> blockSpan(
+      fn.blocks.size()); // [startPos, endPos)
+  std::size_t pos = 0;
+  std::vector<std::size_t> callPositions;
+  std::map<VReg, Interval> intervals;
+
+  auto touch = [&](VReg r, std::size_t p, bool fp) {
+    if (r == kNoVReg)
+      return;
+    auto [it, fresh] = intervals.try_emplace(r);
+    Interval &iv = it->second;
+    if (fresh) {
+      iv.vreg = r;
+      iv.start = p;
+      iv.end = p;
+      iv.fp = fp;
+    } else {
+      iv.start = std::min(iv.start, p);
+      iv.end = std::max(iv.end, p);
+    }
+  };
+
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    blockSpan[b].first = pos;
+    for (const MirInst &inst : fn.blocks[b].insts) {
+      for (VReg u : inst.uses())
+        touch(u, pos, isFPType(fn.typeOf(u)));
+      if (inst.def() != kNoVReg)
+        touch(inst.def(), pos, isFPType(fn.typeOf(inst.def())));
+      if (inst.op == MirOp::Call)
+        callPositions.push_back(pos);
+      ++pos;
+    }
+    blockSpan[b].second = pos;
+  }
+  // Parameters are live from position 0.
+  for (VReg p : fn.paramRegs)
+    touch(p, 0, isFPType(fn.typeOf(p)));
+
+  // Back edges: a branch from block b to block t with t <= b forms a loop
+  // region [start(t), end(b)). Extend every interval touching the region
+  // to span it (conservative; see header). Repeat until stable to handle
+  // nested/overlapping regions.
+  std::vector<std::pair<std::size_t, std::size_t>> regions;
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b)
+    for (std::uint32_t succ : fn.blocks[b].successors())
+      if (succ <= b)
+        regions.push_back({blockSpan[succ].first, blockSpan[b].second});
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto &[r, iv] : intervals) {
+      for (const auto &[lo, hi] : regions) {
+        bool intersects = iv.start < hi && iv.end >= lo;
+        if (intersects && (iv.start > lo || iv.end < hi - 1)) {
+          iv.start = std::min(iv.start, lo);
+          iv.end = std::max(iv.end, hi - 1);
+          changed = true;
+        }
+      }
+    }
+  }
+
+  for (auto &[r, iv] : intervals)
+    for (std::size_t cp : callPositions)
+      if (iv.start < cp && cp < iv.end)
+        iv.crossesCall = true;
+
+  // Linear scan.
+  std::vector<Interval> order;
+  order.reserve(intervals.size());
+  for (auto &[r, iv] : intervals)
+    order.push_back(iv);
+  std::sort(order.begin(), order.end(), [](const Interval &a,
+                                           const Interval &b) {
+    return a.start != b.start ? a.start < b.start : a.vreg < b.vreg;
+  });
+
+  AllocationResult result;
+  struct Active {
+    std::size_t end;
+    isa::Reg reg;
+    bool fp;
+  };
+  std::vector<Active> active;
+  std::set<isa::Reg> freeGPR(std::begin(kGPRPool), std::end(kGPRPool));
+  std::set<isa::Reg> freeXMM(std::begin(kXMMPool), std::end(kXMMPool));
+
+  for (const Interval &iv : order) {
+    // Expire finished intervals.
+    for (auto it = active.begin(); it != active.end();) {
+      if (it->end < iv.start) {
+        (it->fp ? freeXMM : freeGPR).insert(it->reg);
+        it = active.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    Assignment asg;
+    std::set<isa::Reg> &pool = iv.fp ? freeXMM : freeGPR;
+    if (!iv.crossesCall && !pool.empty()) {
+      asg.inRegister = true;
+      asg.reg = *pool.begin();
+      pool.erase(pool.begin());
+      active.push_back({iv.end, asg.reg, iv.fp});
+    } else {
+      asg.inRegister = false;
+      asg.stackSlot = result.numStackSlots++;
+    }
+    result.assignments[iv.vreg] = asg;
+  }
+  return result;
+}
+
+} // namespace mira::codegen

@@ -1,0 +1,53 @@
+// The embedded toolchain driver: MiniC source -> everything downstream.
+//
+// One call produces all artifacts of the paper's workflow (Fig. 1):
+//   * the source AST (Input Processor, source side),
+//   * the MIR + optimized machine code (the "compiler" whose effects make
+//     source-only analysis inaccurate),
+//   * the MiraObject (the "ELF binary"),
+//   * the binary AST disassembled back from the object bytes (Input
+//     Processor, binary side),
+//   * the source<->binary bridge (line table association).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binast/binast.h"
+#include "bridge/bridge.h"
+#include "codegen/codegen.h"
+#include "frontend/ast.h"
+#include "mir/lowering.h"
+#include "objfile/objfile.h"
+#include "sema/sema.h"
+#include "support/diagnostics.h"
+
+namespace mira::core {
+
+struct CompileOptions {
+  mir::CompilerOptions compiler; // optimize + vectorize toggles
+};
+
+struct CompiledProgram {
+  std::unique_ptr<frontend::TranslationUnit> unit;
+  sema::SemaResult sema;
+  mir::MirModule mir;
+  std::vector<codegen::CodegenResult> codegen; // parallel to mir.functions
+  objfile::MiraObject object;
+  binast::BinaryAst binaryAst;
+  std::unique_ptr<bridge::ProgramBridge> bridge;
+
+  /// Function ids used by CALL operands (position in mir.functions).
+  std::map<std::string, int> functionIds;
+};
+
+/// Compile a MiniC source string through the full pipeline. Returns
+/// nullptr when diagnostics contain errors. The object is serialized and
+/// re-parsed so the binary AST genuinely comes from container bytes.
+std::unique_ptr<CompiledProgram> compileProgram(const std::string &source,
+                                                const std::string &fileName,
+                                                const CompileOptions &options,
+                                                DiagnosticEngine &diags);
+
+} // namespace mira::core

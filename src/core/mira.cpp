@@ -1,0 +1,46 @@
+#include "core/mira.h"
+
+#include <cmath>
+
+namespace mira::core {
+
+std::optional<double> AnalysisResult::staticFPI(const std::string &function,
+                                                const model::Env &env,
+                                                std::string *error) const {
+  auto counts = model.evaluate(function, env, error);
+  if (!counts)
+    return std::nullopt;
+  return counts->fpInstructions;
+}
+
+std::optional<AnalysisResult> analyzeSource(const std::string &source,
+                                            const std::string &fileName,
+                                            const MiraOptions &options,
+                                            DiagnosticEngine &diags) {
+  AnalysisResult result;
+  result.program = compileProgram(source, fileName, options.compile, diags);
+  if (!result.program)
+    return std::nullopt;
+  result.model = metrics::generateModel(
+      *result.program->unit, result.program->sema.callGraph,
+      *result.program->bridge, options.metrics, diags);
+  if (diags.hasErrors())
+    return std::nullopt;
+  return result;
+}
+
+sim::SimResult simulate(const CompiledProgram &program,
+                        const std::string &function,
+                        const std::vector<sim::Value> &args,
+                        const sim::SimOptions &options) {
+  sim::Simulator simulator(program.mir, program.codegen);
+  return simulator.run(function, args, options);
+}
+
+double relativeError(double modeled, double measured) {
+  if (measured == 0)
+    return modeled == 0 ? 0 : 1;
+  return std::fabs(modeled - measured) / std::fabs(measured);
+}
+
+} // namespace mira::core

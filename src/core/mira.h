@@ -1,0 +1,62 @@
+// Mira public API: one entry point for the paper's whole workflow.
+//
+//   MiraOptions options;
+//   DiagnosticEngine diags;
+//   auto analysis = analyzeSource(source, "app.mc", options, diags);
+//   auto counts   = analysis->model.evaluate("cg_solve", {{"n", 1000}});
+//   std::string py = emitPython(analysis->model);
+//   auto measured = simulate(*analysis->program, "main", {...});
+//
+// analyzeSource runs: parse -> sema -> compile (optimize/vectorize) ->
+// object emission -> disassembly -> bridge -> metric generation -> model.
+// simulate runs the same binary's semantics and returns the dynamic
+// ground-truth counters (the TAU/PAPI substitute).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "arch/arch.h"
+#include "core/compiler.h"
+#include "metrics/metric_generator.h"
+#include "model/model.h"
+#include "model/python_emitter.h"
+#include "sim/simulator.h"
+
+namespace mira::core {
+
+struct MiraOptions {
+  CompileOptions compile;
+  metrics::MetricOptions metrics;
+  /// Architecture description used for category aggregation/prediction.
+  const arch::ArchDescription *arch = &arch::haswellDescription();
+};
+
+struct AnalysisResult {
+  std::unique_ptr<CompiledProgram> program;
+  model::PerformanceModel model;
+
+  /// Shorthand: evaluate FPI (the paper's headline metric) for a
+  /// function; nullopt if parameters are missing.
+  std::optional<double> staticFPI(const std::string &function,
+                                  const model::Env &env,
+                                  std::string *error = nullptr) const;
+};
+
+/// Full static pipeline. Returns nullopt when diagnostics contain errors.
+std::optional<AnalysisResult> analyzeSource(const std::string &source,
+                                            const std::string &fileName,
+                                            const MiraOptions &options,
+                                            DiagnosticEngine &diags);
+
+/// Dynamic ground truth on the same compiled program.
+sim::SimResult simulate(const CompiledProgram &program,
+                        const std::string &function,
+                        const std::vector<sim::Value> &args,
+                        const sim::SimOptions &options = {});
+
+/// Relative error |a - b| / b (paper's validation metric), 0 when b == 0.
+double relativeError(double modeled, double measured);
+
+} // namespace mira::core

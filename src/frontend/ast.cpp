@@ -1,0 +1,280 @@
+#include "frontend/ast.h"
+
+namespace mira::frontend {
+
+std::string Type::str() const {
+  std::string base;
+  switch (scalar) {
+  case ScalarType::Void:
+    base = "void";
+    break;
+  case ScalarType::Bool:
+    base = "bool";
+    break;
+  case ScalarType::Int:
+    base = "int";
+    break;
+  case ScalarType::Long:
+    base = "long";
+    break;
+  case ScalarType::Float:
+    base = "float";
+    break;
+  case ScalarType::Double:
+    base = "double";
+    break;
+  case ScalarType::Class:
+    base = className;
+    break;
+  }
+  base.append(static_cast<std::size_t>(pointerDepth), '*');
+  return base;
+}
+
+const char *toString(BinaryOp op) {
+  switch (op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Mod:
+    return "%";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::LAnd:
+    return "&&";
+  case BinaryOp::LOr:
+    return "||";
+  }
+  return "?";
+}
+
+const char *toString(UnaryOp op) {
+  switch (op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::Not:
+    return "!";
+  case UnaryOp::PreInc:
+  case UnaryOp::PostInc:
+    return "++";
+  case UnaryOp::PreDec:
+  case UnaryOp::PostDec:
+    return "--";
+  }
+  return "?";
+}
+
+const char *toString(AssignOp op) {
+  switch (op) {
+  case AssignOp::Assign:
+    return "=";
+  case AssignOp::AddAssign:
+    return "+=";
+  case AssignOp::SubAssign:
+    return "-=";
+  case AssignOp::MulAssign:
+    return "*=";
+  case AssignOp::DivAssign:
+    return "/=";
+  }
+  return "?";
+}
+
+ExprPtr Expression::intLiteral(std::int64_t value, SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::IntLiteral);
+  e->intValue = value;
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::floatLiteral(double value, SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::FloatLiteral);
+  e->floatValue = value;
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::boolLiteral(bool value, SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::BoolLiteral);
+  e->boolValue = value;
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::varRef(std::string name, SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::VarRef);
+  e->name = std::move(name);
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                           SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::Binary);
+  e->binaryOp = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::unary(UnaryOp op, ExprPtr operand, SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::Unary);
+  e->unaryOp = op;
+  e->children.push_back(std::move(operand));
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::assign(AssignOp op, ExprPtr target, ExprPtr value,
+                           SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::Assign);
+  e->assignOp = op;
+  e->children.push_back(std::move(target));
+  e->children.push_back(std::move(value));
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::call(std::string callee, ExprPtr receiver,
+                         std::vector<ExprPtr> args, SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::Call);
+  e->name = std::move(callee);
+  e->receiver = std::move(receiver);
+  e->children = std::move(args);
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::index(ExprPtr base, ExprPtr idx, SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::Index);
+  e->children.push_back(std::move(base));
+  e->children.push_back(std::move(idx));
+  e->range = range;
+  return e;
+}
+
+ExprPtr Expression::member(ExprPtr base, std::string field,
+                           SourceRange range) {
+  auto e = std::make_unique<Expression>(ExprKind::Member);
+  e->name = std::move(field);
+  e->children.push_back(std::move(base));
+  e->range = range;
+  return e;
+}
+
+std::string Expression::str() const {
+  switch (kind) {
+  case ExprKind::IntLiteral:
+    return std::to_string(intValue);
+  case ExprKind::FloatLiteral:
+    return std::to_string(floatValue);
+  case ExprKind::BoolLiteral:
+    return boolValue ? "true" : "false";
+  case ExprKind::VarRef:
+    return name;
+  case ExprKind::Binary:
+    return "(" + children[0]->str() + " " + toString(binaryOp) + " " +
+           children[1]->str() + ")";
+  case ExprKind::Unary:
+    if (unaryOp == UnaryOp::PostInc || unaryOp == UnaryOp::PostDec)
+      return children[0]->str() + toString(unaryOp);
+    return std::string(toString(unaryOp)) + children[0]->str();
+  case ExprKind::Assign:
+    return children[0]->str() + " " + toString(assignOp) + " " +
+           children[1]->str();
+  case ExprKind::Call: {
+    std::string s;
+    if (receiver)
+      s += receiver->str() + ".";
+    s += name + "(";
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (i)
+        s += ", ";
+      s += children[i]->str();
+    }
+    return s + ")";
+  }
+  case ExprKind::Index:
+    return children[0]->str() + "[" + children[1]->str() + "]";
+  case ExprKind::Member:
+    return children[0]->str() + "." + name;
+  }
+  return "?";
+}
+
+StmtPtr Statement::compound(std::vector<StmtPtr> stmts, SourceRange range) {
+  auto s = std::make_unique<Statement>(StmtKind::Compound);
+  s->body = std::move(stmts);
+  s->range = range;
+  return s;
+}
+
+StmtPtr Statement::empty(SourceRange range) {
+  auto s = std::make_unique<Statement>(StmtKind::Empty);
+  s->range = range;
+  return s;
+}
+
+std::string FunctionDecl::qualifiedName() const {
+  return className.empty() ? name : className + "::" + name;
+}
+
+std::string FunctionDecl::modelName() const {
+  // Paper Sec. III-B5/7: the generated Python function is named from the
+  // class name, original function name and argument count, e.g. A_foo_2.
+  std::string base = name;
+  if (base == "operator()")
+    base = "operator_call";
+  std::string out;
+  if (!className.empty())
+    out = className + "_";
+  out += base + "_" + std::to_string(params.size());
+  return out;
+}
+
+const FunctionDecl *
+TranslationUnit::findFunction(const std::string &qualified) const {
+  for (const auto &f : functions)
+    if (f->qualifiedName() == qualified)
+      return f.get();
+  for (const auto &c : classes)
+    for (const auto &m : c->methods)
+      if (m->qualifiedName() == qualified)
+        return m.get();
+  return nullptr;
+}
+
+std::vector<const FunctionDecl *> TranslationUnit::allFunctions() const {
+  std::vector<const FunctionDecl *> out;
+  for (const auto &c : classes)
+    for (const auto &m : c->methods)
+      out.push_back(m.get());
+  for (const auto &f : functions)
+    out.push_back(f.get());
+  return out;
+}
+
+const ClassDecl *TranslationUnit::findClass(const std::string &name) const {
+  for (const auto &c : classes)
+    if (c->name == name)
+      return c.get();
+  return nullptr;
+}
+
+} // namespace mira::frontend

@@ -1,0 +1,248 @@
+// MiniC abstract syntax tree (the "source AST" of the paper, Sec. III-A).
+//
+// The tree preserves what Mira needs from the ROSE source AST: statement
+// order, loop SCoP structure (init / condition / increment as explicit
+// children, cf. paper Fig. 2), variable names, class/member structure, and
+// exact line numbers on every node — line numbers are the bridge to the
+// binary AST.
+//
+// Ownership: nodes own their children through std::unique_ptr; non-owning
+// observers use raw pointers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace mira::frontend {
+
+// ----------------------------------------------------------------- types
+
+enum class ScalarType { Void, Bool, Int, Long, Float, Double, Class };
+
+struct Type {
+  ScalarType scalar = ScalarType::Void;
+  int pointerDepth = 0;     // 'double*' -> 1
+  std::string className;    // when scalar == Class
+
+  bool isVoid() const { return scalar == ScalarType::Void && !isPointer(); }
+  bool isPointer() const { return pointerDepth > 0; }
+  bool isFloatingPoint() const {
+    return !isPointer() &&
+           (scalar == ScalarType::Float || scalar == ScalarType::Double);
+  }
+  bool isInteger() const {
+    return !isPointer() && (scalar == ScalarType::Bool ||
+                            scalar == ScalarType::Int ||
+                            scalar == ScalarType::Long);
+  }
+  bool operator==(const Type &o) const {
+    return scalar == o.scalar && pointerDepth == o.pointerDepth &&
+           className == o.className;
+  }
+  std::string str() const;
+};
+
+// ------------------------------------------------------------ annotations
+
+/// A parsed '#pragma @Annotation {key:value, ...}' directive (paper
+/// Sec. III-B4). Recognized keys: lp_init, lp_cond, lp_iters, ratio, skip.
+struct Annotation {
+  std::map<std::string, std::string> entries;
+  SourceLocation location;
+
+  bool has(const std::string &key) const { return entries.count(key) > 0; }
+  std::optional<std::string> get(const std::string &key) const {
+    auto it = entries.find(key);
+    if (it == entries.end())
+      return std::nullopt;
+    return it->second;
+  }
+  bool skip() const {
+    auto v = get("skip");
+    return v && (*v == "yes" || *v == "true" || *v == "1");
+  }
+};
+
+// ------------------------------------------------------------ expressions
+
+enum class ExprKind {
+  IntLiteral,
+  FloatLiteral,
+  BoolLiteral,
+  VarRef,
+  Binary,
+  Unary,
+  Assign,
+  Call,   // free call, method call (receiver != null), or operator() call
+  Index,  // base[index]
+  Member, // base.field or base->field
+};
+
+enum class BinaryOp { Add, Sub, Mul, Div, Mod, Lt, Le, Gt, Ge, Eq, Ne,
+                      LAnd, LOr };
+enum class UnaryOp { Neg, Not, PreInc, PreDec, PostInc, PostDec };
+enum class AssignOp { Assign, AddAssign, SubAssign, MulAssign, DivAssign };
+
+const char *toString(BinaryOp op);
+const char *toString(UnaryOp op);
+const char *toString(AssignOp op);
+
+struct Expression;
+using ExprPtr = std::unique_ptr<Expression>;
+
+struct Expression {
+  ExprKind kind;
+  SourceRange range;
+  Type type; // filled by sema
+
+  // literals
+  std::int64_t intValue = 0;
+  double floatValue = 0;
+  bool boolValue = false;
+
+  // VarRef / Call / Member
+  std::string name;
+
+  // operators
+  BinaryOp binaryOp = BinaryOp::Add;
+  UnaryOp unaryOp = UnaryOp::Neg;
+  AssignOp assignOp = AssignOp::Assign;
+
+  // children (meaning depends on kind):
+  //   Binary: [lhs, rhs]; Unary: [operand]; Assign: [target, value];
+  //   Call: args (receiver held separately); Index: [base, index];
+  //   Member: [base]
+  std::vector<ExprPtr> children;
+  ExprPtr receiver; // Call: object expression for method calls
+
+  // Call resolution (filled by sema): qualified name of the callee
+  // ("A::foo", "sqrt", ...), and whether it is a builtin (modeled as an
+  // instruction) or an external function (invisible to static analysis —
+  // the paper's main residual error source, Sec. IV-D1).
+  std::string resolvedCallee;
+  bool isBuiltin = false;
+  bool isExtern = false;
+
+  explicit Expression(ExprKind k) : kind(k) {}
+
+  static ExprPtr intLiteral(std::int64_t value, SourceRange range);
+  static ExprPtr floatLiteral(double value, SourceRange range);
+  static ExprPtr boolLiteral(bool value, SourceRange range);
+  static ExprPtr varRef(std::string name, SourceRange range);
+  static ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs,
+                        SourceRange range);
+  static ExprPtr unary(UnaryOp op, ExprPtr operand, SourceRange range);
+  static ExprPtr assign(AssignOp op, ExprPtr target, ExprPtr value,
+                        SourceRange range);
+  static ExprPtr call(std::string callee, ExprPtr receiver,
+                      std::vector<ExprPtr> args, SourceRange range);
+  static ExprPtr index(ExprPtr base, ExprPtr idx, SourceRange range);
+  static ExprPtr member(ExprPtr base, std::string field, SourceRange range);
+
+  std::string str() const; // debugging / model comments
+};
+
+// -------------------------------------------------------------- statements
+
+enum class StmtKind {
+  Compound,
+  Decl,
+  ExprStmt,
+  For,
+  While,
+  If,
+  Return,
+  Empty,
+};
+
+struct Statement;
+using StmtPtr = std::unique_ptr<Statement>;
+
+struct Statement {
+  StmtKind kind;
+  SourceRange range;
+  std::optional<Annotation> annotation; // attached pragma, if any
+
+  // Decl
+  Type declType;
+  std::string declName;
+  std::vector<ExprPtr> arrayDims; // 'double a[N][M]' -> {N, M}
+  ExprPtr declInit;               // optional
+
+  // ExprStmt / Return (value optional) / If+While+For conditions
+  ExprPtr expr;
+
+  // For: init (Decl or ExprStmt or Empty), cond (expr), inc (expr), body
+  StmtPtr forInit;
+  ExprPtr forCond;
+  ExprPtr forInc;
+
+  // If
+  StmtPtr thenBranch;
+  StmtPtr elseBranch;
+
+  // Compound / loop bodies
+  std::vector<StmtPtr> body;
+  StmtPtr loopBody; // For/While
+
+  explicit Statement(StmtKind k) : kind(k) {}
+
+  static StmtPtr compound(std::vector<StmtPtr> stmts, SourceRange range);
+  static StmtPtr empty(SourceRange range);
+};
+
+// ------------------------------------------------------------ declarations
+
+struct ParamDecl {
+  Type type;
+  std::string name;
+  SourceLocation location;
+};
+
+struct FieldDecl {
+  Type type;
+  std::string name;
+  SourceLocation location;
+};
+
+struct FunctionDecl {
+  Type returnType;
+  std::string name;       // "operator()" for call operators
+  std::string className;  // empty for free functions
+  std::vector<ParamDecl> params;
+  StmtPtr bodyStmt; // Compound
+  SourceRange range;
+
+  bool isMethod() const { return !className.empty(); }
+  /// Key used to resolve calls: "Class::name" or "name".
+  std::string qualifiedName() const;
+  /// Model-function name per the paper ("A_foo_2": class, name, #args).
+  std::string modelName() const;
+};
+
+struct ClassDecl {
+  std::string name;
+  std::vector<FieldDecl> fields;
+  std::vector<std::unique_ptr<FunctionDecl>> methods;
+  SourceRange range;
+};
+
+struct TranslationUnit {
+  std::vector<std::unique_ptr<ClassDecl>> classes;
+  std::vector<std::unique_ptr<FunctionDecl>> functions;
+  std::string fileName;
+
+  /// Find by qualified name ("foo" or "A::foo"); nullptr if absent.
+  const FunctionDecl *findFunction(const std::string &qualified) const;
+  /// All functions including methods, in declaration order.
+  std::vector<const FunctionDecl *> allFunctions() const;
+  const ClassDecl *findClass(const std::string &name) const;
+};
+
+} // namespace mira::frontend

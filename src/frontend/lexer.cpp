@@ -1,0 +1,406 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace mira::frontend {
+
+const char *toString(TokenKind kind) {
+  switch (kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "float literal";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwLong:
+    return "'long'";
+  case TokenKind::KwFloat:
+    return "'float'";
+  case TokenKind::KwDouble:
+    return "'double'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwClass:
+    return "'class'";
+  case TokenKind::KwPublic:
+    return "'public'";
+  case TokenKind::KwFor:
+    return "'for'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwConst:
+    return "'const'";
+  case TokenKind::KwOperator:
+    return "'operator'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::PlusAssign:
+    return "'+='";
+  case TokenKind::MinusAssign:
+    return "'-='";
+  case TokenKind::StarAssign:
+    return "'*='";
+  case TokenKind::SlashAssign:
+    return "'/='";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::NotEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Not:
+    return "'!'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::Pragma:
+    return "pragma";
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Invalid:
+    return "invalid token";
+  }
+  return "?";
+}
+
+std::string Token::str() const {
+  return std::string(toString(kind)) + " '" + text + "'";
+}
+
+Lexer::Lexer(std::string source, DiagnosticEngine &diags)
+    : source_(std::move(source)), diags_(diags) {}
+
+char Lexer::peek(std::size_t offset) const {
+  return pos_ + offset < source_.size() ? source_[pos_ + offset] : '\0';
+}
+
+char Lexer::advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (atEnd() || peek() != expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+    } else if (c == '/' && peek(1) == '*') {
+      SourceLocation start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (!atEnd()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed)
+        diags_.error(start, "unterminated block comment");
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::makeToken(TokenKind kind, std::string text,
+                       SourceLocation loc) const {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.location = loc;
+  return t;
+}
+
+Token Lexer::lexNumber() {
+  SourceLocation loc = here();
+  std::string text;
+  bool isFloat = false;
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    text += advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    isFloat = true;
+    text += advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      text += advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    char next = peek(1);
+    char nextnext = peek(2);
+    if (std::isdigit(static_cast<unsigned char>(next)) ||
+        ((next == '+' || next == '-') &&
+         std::isdigit(static_cast<unsigned char>(nextnext)))) {
+      isFloat = true;
+      text += advance();
+      if (peek() == '+' || peek() == '-')
+        text += advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        text += advance();
+    }
+  }
+  Token t = makeToken(isFloat ? TokenKind::FloatLiteral
+                              : TokenKind::IntLiteral,
+                      text, loc);
+  if (isFloat) {
+    t.floatValue = std::strtod(text.c_str(), nullptr);
+  } else {
+    errno = 0;
+    t.intValue = std::strtoll(text.c_str(), nullptr, 10);
+    if (errno == ERANGE)
+      diags_.error(loc, "integer literal out of range: " + text);
+  }
+  return t;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  static const std::map<std::string, TokenKind> keywords = {
+      {"int", TokenKind::KwInt},        {"long", TokenKind::KwLong},
+      {"float", TokenKind::KwFloat},    {"double", TokenKind::KwDouble},
+      {"bool", TokenKind::KwBool},      {"void", TokenKind::KwVoid},
+      {"class", TokenKind::KwClass},    {"public", TokenKind::KwPublic},
+      {"for", TokenKind::KwFor},        {"while", TokenKind::KwWhile},
+      {"if", TokenKind::KwIf},          {"else", TokenKind::KwElse},
+      {"return", TokenKind::KwReturn},  {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},    {"const", TokenKind::KwConst},
+      {"operator", TokenKind::KwOperator},
+  };
+  SourceLocation loc = here();
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    text += advance();
+  auto it = keywords.find(text);
+  return makeToken(it == keywords.end() ? TokenKind::Identifier : it->second,
+                   text, loc);
+}
+
+Token Lexer::lexPragma() {
+  SourceLocation loc = here();
+  std::string body;
+  // Consume to end of line, honoring backslash continuations (the paper's
+  // Listing 6 splits an annotation across lines with '\').
+  while (!atEnd() && peek() != '\n') {
+    if (peek() == '\\' && peek(1) == '\n') {
+      advance();
+      advance();
+      continue;
+    }
+    body += advance();
+  }
+  return makeToken(TokenKind::Pragma, body, loc);
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    skipWhitespaceAndComments();
+    if (atEnd())
+      break;
+    SourceLocation loc = here();
+    char c = peek();
+    if (c == '#') {
+      advance();
+      tokens.push_back(lexPragma());
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      tokens.push_back(lexNumber());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      tokens.push_back(lexIdentifierOrKeyword());
+      continue;
+    }
+    advance();
+    switch (c) {
+    case '(':
+      tokens.push_back(makeToken(TokenKind::LParen, "(", loc));
+      break;
+    case ')':
+      tokens.push_back(makeToken(TokenKind::RParen, ")", loc));
+      break;
+    case '{':
+      tokens.push_back(makeToken(TokenKind::LBrace, "{", loc));
+      break;
+    case '}':
+      tokens.push_back(makeToken(TokenKind::RBrace, "}", loc));
+      break;
+    case '[':
+      tokens.push_back(makeToken(TokenKind::LBracket, "[", loc));
+      break;
+    case ']':
+      tokens.push_back(makeToken(TokenKind::RBracket, "]", loc));
+      break;
+    case ';':
+      tokens.push_back(makeToken(TokenKind::Semicolon, ";", loc));
+      break;
+    case ',':
+      tokens.push_back(makeToken(TokenKind::Comma, ",", loc));
+      break;
+    case ':':
+      tokens.push_back(makeToken(TokenKind::Colon, ":", loc));
+      break;
+    case '.':
+      tokens.push_back(makeToken(TokenKind::Dot, ".", loc));
+      break;
+    case '+':
+      if (match('+'))
+        tokens.push_back(makeToken(TokenKind::PlusPlus, "++", loc));
+      else if (match('='))
+        tokens.push_back(makeToken(TokenKind::PlusAssign, "+=", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Plus, "+", loc));
+      break;
+    case '-':
+      if (match('-'))
+        tokens.push_back(makeToken(TokenKind::MinusMinus, "--", loc));
+      else if (match('='))
+        tokens.push_back(makeToken(TokenKind::MinusAssign, "-=", loc));
+      else if (match('>'))
+        tokens.push_back(makeToken(TokenKind::Arrow, "->", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Minus, "-", loc));
+      break;
+    case '*':
+      if (match('='))
+        tokens.push_back(makeToken(TokenKind::StarAssign, "*=", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Star, "*", loc));
+      break;
+    case '/':
+      if (match('='))
+        tokens.push_back(makeToken(TokenKind::SlashAssign, "/=", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Slash, "/", loc));
+      break;
+    case '%':
+      tokens.push_back(makeToken(TokenKind::Percent, "%", loc));
+      break;
+    case '=':
+      if (match('='))
+        tokens.push_back(makeToken(TokenKind::EqualEqual, "==", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Assign, "=", loc));
+      break;
+    case '<':
+      if (match('='))
+        tokens.push_back(makeToken(TokenKind::LessEqual, "<=", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Less, "<", loc));
+      break;
+    case '>':
+      if (match('='))
+        tokens.push_back(makeToken(TokenKind::GreaterEqual, ">=", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Greater, ">", loc));
+      break;
+    case '!':
+      if (match('='))
+        tokens.push_back(makeToken(TokenKind::NotEqual, "!=", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Not, "!", loc));
+      break;
+    case '&':
+      if (match('&'))
+        tokens.push_back(makeToken(TokenKind::AmpAmp, "&&", loc));
+      else
+        tokens.push_back(makeToken(TokenKind::Amp, "&", loc));
+      break;
+    case '|':
+      if (match('|')) {
+        tokens.push_back(makeToken(TokenKind::PipePipe, "||", loc));
+      } else {
+        diags_.error(loc, "unexpected character '|'");
+        tokens.push_back(makeToken(TokenKind::Invalid, "|", loc));
+      }
+      break;
+    default:
+      diags_.error(loc, std::string("unexpected character '") + c + "'");
+      tokens.push_back(makeToken(TokenKind::Invalid, std::string(1, c), loc));
+      break;
+    }
+  }
+  tokens.push_back(makeToken(TokenKind::Eof, "", here()));
+  return tokens;
+}
+
+} // namespace mira::frontend

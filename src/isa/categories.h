@@ -1,0 +1,109 @@
+// Instruction categories of the architecture description file.
+//
+// The paper (Sec. III-B6) divides the x86 instruction set into 64
+// categories in the architecture description file; Mira reports cumulative
+// per-category counts (Table II uses seven of them for cg_solve). The enum
+// below reproduces a 64-way categorization modeled on the Intel SDM
+// instruction groupings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mira::isa {
+
+enum class InstrCategory : std::uint8_t {
+  // integer / general purpose (Intel SDM Vol.1 Ch.5 groupings)
+  IntDataTransfer,        // MOV, PUSH, POP, XCHG ...
+  IntArith,               // ADD, SUB, IMUL, IDIV, INC, DEC, NEG, CMP ...
+  IntDecimalArith,        // DAA-family (legacy; unused by the compiler)
+  IntLogical,             // AND, OR, XOR, NOT
+  IntShiftRotate,         // SHL, SHR, SAR, ROL ...
+  IntBitByte,             // BT, SETcc, TEST
+  IntControlTransfer,     // JMP, Jcc, CALL, RET, LOOP
+  IntString,              // MOVS, CMPS ...
+  IntIO,                  // IN, OUT
+  IntEnterLeave,          // ENTER, LEAVE
+  IntFlagControl,         // STC, CLC ...
+  IntSegmentReg,          // segment register moves
+  IntMisc,                // LEA, NOP, CPUID, ...
+  IntRandom,              // RDRAND, RDSEED
+  // x87 FPU
+  X87DataTransfer,
+  X87BasicArith,
+  X87Comparison,
+  X87Transcendental,
+  X87LoadConstant,
+  X87Control,
+  // MMX
+  MMXDataTransfer,
+  MMXConversion,
+  MMXPackedArith,
+  MMXComparison,
+  MMXLogical,
+  MMXShiftRotate,
+  MMXStateManagement,
+  // SSE (single precision)
+  SSEDataTransfer,
+  SSEPackedArith,
+  SSEComparison,
+  SSELogical,
+  SSEShuffleUnpack,
+  SSEConversion,
+  SSEMXCSRManagement,
+  SSE64BitSIMD,
+  SSECacheabilityControl,
+  // SSE2 (double precision) — the categories Table II reports
+  SSE2DataMovement,       // MOVSD, MOVAPD, MOVUPD ... (XMM <-> memory/XMM)
+  SSE2PackedArith,        // ADDPD/ADDSD, MULPD/MULSD ... (the FPI source)
+  SSE2Logical,            // ANDPD, ORPD, XORPD
+  SSE2Compare,            // CMPPD, COMISD, UCOMISD
+  SSE2ShuffleUnpack,      // SHUFPD, UNPCKLPD/UNPCKHPD
+  SSE2Conversion,         // CVTSI2SD, CVTTSD2SI, CVTSD2SS ...
+  SSE2PackedSingleConv,
+  SSE2_128BitSIMDInt,
+  SSE2CacheabilityControl,
+  // SSE3 / SSSE3 / SSE4
+  SSE3FPArith,
+  SSE3Horizontal,
+  SSSE3Arith,
+  SSE4DwordMultiply,
+  SSE4FPDotProduct,
+  SSE4Streaming,
+  // AVX / FMA (present for description-file completeness)
+  AVXArith,
+  AVXDataMovement,
+  FMAArith,
+  // system / other
+  Crypto,                 // AESNI, SHA
+  BitManipulation,        // BMI1/BMI2: ANDN, BEXTR ...
+  Mode64Bit,              // CDQE, CQO, MOVSXD, SWAPGS — "64-bit mode"
+  SystemInstruction,      // SYSCALL, HLT ...
+  VMX,
+  SMX,
+  Transactional,          // RTM: XBEGIN ...
+  Virtualization,
+  PowerManagement,        // MONITOR, MWAIT
+  MiscInstruction,        // everything else (Table II "Misc Instruction")
+  kCount_,                // sentinel == 64
+};
+
+inline constexpr std::size_t kNumCategories =
+    static_cast<std::size_t>(InstrCategory::kCount_);
+static_assert(kNumCategories == 64, "the paper's description file uses 64 "
+                                    "instruction categories");
+
+/// Human-readable category name as printed in Table II (e.g.
+/// "SSE2 packed arithmetic instruction").
+std::string categoryName(InstrCategory category);
+
+/// Inverse of categoryName (exact match); nullopt for unknown names.
+std::optional<InstrCategory> categoryFromName(const std::string &name);
+
+/// Fixed-size array keyed by category, used for count accumulation.
+template <typename T>
+using CategoryArray = std::array<T, kNumCategories>;
+
+} // namespace mira::isa

@@ -1,0 +1,39 @@
+// Binary encoding of the synthetic ISA.
+//
+// Serializes instruction streams to the .text bytes of a MiraObject and
+// decodes them back (the disassembler half of the paper's Input Processor).
+// The format is deliberately simple but genuinely byte-oriented, so the
+// decoder must parse it like a real disassembler parses machine code:
+//   [u16 opcode][u8 operand-count]{ [u8 kind][payload...] }*
+// Payloads: Reg -> u8; Imm/Label -> i64 LE; Mem -> base u8, index u8,
+// scale u8, disp i32 LE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "support/diagnostics.h"
+
+namespace mira::isa {
+
+/// Append the encoding of `inst` to `out`.
+void encodeInstruction(const Instruction &inst, std::vector<std::uint8_t> &out);
+
+/// Encode a whole function body.
+std::vector<std::uint8_t> encodeFunction(const MachineFunction &fn);
+
+/// Decode one instruction starting at `offset`; advances `offset` past it.
+/// Returns nullopt (and a diagnostic) on truncated/invalid bytes.
+std::optional<Instruction> decodeInstruction(
+    const std::vector<std::uint8_t> &bytes, std::size_t &offset,
+    DiagnosticEngine &diags);
+
+/// Decode a function body (instruction addresses are assigned from
+/// `baseAddress` + byte offsets, matching MachineFunction::layout).
+std::optional<std::vector<Instruction>> decodeFunction(
+    const std::vector<std::uint8_t> &bytes, std::uint64_t baseAddress,
+    DiagnosticEngine &diags);
+
+} // namespace mira::isa

@@ -1,0 +1,147 @@
+#include "isa/instruction.h"
+
+namespace mira::isa {
+
+std::string regName(Reg r) {
+  static const char *names[] = {
+      "rax",  "rbx",  "rcx",  "rdx",  "rsi",   "rdi",   "rbp",   "rsp",
+      "r8",   "r9",   "r10",  "r11",  "r12",   "r13",   "r14",   "r15",
+      "xmm0", "xmm1", "xmm2", "xmm3", "xmm4",  "xmm5",  "xmm6",  "xmm7",
+      "xmm8", "xmm9", "xmm10", "xmm11", "xmm12", "xmm13", "xmm14", "xmm15",
+  };
+  if (r == Reg::NONE)
+    return "<none>";
+  return names[static_cast<std::size_t>(r)];
+}
+
+std::string MemRef::str() const {
+  std::string s = "[";
+  bool any = false;
+  if (base != Reg::NONE) {
+    s += regName(base);
+    any = true;
+  }
+  if (index != Reg::NONE) {
+    if (any)
+      s += " + ";
+    s += regName(index);
+    if (scale != 1)
+      s += "*" + std::to_string(scale);
+    any = true;
+  }
+  if (disp != 0 || !any) {
+    if (any)
+      s += disp >= 0 ? " + " : " - ";
+    s += std::to_string(disp >= 0 || !any ? disp : -disp);
+  }
+  return s + "]";
+}
+
+Operand Operand::makeReg(Reg r) {
+  Operand o;
+  o.kind = OperandKind::Reg;
+  o.reg = r;
+  return o;
+}
+
+Operand Operand::makeImm(std::int64_t value) {
+  Operand o;
+  o.kind = OperandKind::Imm;
+  o.imm = value;
+  return o;
+}
+
+Operand Operand::makeMem(MemRef m) {
+  Operand o;
+  o.kind = OperandKind::Mem;
+  o.mem = m;
+  return o;
+}
+
+Operand Operand::makeLabel(std::int64_t labelId) {
+  Operand o;
+  o.kind = OperandKind::Label;
+  o.imm = labelId;
+  return o;
+}
+
+bool Operand::operator==(const Operand &o) const {
+  if (kind != o.kind)
+    return false;
+  switch (kind) {
+  case OperandKind::Reg:
+    return reg == o.reg;
+  case OperandKind::Imm:
+  case OperandKind::Label:
+    return imm == o.imm;
+  case OperandKind::Mem:
+    return mem == o.mem;
+  }
+  return false;
+}
+
+std::string Operand::str() const {
+  switch (kind) {
+  case OperandKind::Reg:
+    return regName(reg);
+  case OperandKind::Imm:
+    return std::to_string(imm);
+  case OperandKind::Mem:
+    return mem.str();
+  case OperandKind::Label:
+    return ".L" + std::to_string(imm);
+  }
+  return "?";
+}
+
+std::size_t Instruction::encodedSize() const {
+  // Mirrors encoding.cpp: 2-byte opcode + 1-byte operand count + operands.
+  std::size_t size = 3;
+  for (const Operand &op : operands) {
+    size += 1; // operand kind tag
+    switch (op.kind) {
+    case OperandKind::Reg:
+      size += 1;
+      break;
+    case OperandKind::Imm:
+    case OperandKind::Label:
+      size += 8;
+      break;
+    case OperandKind::Mem:
+      size += 7; // base, index, scale, disp32
+      break;
+    }
+  }
+  return size;
+}
+
+std::string Instruction::str() const {
+  std::string s = opcodeName(opcode);
+  for (std::size_t i = 0; i < operands.size(); ++i) {
+    s += i == 0 ? " " : ", ";
+    s += operands[i].str();
+  }
+  return s;
+}
+
+std::uint64_t MachineFunction::layout(std::uint64_t base) {
+  std::uint64_t addr = base;
+  for (Instruction &inst : instructions) {
+    inst.address = addr;
+    addr += inst.encodedSize();
+  }
+  return addr - base;
+}
+
+std::string MachineFunction::str() const {
+  std::string s = name + ":\n";
+  for (const Instruction &inst : instructions) {
+    s += "  " + std::to_string(inst.address) + ": " + inst.str();
+    if (inst.line)
+      s += "   ; line " + std::to_string(inst.line);
+    s += '\n';
+  }
+  return s;
+}
+
+} // namespace mira::isa

@@ -1,0 +1,392 @@
+#include "mir/passes.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace mira::mir {
+
+namespace {
+
+struct ConstValue {
+  bool isFloat = false;
+  std::int64_t i = 0;
+  double f = 0;
+};
+
+bool evalICmp(MirCmp cmp, std::int64_t a, std::int64_t b) {
+  switch (cmp) {
+  case MirCmp::Lt:
+    return a < b;
+  case MirCmp::Le:
+    return a <= b;
+  case MirCmp::Gt:
+    return a > b;
+  case MirCmp::Ge:
+    return a >= b;
+  case MirCmp::Eq:
+    return a == b;
+  case MirCmp::Ne:
+    return a != b;
+  }
+  return false;
+}
+
+bool evalFCmp(MirCmp cmp, double a, double b) {
+  switch (cmp) {
+  case MirCmp::Lt:
+    return a < b;
+  case MirCmp::Le:
+    return a <= b;
+  case MirCmp::Gt:
+    return a > b;
+  case MirCmp::Ge:
+    return a >= b;
+  case MirCmp::Eq:
+    return a == b;
+  case MirCmp::Ne:
+    return a != b;
+  }
+  return false;
+}
+
+} // namespace
+
+std::size_t foldConstants(MirFunction &fn) {
+  std::size_t rewritten = 0;
+  for (MirBlock &block : fn.blocks) {
+    std::map<VReg, ConstValue> known;
+    for (MirInst &inst : block.insts) {
+      auto lookupI = [&](VReg r, std::int64_t &out) {
+        auto it = known.find(r);
+        if (it == known.end() || it->second.isFloat)
+          return false;
+        out = it->second.i;
+        return true;
+      };
+      auto lookupF = [&](VReg r, double &out) {
+        auto it = known.find(r);
+        if (it == known.end() || !it->second.isFloat)
+          return false;
+        out = it->second.f;
+        return true;
+      };
+
+      std::int64_t ia = 0, ib = 0;
+      double fa = 0, fb = 0;
+      bool replaced = false;
+
+      switch (inst.op) {
+      case MirOp::Add:
+      case MirOp::Sub:
+      case MirOp::Mul:
+      case MirOp::Div:
+      case MirOp::Rem:
+      case MirOp::And:
+      case MirOp::Or:
+      case MirOp::Xor:
+      case MirOp::Shl:
+      case MirOp::Shr:
+      case MirOp::IMin:
+      case MirOp::IMax:
+        if (lookupI(inst.a, ia) && lookupI(inst.b, ib)) {
+          std::int64_t v = 0;
+          bool ok = true;
+          switch (inst.op) {
+          case MirOp::Add:
+            v = ia + ib;
+            break;
+          case MirOp::Sub:
+            v = ia - ib;
+            break;
+          case MirOp::Mul:
+            v = ia * ib;
+            break;
+          case MirOp::Div:
+            ok = ib != 0;
+            if (ok)
+              v = ia / ib;
+            break;
+          case MirOp::Rem:
+            ok = ib != 0;
+            if (ok)
+              v = ia % ib;
+            break;
+          case MirOp::And:
+            v = ia & ib;
+            break;
+          case MirOp::Or:
+            v = ia | ib;
+            break;
+          case MirOp::Xor:
+            v = ia ^ ib;
+            break;
+          case MirOp::Shl:
+            v = ia << ib;
+            break;
+          case MirOp::Shr:
+            v = ia >> ib;
+            break;
+          case MirOp::IMin:
+            v = std::min(ia, ib);
+            break;
+          case MirOp::IMax:
+            v = std::max(ia, ib);
+            break;
+          default:
+            ok = false;
+          }
+          if (ok) {
+            VReg dst = inst.dst;
+            std::uint32_t line = inst.line;
+            inst = MirInst{};
+            inst.op = MirOp::ConstI;
+            inst.type = MirType::I64;
+            inst.dst = dst;
+            inst.imm = v;
+            inst.line = line;
+            replaced = true;
+            ++rewritten;
+          }
+        }
+        break;
+      case MirOp::Neg:
+        if (lookupI(inst.a, ia)) {
+          VReg dst = inst.dst;
+          std::uint32_t line = inst.line;
+          inst = MirInst{};
+          inst.op = MirOp::ConstI;
+          inst.type = MirType::I64;
+          inst.dst = dst;
+          inst.imm = -ia;
+          inst.line = line;
+          replaced = true;
+          ++rewritten;
+        }
+        break;
+      case MirOp::FAdd:
+      case MirOp::FSub:
+      case MirOp::FMul:
+      case MirOp::FDiv:
+        if (!inst.packed && lookupF(inst.a, fa) && lookupF(inst.b, fb)) {
+          double v = 0;
+          switch (inst.op) {
+          case MirOp::FAdd:
+            v = fa + fb;
+            break;
+          case MirOp::FSub:
+            v = fa - fb;
+            break;
+          case MirOp::FMul:
+            v = fa * fb;
+            break;
+          case MirOp::FDiv:
+            v = fa / fb;
+            break;
+          default:
+            break;
+          }
+          MirType t = inst.type;
+          VReg dst = inst.dst;
+          std::uint32_t line = inst.line;
+          inst = MirInst{};
+          inst.op = MirOp::ConstF;
+          inst.type = t;
+          inst.dst = dst;
+          inst.fimm = v;
+          inst.line = line;
+          replaced = true;
+          ++rewritten;
+        }
+        break;
+      case MirOp::ICmp:
+        if (lookupI(inst.a, ia) && lookupI(inst.b, ib)) {
+          VReg dst = inst.dst;
+          std::uint32_t line = inst.line;
+          bool v = evalICmp(inst.cmp, ia, ib);
+          inst = MirInst{};
+          inst.op = MirOp::ConstI;
+          inst.type = MirType::I64;
+          inst.dst = dst;
+          inst.imm = v ? 1 : 0;
+          inst.line = line;
+          replaced = true;
+          ++rewritten;
+        }
+        break;
+      case MirOp::FCmp:
+        if (lookupF(inst.a, fa) && lookupF(inst.b, fb)) {
+          VReg dst = inst.dst;
+          std::uint32_t line = inst.line;
+          bool v = evalFCmp(inst.cmp, fa, fb);
+          inst = MirInst{};
+          inst.op = MirOp::ConstI;
+          inst.type = MirType::I64;
+          inst.dst = dst;
+          inst.imm = v ? 1 : 0;
+          inst.line = line;
+          replaced = true;
+          ++rewritten;
+        }
+        break;
+      case MirOp::Copy: {
+        auto it = known.find(inst.a);
+        if (it != known.end()) {
+          ConstValue cv = it->second;
+          VReg dst = inst.dst;
+          MirType t = inst.type;
+          std::uint32_t line = inst.line;
+          inst = MirInst{};
+          inst.op = cv.isFloat ? MirOp::ConstF : MirOp::ConstI;
+          inst.type = t;
+          inst.dst = dst;
+          inst.imm = cv.i;
+          inst.fimm = cv.f;
+          inst.line = line;
+          replaced = true;
+          ++rewritten;
+        }
+        break;
+      }
+      default:
+        break;
+      }
+
+      // Update known-constants map.
+      VReg def = inst.def();
+      if (def != kNoVReg) {
+        if (inst.op == MirOp::ConstI && !inst.packed) {
+          known[def] = ConstValue{false, inst.imm, 0};
+        } else if (inst.op == MirOp::ConstF && !inst.packed) {
+          known[def] = ConstValue{true, 0, inst.fimm};
+        } else {
+          known.erase(def);
+        }
+      }
+      (void)replaced;
+    }
+  }
+  return rewritten;
+}
+
+std::size_t propagateCopies(MirFunction &fn) {
+  std::size_t rewritten = 0;
+  for (MirBlock &block : fn.blocks) {
+    std::map<VReg, VReg> alias; // dst -> src
+    for (MirInst &inst : block.insts) {
+      // Rewrite uses through the alias map.
+      auto rewrite = [&](VReg &r) {
+        auto it = alias.find(r);
+        if (it != alias.end()) {
+          r = it->second;
+          ++rewritten;
+        }
+      };
+      switch (inst.op) {
+      case MirOp::Load:
+      case MirOp::Lea:
+        rewrite(inst.base);
+        if (inst.index != kNoVReg)
+          rewrite(inst.index);
+        break;
+      case MirOp::Store:
+        rewrite(inst.a);
+        rewrite(inst.base);
+        if (inst.index != kNoVReg)
+          rewrite(inst.index);
+        break;
+      case MirOp::Call:
+        for (VReg &r : inst.args)
+          rewrite(r);
+        break;
+      default:
+        if (inst.a != kNoVReg)
+          rewrite(inst.a);
+        if (inst.b != kNoVReg)
+          rewrite(inst.b);
+        break;
+      }
+
+      VReg def = inst.def();
+      if (def != kNoVReg) {
+        // Any alias pointing at the redefined register is invalid now, as
+        // is an alias FOR the redefined register.
+        for (auto it = alias.begin(); it != alias.end();) {
+          if (it->second == def || it->first == def)
+            it = alias.erase(it);
+          else
+            ++it;
+        }
+        if (inst.op == MirOp::Copy && !inst.packed && inst.a != def)
+          alias[def] = inst.a;
+      }
+    }
+  }
+  return rewritten;
+}
+
+std::size_t removeUnreachableBlocks(MirFunction &fn) {
+  if (fn.blocks.empty())
+    return 0;
+  std::set<std::uint32_t> reachable;
+  std::vector<std::uint32_t> work{0};
+  while (!work.empty()) {
+    std::uint32_t b = work.back();
+    work.pop_back();
+    if (!reachable.insert(b).second)
+      continue;
+    for (std::uint32_t s : fn.blocks[b].successors())
+      work.push_back(s);
+  }
+  std::size_t removed = 0;
+  for (MirBlock &block : fn.blocks) {
+    if (!reachable.count(block.id) && !block.insts.empty()) {
+      removed += block.insts.size();
+      block.insts.clear();
+    }
+  }
+  return removed;
+}
+
+std::size_t eliminateDeadCode(MirFunction &fn) {
+  std::size_t removedTotal = 0;
+  // Registers that must be preserved regardless of use counts: loop
+  // descriptor anchors (induction/limit feed the canonical loop shape).
+  std::set<VReg> pinned;
+  for (const LoopDescriptor &loop : fn.loops) {
+    pinned.insert(loop.induction);
+    pinned.insert(loop.limit);
+  }
+  for (VReg p : fn.paramRegs)
+    pinned.insert(p);
+
+  while (true) {
+    std::set<VReg> used;
+    for (const MirBlock &block : fn.blocks)
+      for (const MirInst &inst : block.insts)
+        for (VReg r : inst.uses())
+          used.insert(r);
+
+    std::size_t removed = 0;
+    for (MirBlock &block : fn.blocks) {
+      std::vector<MirInst> kept;
+      kept.reserve(block.insts.size());
+      for (MirInst &inst : block.insts) {
+        VReg def = inst.def();
+        bool dead = !inst.hasSideEffects() && def != kNoVReg &&
+                    !used.count(def) && !pinned.count(def);
+        if (dead)
+          ++removed;
+        else
+          kept.push_back(std::move(inst));
+      }
+      block.insts = std::move(kept);
+    }
+    removedTotal += removed;
+    if (removed == 0)
+      break;
+  }
+  return removedTotal;
+}
+
+} // namespace mira::mir

@@ -1,0 +1,28 @@
+// SSE2 loop vectorizer (2 x f64 lanes).
+//
+// Transforms eligible innermost counted loops into a packed main loop of
+// step 2 plus a scalar remainder loop, exactly the shape an optimizing
+// compiler emits and exactly what Mira must recover from the binary: one
+// source loop maps to two machine loops with different steps (paper
+// Sec. I / III — the motivation for binary-side analysis).
+//
+// Eligibility (checked, conservative):
+//   * innermost counted loop, step 1, single straight-line body block;
+//   * every instruction is f64 arithmetic, f64 loads/stores addressed as
+//     base[induction] with loop-invariant base, constants, or copies;
+//   * the only loop-carried scalar is at most one additive reduction
+//     (acc += expr), which is rewritten to a packed accumulator with a
+//     horizontal-add epilogue;
+//   * the induction variable is used only as the addressing index.
+// Memory disjointness of the arrays is assumed (MiniC kernels pass
+// distinct buffers; a production compiler would check aliasing).
+#pragma once
+
+#include "mir/mir.h"
+
+namespace mira::mir {
+
+/// Vectorize all eligible loops in `fn`; returns the number transformed.
+std::size_t vectorizeLoops(MirFunction &fn);
+
+} // namespace mira::mir

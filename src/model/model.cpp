@@ -1,0 +1,148 @@
+#include "model/model.h"
+
+namespace mira::model {
+
+std::set<std::string> FunctionModel::parameters() const {
+  std::set<std::string> out;
+  for (const CountStep &step : counts)
+    for (const std::string &p : step.multiplier.parameters())
+      out.insert(p);
+  for (const CallStep &step : calls) {
+    for (const std::string &p : step.multiplier.parameters())
+      out.insert(p);
+    for (const auto &[name, expr] : step.argBindings)
+      for (const std::string &p : expr.parameters())
+        out.insert(p);
+  }
+  return out;
+}
+
+void EvaluatedCounts::add(const EvaluatedCounts &other, double scale) {
+  for (const auto &[op, n] : other.opcodes)
+    opcodes[op] += n * scale;
+  totalInstructions += other.totalInstructions * scale;
+  fpInstructions += other.fpInstructions * scale;
+  flops += other.flops * scale;
+}
+
+isa::CategoryArray<double> EvaluatedCounts::categories(
+    const arch::ArchDescription &desc) const {
+  return desc.categorize(opcodes);
+}
+
+const FunctionModel *PerformanceModel::find(
+    const std::string &sourceName) const {
+  for (const FunctionModel &fn : functions)
+    if (fn.sourceName == sourceName || fn.modelName == sourceName)
+      return &fn;
+  return nullptr;
+}
+
+FunctionModel *PerformanceModel::find(const std::string &sourceName) {
+  for (FunctionModel &fn : functions)
+    if (fn.sourceName == sourceName || fn.modelName == sourceName)
+      return &fn;
+  return nullptr;
+}
+
+std::optional<EvaluatedCounts> PerformanceModel::evaluate(
+    const std::string &sourceName, const Env &env, std::string *error) const {
+  const FunctionModel *fn = find(sourceName);
+  if (!fn) {
+    if (error)
+      *error = "no model for function '" + sourceName + "'";
+    return std::nullopt;
+  }
+  return evaluateInner(*fn, env, error, 0);
+}
+
+std::optional<EvaluatedCounts> PerformanceModel::evaluateInner(
+    const FunctionModel &fn, const Env &env, std::string *error,
+    int depth) const {
+  if (depth > 64) {
+    if (error)
+      *error = "model call depth exceeded (recursion?)";
+    return std::nullopt;
+  }
+  EvaluatedCounts total;
+  for (const CountStep &step : fn.counts) {
+    auto mult = step.multiplier.evaluate(env);
+    if (!mult) {
+      if (error) {
+        *error = "cannot evaluate multiplier in " + fn.modelName + " (" +
+                 step.multiplier.str() + "); missing parameters:";
+        for (const std::string &p : step.multiplier.parameters())
+          if (!env.count(p))
+            *error += " " + p;
+      }
+      return std::nullopt;
+    }
+    double m = static_cast<double>(*mult);
+    for (const auto &[op, n] : step.opcodes) {
+      double amount = m * static_cast<double>(n);
+      total.opcodes[op] += amount;
+      total.totalInstructions += amount;
+      if (isa::isFloatingPointArith(op)) {
+        total.fpInstructions += amount;
+        total.flops += amount * isa::flopCount(op);
+      }
+    }
+  }
+  for (const CallStep &step : fn.calls) {
+    auto mult = step.multiplier.evaluate(env);
+    if (!mult) {
+      if (error)
+        *error = "cannot evaluate call multiplier for " + step.callee +
+                 " in " + fn.modelName;
+      return std::nullopt;
+    }
+    if (*mult == 0)
+      continue;
+    const FunctionModel *callee = find(step.callee);
+    if (!callee) {
+      if (error)
+        *error = "missing callee model '" + step.callee + "'";
+      return std::nullopt;
+    }
+    // Build the callee environment: bound arguments evaluated in the
+    // caller environment; anything else falls through from the caller
+    // environment (user-supplied model parameters).
+    Env calleeEnv = env;
+    for (const auto &[param, expr] : step.argBindings) {
+      auto v = expr.evaluate(env);
+      if (!v) {
+        if (error)
+          *error = "cannot evaluate argument '" + param + "' of call to " +
+                   step.callee + " at line " + std::to_string(step.line);
+        return std::nullopt;
+      }
+      calleeEnv[param] = *v;
+    }
+    auto calleeCounts = evaluateInner(*callee, calleeEnv, error, depth + 1);
+    if (!calleeCounts)
+      return std::nullopt;
+    total.add(*calleeCounts, static_cast<double>(*mult));
+  }
+  return total;
+}
+
+std::set<std::string> PerformanceModel::requiredParameters(
+    const std::string &sourceName) const {
+  std::set<std::string> out;
+  const FunctionModel *fn = find(sourceName);
+  if (!fn)
+    return out;
+  for (const std::string &p : fn->parameters())
+    out.insert(p);
+  for (const CallStep &step : fn->calls) {
+    const FunctionModel *callee = find(step.callee);
+    if (!callee)
+      continue;
+    for (const std::string &p : requiredParameters(step.callee))
+      if (!step.argBindings.count(p))
+        out.insert(p);
+  }
+  return out;
+}
+
+} // namespace mira::model

@@ -1,0 +1,34 @@
+// Python code generation for performance models (paper Fig. 5).
+//
+// Produces a runnable Python module: one function per source function
+// (renamed Class_name_nargs), bodies updating per-category metric
+// dictionaries, calls combined through handle_function_call. Parameters
+// that static analysis could not resolve stay as Python function
+// arguments, to be supplied at evaluation time.
+#pragma once
+
+#include <string>
+
+#include "arch/arch.h"
+#include "model/model.h"
+
+namespace mira::model {
+
+struct PythonEmitOptions {
+  /// Emit per-category dictionaries (like the paper's Table II keys).
+  /// When false, emits raw opcode mnemonics as keys.
+  bool categoryKeys = true;
+  /// Architecture used to map opcodes to categories.
+  const arch::ArchDescription *arch = nullptr;
+};
+
+/// Emit the whole model as one Python module source string.
+std::string emitPython(const PerformanceModel &model,
+                       const PythonEmitOptions &options = {});
+
+/// Emit a single function's model (for inspection / Fig. 5-style output).
+std::string emitPythonFunction(const PerformanceModel &model,
+                               const FunctionModel &fn,
+                               const PythonEmitOptions &options = {});
+
+} // namespace mira::model

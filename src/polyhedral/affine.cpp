@@ -1,0 +1,222 @@
+#include "polyhedral/affine.h"
+
+#include "symbolic/rational.h"
+
+namespace mira::polyhedral {
+
+using symbolic::checkedAdd;
+using symbolic::checkedMul;
+using symbolic::floorMod;
+using symbolic::Rational;
+
+AffineExpr AffineExpr::variable(const std::string &name, std::int64_t coeff) {
+  AffineExpr e;
+  e.setCoeff(name, coeff);
+  return e;
+}
+
+std::int64_t AffineExpr::coeff(const std::string &var) const {
+  auto it = coeffs_.find(var);
+  return it == coeffs_.end() ? 0 : it->second;
+}
+
+void AffineExpr::setCoeff(const std::string &var, std::int64_t value) {
+  if (value == 0)
+    coeffs_.erase(var);
+  else
+    coeffs_[var] = value;
+}
+
+AffineExpr operator+(const AffineExpr &a, const AffineExpr &b) {
+  AffineExpr out = a;
+  out.constant_ = checkedAdd(out.constant_, b.constant_);
+  for (const auto &[v, c] : b.coeffs_)
+    out.setCoeff(v, checkedAdd(out.coeff(v), c));
+  return out;
+}
+
+AffineExpr operator-(const AffineExpr &a, const AffineExpr &b) {
+  return a + (-b);
+}
+
+AffineExpr AffineExpr::operator-() const { return scaled(-1); }
+
+AffineExpr AffineExpr::scaled(std::int64_t factor) const {
+  AffineExpr out;
+  if (factor == 0)
+    return out;
+  out.constant_ = checkedMul(constant_, factor);
+  for (const auto &[v, c] : coeffs_)
+    out.coeffs_[v] = checkedMul(c, factor);
+  return out;
+}
+
+AffineExpr AffineExpr::without(const std::string &var) const {
+  AffineExpr out = *this;
+  out.coeffs_.erase(var);
+  return out;
+}
+
+AffineExpr AffineExpr::substitute(const std::string &var,
+                                  const AffineExpr &replacement) const {
+  std::int64_t c = coeff(var);
+  if (c == 0)
+    return *this;
+  return without(var) + replacement.scaled(c);
+}
+
+std::optional<std::int64_t> AffineExpr::evaluate(const Env &env) const {
+  try {
+    std::int64_t acc = constant_;
+    for (const auto &[v, c] : coeffs_) {
+      auto it = env.find(v);
+      if (it == env.end())
+        return std::nullopt;
+      acc = checkedAdd(acc, checkedMul(c, it->second));
+    }
+    return acc;
+  } catch (const symbolic::ArithmeticError &) {
+    return std::nullopt;
+  }
+}
+
+Polynomial AffineExpr::toPolynomial() const {
+  Polynomial p{Rational(constant_)};
+  for (const auto &[v, c] : coeffs_)
+    p += Polynomial::variable(v).scaled(Rational(c));
+  return p;
+}
+
+Expr AffineExpr::toExpr() const {
+  std::vector<Expr> terms;
+  if (constant_ != 0)
+    terms.push_back(Expr::intConst(constant_));
+  for (const auto &[v, c] : coeffs_)
+    terms.push_back(Expr::mul({Expr::intConst(c), Expr::param(v)}));
+  if (terms.empty())
+    return Expr::intConst(0);
+  return Expr::add(std::move(terms));
+}
+
+std::optional<AffineExpr> AffineExpr::fromExpr(const Expr &expr) {
+  auto poly = Polynomial::fromExpr(expr);
+  if (!poly || poly->degree() > 1)
+    return std::nullopt;
+  AffineExpr out;
+  for (const auto &[mono, c] : poly->terms()) {
+    if (!c.isInteger())
+      return std::nullopt;
+    if (mono.empty()) {
+      out.constant_ = c.asInteger();
+    } else {
+      out.setCoeff(mono[0].first, c.asInteger());
+    }
+  }
+  return out;
+}
+
+std::string AffineExpr::str() const {
+  std::string out;
+  bool first = true;
+  for (const auto &[v, c] : coeffs_) {
+    if (!first)
+      out += " + ";
+    first = false;
+    if (c == 1)
+      out += v;
+    else
+      out += std::to_string(c) + "*" + v;
+  }
+  if (constant_ != 0 || first) {
+    if (!first)
+      out += " + ";
+    out += std::to_string(constant_);
+  }
+  return out;
+}
+
+const char *toString(CmpRel rel) {
+  switch (rel) {
+  case CmpRel::LT:
+    return "<";
+  case CmpRel::LE:
+    return "<=";
+  case CmpRel::GT:
+    return ">";
+  case CmpRel::GE:
+    return ">=";
+  case CmpRel::EQ:
+    return "==";
+  case CmpRel::NE:
+    return "!=";
+  }
+  return "?";
+}
+
+CmpRel negate(CmpRel rel) {
+  switch (rel) {
+  case CmpRel::LT:
+    return CmpRel::GE;
+  case CmpRel::LE:
+    return CmpRel::GT;
+  case CmpRel::GT:
+    return CmpRel::LE;
+  case CmpRel::GE:
+    return CmpRel::LT;
+  case CmpRel::EQ:
+    return CmpRel::NE;
+  case CmpRel::NE:
+    return CmpRel::EQ;
+  }
+  return CmpRel::EQ;
+}
+
+std::vector<AffineConstraint> AffineConstraint::make(const AffineExpr &lhs,
+                                                     CmpRel rel,
+                                                     const AffineExpr &rhs) {
+  // Normalize everything to expr >= 0 over integers:
+  //   a <  b  ->  b - a - 1 >= 0
+  //   a <= b  ->  b - a     >= 0
+  //   a >  b  ->  a - b - 1 >= 0
+  //   a >= b  ->  a - b     >= 0
+  //   a == b  ->  both a - b >= 0 and b - a >= 0
+  switch (rel) {
+  case CmpRel::LT:
+    return {AffineConstraint{rhs - lhs - AffineExpr(1)}};
+  case CmpRel::LE:
+    return {AffineConstraint{rhs - lhs}};
+  case CmpRel::GT:
+    return {AffineConstraint{lhs - rhs - AffineExpr(1)}};
+  case CmpRel::GE:
+    return {AffineConstraint{lhs - rhs}};
+  case CmpRel::EQ:
+    return {AffineConstraint{lhs - rhs}, AffineConstraint{rhs - lhs}};
+  case CmpRel::NE:
+    return {}; // not affine-representable; see Congruence
+  }
+  return {};
+}
+
+std::optional<bool> AffineConstraint::holds(const Env &env) const {
+  auto v = expr.evaluate(env);
+  if (!v)
+    return std::nullopt;
+  return *v >= 0;
+}
+
+std::string AffineConstraint::str() const { return expr.str() + " >= 0"; }
+
+std::optional<bool> Congruence::holds(const Env &env) const {
+  auto v = expr.evaluate(env);
+  if (!v || modulus == 0)
+    return std::nullopt;
+  bool zero = floorMod(*v, modulus) == 0;
+  return negated ? !zero : zero;
+}
+
+std::string Congruence::str() const {
+  return expr.str() + " % " + std::to_string(modulus) +
+         (negated ? " != 0" : " == 0");
+}
+
+} // namespace mira::polyhedral

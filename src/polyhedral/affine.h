@@ -1,0 +1,105 @@
+// Affine expressions over named variables with integer coefficients.
+//
+// The polyhedral model (paper Sec. II-B, III-B2) represents loop bounds and
+// branch conditions as affine inequalities over iteration variables and
+// parameters; AffineExpr is that representation: c0 + sum(ci * vi).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "symbolic/expr.h"
+#include "symbolic/polynomial.h"
+
+namespace mira::polyhedral {
+
+using symbolic::Env;
+using symbolic::Expr;
+using symbolic::Polynomial;
+
+class AffineExpr {
+public:
+  AffineExpr() = default;
+  explicit AffineExpr(std::int64_t constant) : constant_(constant) {}
+  static AffineExpr variable(const std::string &name,
+                             std::int64_t coeff = 1);
+
+  std::int64_t constant() const { return constant_; }
+  std::int64_t coeff(const std::string &var) const;
+  const std::map<std::string, std::int64_t> &coeffs() const {
+    return coeffs_;
+  }
+
+  bool isConstant() const { return coeffs_.empty(); }
+  /// True if `var` appears with a nonzero coefficient.
+  bool involves(const std::string &var) const { return coeff(var) != 0; }
+
+  friend AffineExpr operator+(const AffineExpr &a, const AffineExpr &b);
+  friend AffineExpr operator-(const AffineExpr &a, const AffineExpr &b);
+  AffineExpr operator-() const;
+  AffineExpr scaled(std::int64_t factor) const;
+  AffineExpr &operator+=(const AffineExpr &o) { return *this = *this + o; }
+  AffineExpr &operator-=(const AffineExpr &o) { return *this = *this - o; }
+
+  /// Remove `var`, returning the expression with that term dropped.
+  AffineExpr without(const std::string &var) const;
+
+  /// Substitute `var := replacement` (replacement affine).
+  AffineExpr substitute(const std::string &var,
+                        const AffineExpr &replacement) const;
+
+  std::optional<std::int64_t> evaluate(const Env &env) const;
+  Polynomial toPolynomial() const;
+  Expr toExpr() const;
+  /// Expr of degree <= 1 converts back; nullopt otherwise.
+  static std::optional<AffineExpr> fromExpr(const Expr &expr);
+
+  bool operator==(const AffineExpr &o) const {
+    return constant_ == o.constant_ && coeffs_ == o.coeffs_;
+  }
+
+  std::string str() const;
+
+private:
+  std::int64_t constant_ = 0;
+  std::map<std::string, std::int64_t> coeffs_;
+
+  void setCoeff(const std::string &var, std::int64_t value);
+};
+
+/// Comparison relations usable in loop conditions and branch guards.
+enum class CmpRel { LT, LE, GT, GE, EQ, NE };
+
+const char *toString(CmpRel rel);
+CmpRel negate(CmpRel rel);
+
+/// An affine constraint `expr REL 0`. Normal form used by the solver is
+/// GE: expr >= 0; helpers convert LT/LE/GT from source-level comparisons.
+struct AffineConstraint {
+  AffineExpr expr; // meaning: expr >= 0 (after normalization)
+
+  /// Build `lhs rel rhs` as one or two GE-normal constraints.
+  /// EQ yields two constraints; NE is not affine-representable (handled by
+  /// the congruence/complement machinery instead).
+  static std::vector<AffineConstraint> make(const AffineExpr &lhs, CmpRel rel,
+                                            const AffineExpr &rhs);
+
+  std::optional<bool> holds(const Env &env) const;
+  std::string str() const;
+};
+
+/// A congruence condition `expr % modulus REL 0` with REL in {EQ, NE}.
+/// Models branch guards like `j % 4 != 0` (paper Listing 5): NE breaks
+/// convexity and is counted by the complement rule.
+struct Congruence {
+  AffineExpr expr;
+  std::int64_t modulus = 1;
+  bool negated = false; // false: expr % m == 0; true: expr % m != 0
+
+  std::optional<bool> holds(const Env &env) const;
+  std::string str() const;
+};
+
+} // namespace mira::polyhedral

@@ -1,0 +1,566 @@
+#include "polyhedral/counting.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "symbolic/summation.h"
+
+namespace mira::polyhedral {
+
+using symbolic::Polynomial;
+using symbolic::Rational;
+using symbolic::sumOverRange;
+
+LoopLevel LoopLevel::make(std::string var, AffineExpr lb, AffineExpr ub,
+                          std::int64_t step) {
+  LoopLevel l;
+  l.var = std::move(var);
+  l.lowerBounds.push_back(std::move(lb));
+  l.upperBounds.push_back(std::move(ub));
+  l.step = step;
+  return l;
+}
+
+std::set<std::string> IterationDomain::parameters() const {
+  std::set<std::string> loopVars;
+  for (const auto &l : levels)
+    loopVars.insert(l.var);
+  std::set<std::string> params;
+  auto collect = [&](const AffineExpr &e) {
+    for (const auto &[v, c] : e.coeffs())
+      if (!loopVars.count(v))
+        params.insert(v);
+  };
+  for (const auto &l : levels) {
+    for (const auto &b : l.lowerBounds)
+      collect(b);
+    for (const auto &b : l.upperBounds)
+      collect(b);
+  }
+  for (const auto &g : guards)
+    collect(g.expr);
+  for (const auto &c : congruences)
+    collect(c.expr);
+  return params;
+}
+
+ConstraintSystem IterationDomain::toConstraintSystem() const {
+  ConstraintSystem sys;
+  for (const auto &l : levels) {
+    AffineExpr var = AffineExpr::variable(l.var);
+    for (const auto &lb : l.lowerBounds)
+      sys.add(AffineConstraint{var - lb}); // var - lb >= 0
+    for (const auto &ub : l.upperBounds)
+      sys.add(AffineConstraint{ub - var}); // ub - var >= 0
+  }
+  for (const auto &g : guards)
+    sys.add(g);
+  return sys;
+}
+
+IterationDomain IterationDomain::withGuard(const AffineConstraint &guard) const {
+  IterationDomain d = *this;
+  d.guards.push_back(guard);
+  return d;
+}
+
+IterationDomain IterationDomain::withCongruence(
+    const Congruence &congruence) const {
+  IterationDomain d = *this;
+  d.congruences.push_back(congruence);
+  return d;
+}
+
+std::string IterationDomain::str() const {
+  std::string out;
+  for (const auto &l : levels) {
+    out += "for " + l.var + " in [";
+    for (std::size_t i = 0; i < l.lowerBounds.size(); ++i)
+      out += (i ? " ,max " : "") + l.lowerBounds[i].str();
+    out += " .. ";
+    for (std::size_t i = 0; i < l.upperBounds.size(); ++i)
+      out += (i ? " ,min " : "") + l.upperBounds[i].str();
+    out += "]";
+    if (l.step != 1)
+      out += " step " + std::to_string(l.step);
+    out += "; ";
+  }
+  for (const auto &g : guards)
+    out += "if " + g.str() + "; ";
+  for (const auto &c : congruences)
+    out += "if " + c.str() + "; ";
+  return out;
+}
+
+const char *toString(CountMethod method) {
+  switch (method) {
+  case CountMethod::Enumeration:
+    return "enumeration";
+  case CountMethod::ClosedForm:
+    return "closed-form";
+  case CountMethod::LazySum:
+    return "lazy-sum";
+  }
+  return "?";
+}
+
+Expr countCongruentInRange(const Expr &lo, const Expr &hi, const Expr &target,
+                           std::int64_t modulus) {
+  // #{ v in [lo, hi] : v ≡ target (mod m) }
+  //   = floor((hi - target)/m) - floor((lo - 1 - target)/m)
+  Expr m = Expr::intConst(modulus);
+  Expr upper = Expr::floorDiv(hi - target, m);
+  Expr lower = Expr::floorDiv(lo - Expr::intConst(1) - target, m);
+  return upper - lower;
+}
+
+namespace {
+
+/// Fold affine guards into the bounds of the innermost loop variable they
+/// mention (when that variable's coefficient is ±1). Returns the residual
+/// guards that could not be folded.
+std::vector<AffineConstraint>
+foldGuards(std::vector<LoopLevel> &levels,
+           const std::vector<AffineConstraint> &guards) {
+  std::vector<AffineConstraint> residual;
+  for (const AffineConstraint &g : guards) {
+    bool folded = false;
+    // Walk innermost -> outermost.
+    for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+      std::int64_t a = g.expr.coeff(it->var);
+      if (a == 0)
+        continue;
+      if (a == 1) {
+        // var + rest >= 0  ->  var >= -rest
+        it->lowerBounds.push_back(-g.expr.without(it->var));
+        folded = true;
+      } else if (a == -1) {
+        // -var + rest >= 0  ->  var <= rest
+        it->upperBounds.push_back(g.expr.without(it->var));
+        folded = true;
+      }
+      break; // only the innermost involved variable is considered
+    }
+    if (!folded)
+      residual.push_back(g);
+  }
+  return residual;
+}
+
+struct BoundExprs {
+  Expr lo; // max of lower bounds
+  Expr hi; // min of upper bounds
+  bool single = false;
+  AffineExpr loAffine; // valid when single
+  AffineExpr hiAffine;
+};
+
+BoundExprs boundsOf(const LoopLevel &level) {
+  BoundExprs b;
+  assert(!level.lowerBounds.empty() && !level.upperBounds.empty());
+  b.lo = level.lowerBounds[0].toExpr();
+  for (std::size_t i = 1; i < level.lowerBounds.size(); ++i)
+    b.lo = Expr::max(b.lo, level.lowerBounds[i].toExpr());
+  b.hi = level.upperBounds[0].toExpr();
+  for (std::size_t i = 1; i < level.upperBounds.size(); ++i)
+    b.hi = Expr::min(b.hi, level.upperBounds[i].toExpr());
+  b.single =
+      level.lowerBounds.size() == 1 && level.upperBounds.size() == 1;
+  if (b.single) {
+    b.loAffine = level.lowerBounds[0];
+    b.hiAffine = level.upperBounds[0];
+  }
+  return b;
+}
+
+/// Deduplicate bounds lists (guards may re-add an existing bound).
+void dedupeBounds(LoopLevel &level) {
+  auto dedupe = [](std::vector<AffineExpr> &bounds) {
+    std::vector<AffineExpr> out;
+    for (const auto &b : bounds) {
+      bool dup = false;
+      for (const auto &o : out)
+        if (o == b)
+          dup = true;
+      if (!dup)
+        out.push_back(b);
+    }
+    bounds = std::move(out);
+  };
+  dedupe(level.lowerBounds);
+  dedupe(level.upperBounds);
+}
+
+} // namespace
+
+namespace {
+std::optional<std::int64_t> enumerateWithBudget(const IterationDomain &domain,
+                                                const Env &env,
+                                                std::int64_t budget) {
+  // Recursive nested-loop walk with memo-free simplicity; fine for the
+  // test-scale domains this is used on.
+  struct Walker {
+    const IterationDomain &domain;
+    Env env;
+    std::int64_t budget;
+
+    std::optional<std::int64_t> walk(std::size_t depth) {
+      if (--budget < 0)
+        return std::nullopt;
+      if (depth == domain.levels.size()) {
+        for (const auto &g : domain.guards) {
+          auto h = g.holds(env);
+          if (!h)
+            return std::nullopt;
+          if (!*h)
+            return 0;
+        }
+        for (const auto &c : domain.congruences) {
+          auto h = c.holds(env);
+          if (!h)
+            return std::nullopt;
+          if (!*h)
+            return 0;
+        }
+        return 1;
+      }
+      const LoopLevel &level = domain.levels[depth];
+      std::optional<std::int64_t> lo, hi;
+      for (const auto &b : level.lowerBounds) {
+        auto v = b.evaluate(env);
+        if (!v)
+          return std::nullopt;
+        lo = lo ? std::max(*lo, *v) : *v;
+      }
+      for (const auto &b : level.upperBounds) {
+        auto v = b.evaluate(env);
+        if (!v)
+          return std::nullopt;
+        hi = hi ? std::min(*hi, *v) : *v;
+      }
+      if (!lo || !hi)
+        return std::nullopt;
+      std::int64_t total = 0;
+      for (std::int64_t v = *lo; v <= *hi; v += level.step) {
+        env[level.var] = v;
+        auto inner = walk(depth + 1);
+        if (!inner)
+          return std::nullopt;
+        total += *inner;
+      }
+      env.erase(level.var);
+      return total;
+    }
+  };
+  Walker w{domain, env, budget};
+  return w.walk(0);
+}
+} // namespace
+
+std::optional<std::int64_t> enumerateDomain(const IterationDomain &domain,
+                                            const Env &env) {
+  return enumerateWithBudget(domain, env,
+                             std::numeric_limits<std::int64_t>::max());
+}
+
+CountResult countIterations(const IterationDomain &domain) {
+  CountResult result;
+
+  if (domain.levels.empty()) {
+    result.count = Expr::intConst(1);
+    result.method = CountMethod::ClosedForm;
+    return result;
+  }
+  for (const auto &l : domain.levels) {
+    if (l.lowerBounds.empty() || l.upperBounds.empty()) {
+      result.requiresAnnotation = true;
+      result.note = "loop variable '" + l.var + "' has missing bounds";
+      result.count = Expr::intConst(0);
+      return result;
+    }
+    if (l.step <= 0) {
+      result.requiresAnnotation = true;
+      result.note = "loop variable '" + l.var + "' has non-positive step";
+      result.count = Expr::intConst(0);
+      return result;
+    }
+  }
+
+  std::vector<LoopLevel> levels = domain.levels;
+  std::vector<AffineConstraint> residual = foldGuards(levels, domain.guards);
+  for (auto &l : levels)
+    dedupeBounds(l);
+
+  // Residual guards mentioning only parameters cannot be decided
+  // statically; the paper's answer is a user annotation.
+  for (const auto &g : residual) {
+    bool mentionsLoopVar = false;
+    for (const auto &l : levels)
+      if (g.expr.involves(l.var))
+        mentionsLoopVar = true;
+    if (!mentionsLoopVar) {
+      result.exact = false;
+      result.note = "guard '" + g.str() +
+                    "' depends only on parameters; treated as true "
+                    "(annotation recommended)";
+    }
+  }
+
+  // Fully numeric domain: walk it exactly (handles min/max bounds,
+  // congruences, residual guards — paper Fig. 4 cases). A point budget
+  // protects against walking huge constant-bound nests; those fall
+  // through to the symbolic paths below.
+  if (domain.parameters().empty()) {
+    IterationDomain numeric = domain;
+    numeric.levels = levels;
+    numeric.guards = residual;
+    auto n = enumerateWithBudget(numeric, Env{}, 20'000'000);
+    if (n) {
+      result.count = Expr::intConst(*n);
+      result.method = CountMethod::Enumeration;
+      return result;
+    }
+  }
+
+  // A strided innermost level does not compose with congruence guards or
+  // extra (guard-folded) bounds: the surviving lattice points are an
+  // arithmetic-progression/congruence intersection (CRT), which this
+  // counter does not implement symbolically. Fully numeric domains were
+  // already enumerated above; parametric ones need an annotation.
+  {
+    const LoopLevel &inner = levels.back();
+    if (inner.step != 1 &&
+        (!domain.congruences.empty() || inner.lowerBounds.size() > 1 ||
+         inner.upperBounds.size() > 1)) {
+      result.requiresAnnotation = true;
+      result.note = "strided loop variable '" + inner.var +
+                    "' combined with guards; annotate the loop/branch";
+      result.count = Expr::intConst(0);
+      return result;
+    }
+  }
+
+  // Non-foldable residual guards involving loop variables block the
+  // symbolic paths.
+  for (const auto &g : residual) {
+    for (const auto &l : levels) {
+      if (g.expr.involves(l.var)) {
+        result.requiresAnnotation = true;
+        result.note = "guard '" + g.str() +
+                      "' has a non-unit loop-variable coefficient; "
+                      "annotate the branch";
+        result.count = Expr::intConst(0);
+        return result;
+      }
+    }
+  }
+
+  // Closed-form path: every level has a single bound pair, steps are 1
+  // except possibly the innermost, congruences only constrain the
+  // innermost variable.
+  bool closedFormEligible = true;
+  for (std::size_t d = 0; d < levels.size(); ++d) {
+    const LoopLevel &l = levels[d];
+    if (l.lowerBounds.size() != 1 || l.upperBounds.size() != 1)
+      closedFormEligible = false;
+    if (l.step != 1 && d + 1 != levels.size())
+      closedFormEligible = false;
+  }
+
+  // Degenerate-range check: the closed form F(hi) - F(lo-1) over-subtracts
+  // if an inner range can be empty for some outer point of the domain
+  // (e.g. j in [i+1, 6] with i reaching beyond 5). Prove non-emptiness
+  // with Fourier-Motzkin: the outer bounds plus "level d empty"
+  // (lb_d > ub_d) must be infeasible for every non-outermost level.
+  // Parameters are treated as free variables, which is conservative.
+  if (closedFormEligible) {
+    ConstraintSystem outer;
+    for (std::size_t d = 0; d < levels.size() && closedFormEligible; ++d) {
+      const LoopLevel &l = levels[d];
+      if (d > 0) {
+        AffineExpr emptyCond =
+            l.lowerBounds[0] - l.upperBounds[0] - AffineExpr(1);
+        bool dependsOnOuter = false;
+        for (std::size_t o = 0; o < d; ++o)
+          if (emptyCond.involves(levels[o].var))
+            dependsOnOuter = true;
+        if (dependsOnOuter) {
+          ConstraintSystem probe = outer;
+          probe.add(AffineConstraint{emptyCond}); // empty range reachable?
+          if (!probe.isRationallyEmpty())
+            closedFormEligible = false; // fall back to the clamped lazy path
+        }
+        // Emptiness uniform in the loop variables (parameters only, e.g.
+        // M <= 0 for a rectangle) is tolerated: the paper's models assume
+        // parameters describe non-degenerate problem sizes, and the
+        // top-level clamp handles the all-empty case.
+      }
+      AffineExpr v = AffineExpr::variable(l.var);
+      outer.add(AffineConstraint{v - l.lowerBounds[0]});
+      outer.add(AffineConstraint{l.upperBounds[0] - v});
+    }
+  }
+  const std::string &innerVar = levels.back().var;
+  for (const auto &c : domain.congruences) {
+    for (std::size_t d = 0; d + 1 < levels.size(); ++d)
+      if (c.expr.involves(levels[d].var))
+        closedFormEligible = false;
+    std::int64_t a = c.expr.coeff(innerVar);
+    if (a != 1 && a != -1)
+      closedFormEligible = false;
+    if (c.modulus <= 0)
+      closedFormEligible = false;
+  }
+
+  if (closedFormEligible) {
+    const LoopLevel &inner = levels.back();
+    BoundExprs ib = boundsOf(inner);
+
+    // Innermost count as an Expr (and, when possible, a Polynomial).
+    Expr innerCount;
+    bool innerPolynomial = false;
+    Polynomial innerPoly;
+
+    if (domain.congruences.empty() && inner.step == 1) {
+      innerPoly = ib.hiAffine.toPolynomial() - ib.loAffine.toPolynomial() +
+                  Polynomial{Rational(1)};
+      innerCount = innerPoly.toExpr();
+      innerPolynomial = true;
+    } else if (domain.congruences.empty()) {
+      // step > 1: floor((ub - lb)/step) + 1
+      innerCount = Expr::floorDiv(ib.hi - ib.lo,
+                                  Expr::intConst(inner.step)) +
+                   Expr::intConst(1);
+    } else {
+      // Congruences on the innermost variable. Intersect: count values in
+      // [lb, ub] in the EQ class; apply the complement rule for NE
+      // (paper Fig. 4c). Multiple congruences compose by inclusion-
+      // exclusion only in the single-congruence practical case; with more
+      // than one, fall back to a lazy sum below.
+      if (domain.congruences.size() == 1 && inner.step == 1) {
+        const Congruence &c = domain.congruences[0];
+        std::int64_t a = c.expr.coeff(innerVar);
+        // a*v + rest ≡ 0 (mod m)  ->  v ≡ -a*rest (mod m) since a = ±1
+        // (a==1: v ≡ -rest; a==-1: v ≡ rest).
+        AffineExpr rest = c.expr.without(innerVar);
+        Expr target = (a == 1) ? (-rest).toExpr() : rest.toExpr();
+        Expr eqCount =
+            countCongruentInRange(ib.lo, ib.hi, target, c.modulus);
+        Expr all = ib.hi - ib.lo + Expr::intConst(1);
+        innerCount = c.negated ? (all - eqCount) : eqCount;
+        if (c.negated) {
+          result.note = "congruence guard handled by complement rule: "
+                        "count(true) = count(loop) - count(false)";
+        }
+      } else {
+        closedFormEligible = false;
+      }
+    }
+
+    if (closedFormEligible) {
+      if (innerPolynomial) {
+        // Sum the polynomial outward level by level (Faulhaber).
+        Polynomial acc = innerPoly;
+        bool stillPoly = true;
+        for (std::size_t d = levels.size() - 1; d-- > 0;) {
+          const LoopLevel &l = levels[d];
+          if (!stillPoly)
+            break;
+          acc = sumOverRange(acc, l.var, l.lowerBounds[0].toPolynomial(),
+                             l.upperBounds[0].toPolynomial());
+        }
+        if (stillPoly) {
+          // Clamp at zero so an empty outermost range (e.g. N = 0) does
+          // not yield a negative count. (Inner levels were proven
+          // non-empty above; see the summation.h domain note.)
+          Expr poly = acc.toExpr();
+          result.count = poly.isIntConst() || acc.degree() == 0
+                             ? poly
+                             : Expr::max(Expr::intConst(0), poly);
+          result.method = CountMethod::ClosedForm;
+          return result;
+        }
+      } else {
+        // Innermost is a floor-expression: wrap outer levels as lazy sums.
+        Expr acc = innerCount;
+        for (std::size_t d = levels.size() - 1; d-- > 0;) {
+          const LoopLevel &l = levels[d];
+          acc = Expr::sum(l.var, l.lowerBounds[0].toExpr(),
+                          l.upperBounds[0].toExpr(), acc);
+        }
+        result.count = acc;
+        result.method =
+            levels.size() == 1 ? CountMethod::ClosedForm : CountMethod::LazySum;
+        return result;
+      }
+    }
+  }
+
+  // General fallback: nested lazy sums over [max(lbs), min(ubs)] with a
+  // clamped innermost span and congruence factors where expressible.
+  if (!domain.congruences.empty()) {
+    bool innerOnly = true;
+    for (const auto &c : domain.congruences) {
+      for (std::size_t d = 0; d + 1 < levels.size(); ++d)
+        if (c.expr.involves(levels[d].var))
+          innerOnly = false;
+      std::int64_t a = c.expr.coeff(innerVar);
+      if (a != 1 && a != -1)
+        innerOnly = false;
+    }
+    if (!innerOnly || domain.congruences.size() > 1) {
+      result.requiresAnnotation = true;
+      result.note = "congruence guards too complex for static counting; "
+                    "annotate the branch";
+      result.count = Expr::intConst(0);
+      return result;
+    }
+  }
+
+  const LoopLevel &inner = levels.back();
+  BoundExprs ib = boundsOf(inner);
+  Expr innerSpan;
+  if (domain.congruences.empty()) {
+    Expr raw;
+    if (inner.step == 1)
+      raw = ib.hi - ib.lo + Expr::intConst(1);
+    else
+      raw = Expr::floorDiv(ib.hi - ib.lo, Expr::intConst(inner.step)) +
+            Expr::intConst(1);
+    innerSpan = Expr::max(Expr::intConst(0), raw);
+  } else {
+    const Congruence &c = domain.congruences[0];
+    std::int64_t a = c.expr.coeff(innerVar);
+    AffineExpr rest = c.expr.without(innerVar);
+    Expr target = (a == 1) ? (-rest).toExpr() : rest.toExpr();
+    Expr eqCount = countCongruentInRange(ib.lo, ib.hi, target, c.modulus);
+    Expr all = ib.hi - ib.lo + Expr::intConst(1);
+    Expr raw = c.negated ? (all - eqCount) : eqCount;
+    innerSpan = Expr::max(Expr::intConst(0), raw);
+  }
+
+  Expr acc = innerSpan;
+  for (std::size_t d = levels.size() - 1; d-- > 0;) {
+    const LoopLevel &l = levels[d];
+    BoundExprs b = boundsOf(l);
+    if (l.step == 1) {
+      acc = Expr::sum(l.var, b.lo, b.hi, acc);
+    } else {
+      // Strided level: substitute var = lo + step*k and sum k over
+      // [0, floor((hi - lo) / step)]. (Negative spans make the range
+      // empty via Sum's hi < lo semantics.)
+      std::string k = l.var + "__step";
+      Expr kvar = Expr::param(k);
+      Expr substituted =
+          acc.substitute(l.var, b.lo + Expr::intConst(l.step) * kvar);
+      Expr hiK = Expr::floorDiv(b.hi - b.lo, Expr::intConst(l.step));
+      acc = Expr::sum(k, Expr::intConst(0), hiK, substituted);
+    }
+  }
+  result.count = acc;
+  result.method = CountMethod::LazySum;
+  return result;
+}
+
+} // namespace mira::polyhedral

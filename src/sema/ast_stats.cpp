@@ -1,0 +1,53 @@
+#include "sema/ast_stats.h"
+
+#include <functional>
+
+namespace mira::sema {
+
+using frontend::Statement;
+using frontend::StmtKind;
+
+LoopCoverage computeLoopCoverage(const frontend::TranslationUnit &unit) {
+  LoopCoverage cov;
+  std::function<void(const Statement &, bool)> walk =
+      [&](const Statement &stmt, bool inLoop) {
+        switch (stmt.kind) {
+        case StmtKind::Compound:
+          for (const auto &s : stmt.body)
+            walk(*s, inLoop);
+          return;
+        case StmtKind::Empty:
+          return;
+        case StmtKind::For:
+        case StmtKind::While:
+          ++cov.loops;
+          ++cov.statements;
+          if (inLoop)
+            ++cov.inLoopStatements;
+          if (stmt.forInit)
+            walk(*stmt.forInit, true);
+          if (stmt.loopBody)
+            walk(*stmt.loopBody, true);
+          return;
+        case StmtKind::If:
+          ++cov.statements;
+          if (inLoop)
+            ++cov.inLoopStatements;
+          if (stmt.thenBranch)
+            walk(*stmt.thenBranch, inLoop);
+          if (stmt.elseBranch)
+            walk(*stmt.elseBranch, inLoop);
+          return;
+        default:
+          ++cov.statements;
+          if (inLoop)
+            ++cov.inLoopStatements;
+          return;
+        }
+      };
+  for (const frontend::FunctionDecl *fn : unit.allFunctions())
+    walk(*fn->bodyStmt, false);
+  return cov;
+}
+
+} // namespace mira::sema

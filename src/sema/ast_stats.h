@@ -1,0 +1,31 @@
+// Source statistics: loop coverage analysis (paper Table I).
+//
+// Counts loops, executable statements, and statements covered by loop
+// scope — the survey metric (Bastoul et al.) the paper reproduces to
+// motivate loop-centric modeling: in HPC codes, 77-100% of statements
+// live inside loops.
+#pragma once
+
+#include "frontend/ast.h"
+
+namespace mira::sema {
+
+struct LoopCoverage {
+  std::size_t loops = 0;
+  std::size_t statements = 0;       // executable statements
+  std::size_t inLoopStatements = 0; // statements inside >=1 loop body
+
+  double percent() const {
+    return statements == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(inLoopStatements) /
+                     static_cast<double>(statements);
+  }
+};
+
+/// Counting rules: every Decl/ExprStmt/Return/If/For/While node is one
+/// statement (Compound and Empty are structure, not statements); a
+/// statement is "in loop" when located inside the body of any For/While.
+LoopCoverage computeLoopCoverage(const frontend::TranslationUnit &unit);
+
+} // namespace mira::sema

@@ -1,0 +1,197 @@
+#include "sema/loop_analysis.h"
+
+namespace mira::sema {
+
+using frontend::AssignOp;
+using frontend::BinaryOp;
+using frontend::ExprKind;
+using frontend::Expression;
+using frontend::Statement;
+using frontend::StmtKind;
+using frontend::UnaryOp;
+using polyhedral::AffineExpr;
+
+std::optional<AffineExpr> exprToAffine(const Expression &expr) {
+  switch (expr.kind) {
+  case ExprKind::IntLiteral:
+    return AffineExpr(expr.intValue);
+  case ExprKind::VarRef:
+    return AffineExpr::variable(expr.name);
+  case ExprKind::Unary:
+    if (expr.unaryOp == UnaryOp::Neg) {
+      auto inner = exprToAffine(*expr.children[0]);
+      if (inner)
+        return -*inner;
+    }
+    return std::nullopt;
+  case ExprKind::Binary: {
+    auto lhs = exprToAffine(*expr.children[0]);
+    auto rhs = exprToAffine(*expr.children[1]);
+    if (!lhs || !rhs)
+      return std::nullopt;
+    switch (expr.binaryOp) {
+    case BinaryOp::Add:
+      return *lhs + *rhs;
+    case BinaryOp::Sub:
+      return *lhs - *rhs;
+    case BinaryOp::Mul:
+      if (lhs->isConstant())
+        return rhs->scaled(lhs->constant());
+      if (rhs->isConstant())
+        return lhs->scaled(rhs->constant());
+      return std::nullopt; // nonlinear
+    case BinaryOp::Div:
+      // Exact division by a constant only when every coefficient divides:
+      if (rhs->isConstant() && rhs->constant() != 0) {
+        std::int64_t d = rhs->constant();
+        if (lhs->constant() % d != 0)
+          return std::nullopt;
+        AffineExpr out(lhs->constant() / d);
+        for (const auto &[v, c] : lhs->coeffs()) {
+          if (c % d != 0)
+            return std::nullopt;
+          out += AffineExpr::variable(v, c / d);
+        }
+        return out;
+      }
+      return std::nullopt;
+    default:
+      return std::nullopt;
+    }
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+LoopInfo fail(std::string reason) {
+  LoopInfo info;
+  info.failReason = std::move(reason);
+  return info;
+}
+
+} // namespace
+
+LoopInfo analyzeForLoop(const Statement &forStmt) {
+  if (forStmt.kind != StmtKind::For)
+    return fail("not a for statement");
+
+  LoopInfo info;
+
+  // ---- init: 'type var = expr' or 'var = expr' ----
+  const Statement *init = forStmt.forInit.get();
+  const Expression *initValue = nullptr;
+  if (!init)
+    return fail("missing loop initialization");
+  if (init->kind == StmtKind::Decl) {
+    info.var = init->declName;
+    initValue = init->declInit.get();
+  } else if (init->kind == StmtKind::ExprStmt && init->expr &&
+             init->expr->kind == ExprKind::Assign &&
+             init->expr->assignOp == AssignOp::Assign &&
+             init->expr->children[0]->kind == ExprKind::VarRef) {
+    info.var = init->expr->children[0]->name;
+    initValue = init->expr->children[1].get();
+  } else {
+    return fail("loop initialization is not a simple assignment");
+  }
+  if (!initValue)
+    return fail("loop variable has no initial value");
+
+  // ---- condition: 'var < expr' | 'var <= expr' | reversed forms ----
+  const Expression *cond = forStmt.forCond.get();
+  if (!cond)
+    return fail("missing loop condition");
+  if (cond->kind != ExprKind::Binary)
+    return fail("loop condition is not a comparison");
+  const Expression *condLhs = cond->children[0].get();
+  const Expression *condRhs = cond->children[1].get();
+  BinaryOp rel = cond->binaryOp;
+  // Normalize to 'var REL bound'.
+  if (!(condLhs->kind == ExprKind::VarRef && condLhs->name == info.var)) {
+    if (condRhs->kind == ExprKind::VarRef && condRhs->name == info.var) {
+      std::swap(condLhs, condRhs);
+      switch (rel) { // mirror the relation
+      case BinaryOp::Lt:
+        rel = BinaryOp::Gt;
+        break;
+      case BinaryOp::Le:
+        rel = BinaryOp::Ge;
+        break;
+      case BinaryOp::Gt:
+        rel = BinaryOp::Lt;
+        break;
+      case BinaryOp::Ge:
+        rel = BinaryOp::Le;
+        break;
+      default:
+        break;
+      }
+    } else {
+      return fail("loop condition does not test the loop variable");
+    }
+  }
+  auto bound = exprToAffine(*condRhs);
+  if (!bound)
+    return fail("loop bound is not affine: " + condRhs->str());
+  if (bound->involves(info.var))
+    return fail("loop bound references the loop variable itself");
+
+  // ---- increment: var++ / ++var / var += c / var = var + c ----
+  const Expression *inc = forStmt.forInc.get();
+  if (!inc)
+    return fail("missing loop increment");
+  std::int64_t step = 0;
+  if (inc->kind == ExprKind::Unary &&
+      (inc->unaryOp == UnaryOp::PostInc || inc->unaryOp == UnaryOp::PreInc) &&
+      inc->children[0]->kind == ExprKind::VarRef &&
+      inc->children[0]->name == info.var) {
+    step = 1;
+  } else if (inc->kind == ExprKind::Assign &&
+             inc->assignOp == AssignOp::AddAssign &&
+             inc->children[0]->kind == ExprKind::VarRef &&
+             inc->children[0]->name == info.var &&
+             inc->children[1]->kind == ExprKind::IntLiteral) {
+    step = inc->children[1]->intValue;
+  } else if (inc->kind == ExprKind::Assign &&
+             inc->assignOp == AssignOp::Assign &&
+             inc->children[0]->kind == ExprKind::VarRef &&
+             inc->children[0]->name == info.var &&
+             inc->children[1]->kind == ExprKind::Binary &&
+             inc->children[1]->binaryOp == BinaryOp::Add) {
+    const Expression *a = inc->children[1]->children[0].get();
+    const Expression *b = inc->children[1]->children[1].get();
+    if (a->kind == ExprKind::VarRef && a->name == info.var &&
+        b->kind == ExprKind::IntLiteral)
+      step = b->intValue;
+    else if (b->kind == ExprKind::VarRef && b->name == info.var &&
+             a->kind == ExprKind::IntLiteral)
+      step = a->intValue;
+  }
+  if (step <= 0)
+    return fail("loop increment is not a positive constant step");
+  info.step = step;
+
+  // Only upward-counting loops with < / <= are recognized (the paper's
+  // kernels are all of this shape; downward loops would mirror this code).
+  auto lb = exprToAffine(*initValue);
+  if (!lb)
+    return fail("loop initial value is not affine: " + initValue->str());
+  switch (rel) {
+  case BinaryOp::Lt:
+    info.upperBound = *bound - AffineExpr(1);
+    break;
+  case BinaryOp::Le:
+    info.upperBound = *bound;
+    break;
+  default:
+    return fail("loop condition relation must be '<' or '<='");
+  }
+  info.lowerBound = *lb;
+  info.recognized = true;
+  return info;
+}
+
+} // namespace mira::sema

@@ -1,0 +1,66 @@
+// Semantic analysis for MiniC: scopes, types, call resolution, call graph.
+//
+// Fills Expression::type and Expression::resolvedCallee in place, rewrites
+// `obj(args)` into operator() method calls, and builds the call graph the
+// metric generator walks when combining per-function models (paper
+// Sec. III-B5: handle_function_call).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "support/diagnostics.h"
+
+namespace mira::sema {
+
+using frontend::FunctionDecl;
+using frontend::TranslationUnit;
+using frontend::Type;
+
+/// Signature of a builtin or external function known to the analyzer.
+struct KnownFunction {
+  std::string name;
+  Type returnType;
+  std::vector<Type> paramTypes;
+  bool isExtern = false; // externals are opaque to static analysis
+};
+
+/// Callees of each function, split by kind.
+struct CallGraph {
+  /// qualified caller -> qualified callees (user functions only)
+  std::map<std::string, std::set<std::string>> edges;
+  /// qualified caller -> extern/builtin callees
+  std::map<std::string, std::set<std::string>> externCalls;
+
+  /// Topological order (callees before callers); empty + error flag when
+  /// recursion is present (MiniC models are non-recursive, like the
+  /// paper's evaluation codes).
+  std::vector<std::string> topologicalOrder(bool &hasCycle) const;
+};
+
+struct SemaResult {
+  bool success = false;
+  CallGraph callGraph;
+};
+
+class SemanticAnalyzer {
+public:
+  explicit SemanticAnalyzer(DiagnosticEngine &diags);
+
+  /// Analyze and annotate the unit in place.
+  SemaResult analyze(TranslationUnit &unit);
+
+  /// The table of builtin functions MiniC programs may call. Builtins are
+  /// modeled as machine instructions (sqrt -> SQRTSD etc.); externals
+  /// (mc_print, mc_clock, mc_rand) are opaque calls with runtime cost the
+  /// static model cannot see.
+  static const std::vector<KnownFunction> &knownFunctions();
+
+private:
+  DiagnosticEngine &diags_;
+};
+
+} // namespace mira::sema

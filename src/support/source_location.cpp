@@ -1,0 +1,17 @@
+#include "support/source_location.h"
+
+namespace mira {
+
+std::string SourceLocation::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+std::string SourceRange::str() const {
+  if (!isValid())
+    return "<unknown>";
+  return begin.str() + "-" + end.str();
+}
+
+} // namespace mira

@@ -1,0 +1,50 @@
+// Source locations and ranges shared by every front-end and analysis layer.
+//
+// Mira's central trick (paper Sec. III-A2) is associating source-AST nodes
+// with binary-AST nodes through line numbers, mirroring what debuggers do
+// with DWARF .debug_line. Locations therefore flow through the whole
+// pipeline: lexer -> AST -> MIR -> machine code -> object line table ->
+// binary AST -> bridge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mira {
+
+/// A position in a source file. Lines and columns are 1-based; 0 means
+/// "unknown" (synthesized nodes, compiler-generated code).
+struct SourceLocation {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  constexpr bool isValid() const { return line != 0; }
+
+  friend constexpr bool operator==(SourceLocation a, SourceLocation b) {
+    return a.line == b.line && a.column == b.column;
+  }
+  friend constexpr bool operator!=(SourceLocation a, SourceLocation b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(SourceLocation a, SourceLocation b) {
+    return a.line != b.line ? a.line < b.line : a.column < b.column;
+  }
+
+  std::string str() const;
+};
+
+/// A half-open range [begin, end) in one file.
+struct SourceRange {
+  SourceLocation begin;
+  SourceLocation end;
+
+  constexpr bool isValid() const { return begin.isValid(); }
+  /// True if `loc` falls inside the range (line-granular comparison).
+  bool containsLine(std::uint32_t line) const {
+    return begin.line <= line && (end.line == 0 || line <= end.line);
+  }
+
+  std::string str() const;
+};
+
+} // namespace mira

@@ -1,0 +1,99 @@
+#include "support/string_utils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mira {
+
+std::vector<std::string> splitString(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      break;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  std::size_t b = 0;
+  while (b < text.size() && std::isspace(static_cast<unsigned char>(text[b])))
+    ++b;
+  std::size_t e = text.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1])))
+    --e;
+  return text.substr(b, e - b);
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool endsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool parseInt64(std::string_view text, std::int64_t &out) {
+  text = trim(text);
+  if (text.empty())
+    return false;
+  std::string buf(text);
+  errno = 0;
+  char *end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE || end != buf.c_str() + buf.size())
+    return false;
+  out = v;
+  return true;
+}
+
+std::string formatCount(double value) {
+  if (value == 0)
+    return "0";
+  double mag = std::fabs(value);
+  char buf[64];
+  if (mag >= 1e5) {
+    int exp = static_cast<int>(std::floor(std::log10(mag)));
+    double mant = value / std::pow(10.0, exp);
+    // Trim to at most 4 significant digits in the mantissa, like the paper
+    // (e.g. 8.239E7, 1.0125E9).
+    std::snprintf(buf, sizeof buf, "%.4gE%d", mant, exp);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+  }
+  return buf;
+}
+
+std::string formatPercent(double fraction) {
+  char buf[64];
+  double pct = fraction * 100.0;
+  if (std::fabs(pct) < 0.01 && pct != 0)
+    std::snprintf(buf, sizeof buf, "%.4f%%", pct);
+  else
+    std::snprintf(buf, sizeof buf, "%.2f%%", pct);
+  return buf;
+}
+
+std::string padRight(std::string text, std::size_t width) {
+  if (text.size() < width)
+    text.append(width - text.size(), ' ');
+  return text;
+}
+
+std::string padLeft(std::string text, std::size_t width) {
+  if (text.size() < width)
+    text.insert(text.begin(), width - text.size(), ' ');
+  return text;
+}
+
+} // namespace mira

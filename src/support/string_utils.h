@@ -1,0 +1,34 @@
+// Small string helpers used across modules (no external dependencies).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mira {
+
+/// Split `text` on `sep`, keeping empty pieces.
+std::vector<std::string> splitString(std::string_view text, char sep);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+bool startsWith(std::string_view text, std::string_view prefix);
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/// Parse a signed integer; returns false on malformed input or overflow.
+bool parseInt64(std::string_view text, std::int64_t &out);
+
+/// Format `value` with thousands separators and scientific shorthand,
+/// e.g. 2.05E10 — matches how the paper prints instruction counts.
+std::string formatCount(double value);
+
+/// Format `value` as a percentage with two decimals, e.g. "3.08%".
+std::string formatPercent(double fraction);
+
+/// Left/right pad `text` to `width` with spaces.
+std::string padRight(std::string text, std::size_t width);
+std::string padLeft(std::string text, std::size_t width);
+
+} // namespace mira

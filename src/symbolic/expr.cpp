@@ -1,0 +1,508 @@
+#include "symbolic/expr.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace mira::symbolic {
+
+namespace {
+
+ExprNodeRef makeConst(std::int64_t v) {
+  auto n = std::make_shared<ExprNode>(ExprKind::IntConst);
+  n->value = v;
+  return n;
+}
+
+bool isConst(const ExprNodeRef &n, std::int64_t v) {
+  return n->kind == ExprKind::IntConst && n->value == v;
+}
+
+/// Canonical ordering key used to sort commutative operand lists so that
+/// structurally equal expressions compare equal.
+std::string orderKey(const ExprNodeRef &n);
+
+std::string orderKeyList(const std::vector<ExprNodeRef> &ops) {
+  std::string s;
+  for (const auto &o : ops) {
+    s += orderKey(o);
+    s += ',';
+  }
+  return s;
+}
+
+std::string orderKey(const ExprNodeRef &n) {
+  switch (n->kind) {
+  case ExprKind::IntConst:
+    return "#" + std::to_string(n->value);
+  case ExprKind::Param:
+    return "p" + n->name;
+  case ExprKind::Add:
+    return "A(" + orderKeyList(n->operands) + ")";
+  case ExprKind::Mul:
+    return "M(" + orderKeyList(n->operands) + ")";
+  case ExprKind::FloorDiv:
+    return "F(" + orderKeyList(n->operands) + ")";
+  case ExprKind::ExactDiv:
+    return "E(" + orderKeyList(n->operands) + ")";
+  case ExprKind::Mod:
+    return "%(" + orderKeyList(n->operands) + ")";
+  case ExprKind::Min:
+    return "m(" + orderKeyList(n->operands) + ")";
+  case ExprKind::Max:
+    return "X(" + orderKeyList(n->operands) + ")";
+  case ExprKind::Sum:
+    return "S" + n->name + "(" + orderKeyList(n->operands) + ")";
+  }
+  return "?";
+}
+
+} // namespace
+
+Expr::Expr() : node_(makeConst(0)) {}
+
+Expr Expr::intConst(std::int64_t value) { return Expr(makeConst(value)); }
+
+Expr Expr::param(std::string name) {
+  auto n = std::make_shared<ExprNode>(ExprKind::Param);
+  n->name = std::move(name);
+  return Expr(n);
+}
+
+Expr Expr::add(std::vector<Expr> operands) {
+  std::vector<ExprNodeRef> flat;
+  std::int64_t constant = 0;
+  std::function<void(const ExprNodeRef &)> absorb =
+      [&](const ExprNodeRef &n) {
+        if (n->kind == ExprKind::IntConst) {
+          constant = checkedAdd(constant, n->value);
+        } else if (n->kind == ExprKind::Add) {
+          for (const auto &o : n->operands)
+            absorb(o);
+        } else {
+          flat.push_back(n);
+        }
+      };
+  for (const Expr &e : operands)
+    absorb(e.node_);
+
+  // Combine like terms: each term is (coeff, residual-key). Terms are
+  // either Param/other nodes (coeff 1) or Mul nodes with a leading const.
+  struct Term {
+    std::int64_t coeff;
+    std::vector<ExprNodeRef> factors; // non-const factors, sorted
+    std::string key;
+  };
+  std::vector<Term> terms;
+  for (const auto &n : flat) {
+    Term t;
+    t.coeff = 1;
+    if (n->kind == ExprKind::Mul) {
+      for (const auto &f : n->operands) {
+        if (f->kind == ExprKind::IntConst)
+          t.coeff = checkedMul(t.coeff, f->value);
+        else
+          t.factors.push_back(f);
+      }
+    } else {
+      t.factors.push_back(n);
+    }
+    t.key = orderKeyList(t.factors);
+    bool merged = false;
+    for (Term &prev : terms) {
+      if (prev.key == t.key) {
+        prev.coeff = checkedAdd(prev.coeff, t.coeff);
+        merged = true;
+        break;
+      }
+    }
+    if (!merged)
+      terms.push_back(std::move(t));
+  }
+
+  std::vector<ExprNodeRef> result;
+  for (Term &t : terms) {
+    if (t.coeff == 0)
+      continue;
+    if (t.coeff == 1 && t.factors.size() == 1) {
+      result.push_back(t.factors[0]);
+    } else {
+      std::vector<Expr> factors;
+      if (t.coeff != 1)
+        factors.push_back(Expr::intConst(t.coeff));
+      for (auto &f : t.factors)
+        factors.push_back(Expr(f));
+      result.push_back(Expr::mul(std::move(factors)).node_);
+    }
+  }
+
+  std::sort(result.begin(), result.end(),
+            [](const ExprNodeRef &a, const ExprNodeRef &b) {
+              return orderKey(a) < orderKey(b);
+            });
+  if (constant != 0 || result.empty())
+    result.push_back(makeConst(constant));
+  if (result.size() == 1)
+    return Expr(result[0]);
+  auto n = std::make_shared<ExprNode>(ExprKind::Add);
+  n->operands = std::move(result);
+  return Expr(n);
+}
+
+Expr Expr::mul(std::vector<Expr> operands) {
+  std::vector<ExprNodeRef> flat;
+  std::int64_t constant = 1;
+  std::function<void(const ExprNodeRef &)> absorb =
+      [&](const ExprNodeRef &n) {
+        if (n->kind == ExprKind::IntConst) {
+          constant = checkedMul(constant, n->value);
+        } else if (n->kind == ExprKind::Mul) {
+          for (const auto &o : n->operands)
+            absorb(o);
+        } else {
+          flat.push_back(n);
+        }
+      };
+  for (const Expr &e : operands)
+    absorb(e.node_);
+
+  if (constant == 0)
+    return Expr::intConst(0);
+
+  std::sort(flat.begin(), flat.end(),
+            [](const ExprNodeRef &a, const ExprNodeRef &b) {
+              return orderKey(a) < orderKey(b);
+            });
+  std::vector<ExprNodeRef> result;
+  if (constant != 1 || flat.empty())
+    result.push_back(makeConst(constant));
+  result.insert(result.end(), flat.begin(), flat.end());
+  if (result.size() == 1)
+    return Expr(result[0]);
+  auto n = std::make_shared<ExprNode>(ExprKind::Mul);
+  n->operands = std::move(result);
+  return Expr(n);
+}
+
+Expr Expr::floorDiv(Expr a, Expr b) {
+  if (b.node_->kind == ExprKind::IntConst && a.node_->kind == ExprKind::IntConst)
+    return Expr::intConst(mira::symbolic::floorDiv(a.node_->value, b.node_->value));
+  if (isConst(b.node_, 1))
+    return a;
+  auto n = std::make_shared<ExprNode>(ExprKind::FloorDiv);
+  n->operands = {a.node_, b.node_};
+  return Expr(n);
+}
+
+Expr Expr::exactDiv(Expr a, Expr b) {
+  if (b.node_->kind == ExprKind::IntConst &&
+      a.node_->kind == ExprKind::IntConst && b.node_->value != 0 &&
+      a.node_->value % b.node_->value == 0)
+    return Expr::intConst(a.node_->value / b.node_->value);
+  if (isConst(b.node_, 1))
+    return a;
+  auto n = std::make_shared<ExprNode>(ExprKind::ExactDiv);
+  n->operands = {a.node_, b.node_};
+  return Expr(n);
+}
+
+Expr Expr::mod(Expr a, Expr b) {
+  if (a.node_->kind == ExprKind::IntConst && b.node_->kind == ExprKind::IntConst)
+    return Expr::intConst(floorMod(a.node_->value, b.node_->value));
+  auto n = std::make_shared<ExprNode>(ExprKind::Mod);
+  n->operands = {a.node_, b.node_};
+  return Expr(n);
+}
+
+Expr Expr::min(Expr a, Expr b) {
+  if (a.equals(b))
+    return a;
+  if (a.node_->kind == ExprKind::IntConst && b.node_->kind == ExprKind::IntConst)
+    return Expr::intConst(std::min(a.node_->value, b.node_->value));
+  auto n = std::make_shared<ExprNode>(ExprKind::Min);
+  n->operands = {a.node_, b.node_};
+  return Expr(n);
+}
+
+Expr Expr::max(Expr a, Expr b) {
+  if (a.equals(b))
+    return a;
+  if (a.node_->kind == ExprKind::IntConst && b.node_->kind == ExprKind::IntConst)
+    return Expr::intConst(std::max(a.node_->value, b.node_->value));
+  auto n = std::make_shared<ExprNode>(ExprKind::Max);
+  n->operands = {a.node_, b.node_};
+  return Expr(n);
+}
+
+Expr Expr::sum(std::string var, Expr lo, Expr hi, Expr body) {
+  // Fully constant range with constant body folds immediately.
+  if (lo.isIntConst() && hi.isIntConst()) {
+    std::int64_t l = *lo.constValue();
+    std::int64_t h = *hi.constValue();
+    if (h < l)
+      return Expr::intConst(0);
+    if (body.isIntConst())
+      return Expr::intConst(
+          checkedMul(checkedAdd(checkedSub(h, l), 1), *body.constValue()));
+  }
+  auto n = std::make_shared<ExprNode>(ExprKind::Sum);
+  n->name = std::move(var);
+  n->operands = {lo.node_, hi.node_, body.node_};
+  return Expr(n);
+}
+
+Expr operator+(const Expr &a, const Expr &b) { return Expr::add({a, b}); }
+Expr operator-(const Expr &a, const Expr &b) {
+  return Expr::add({a, Expr::mul({Expr::intConst(-1), b})});
+}
+Expr operator*(const Expr &a, const Expr &b) { return Expr::mul({a, b}); }
+Expr Expr::operator-() const {
+  return Expr::mul({Expr::intConst(-1), *this});
+}
+
+ExprKind Expr::kind() const { return node_->kind; }
+
+bool Expr::isIntConst() const { return node_->kind == ExprKind::IntConst; }
+
+bool Expr::isIntConst(std::int64_t value) const {
+  return isIntConst() && node_->value == value;
+}
+
+std::optional<std::int64_t> Expr::constValue() const {
+  if (isIntConst())
+    return node_->value;
+  return std::nullopt;
+}
+
+std::set<std::string> Expr::parameters() const {
+  std::set<std::string> out;
+  std::function<void(const ExprNodeRef &, std::set<std::string> &)> walk =
+      [&](const ExprNodeRef &n, std::set<std::string> &bound) {
+        if (n->kind == ExprKind::Param) {
+          if (!bound.count(n->name))
+            out.insert(n->name);
+          return;
+        }
+        if (n->kind == ExprKind::Sum) {
+          // lo/hi are in the outer scope; the body binds n->name.
+          walk(n->operands[0], bound);
+          walk(n->operands[1], bound);
+          std::set<std::string> inner = bound;
+          inner.insert(n->name);
+          walk(n->operands[2], inner);
+          return;
+        }
+        for (const auto &o : n->operands)
+          walk(o, bound);
+      };
+  std::set<std::string> bound;
+  walk(node_, bound);
+  return out;
+}
+
+bool Expr::equals(const Expr &other) const {
+  return orderKey(node_) == orderKey(other.node_);
+}
+
+namespace {
+
+std::optional<std::int64_t> evalNode(const ExprNodeRef &n, const Env &env) {
+  switch (n->kind) {
+  case ExprKind::IntConst:
+    return n->value;
+  case ExprKind::Param: {
+    auto it = env.find(n->name);
+    if (it == env.end())
+      return std::nullopt;
+    return it->second;
+  }
+  case ExprKind::Add: {
+    std::int64_t acc = 0;
+    for (const auto &o : n->operands) {
+      auto v = evalNode(o, env);
+      if (!v)
+        return std::nullopt;
+      acc = checkedAdd(acc, *v);
+    }
+    return acc;
+  }
+  case ExprKind::Mul: {
+    std::int64_t acc = 1;
+    for (const auto &o : n->operands) {
+      auto v = evalNode(o, env);
+      if (!v)
+        return std::nullopt;
+      acc = checkedMul(acc, *v);
+    }
+    return acc;
+  }
+  case ExprKind::FloorDiv: {
+    auto a = evalNode(n->operands[0], env);
+    auto b = evalNode(n->operands[1], env);
+    if (!a || !b || *b == 0)
+      return std::nullopt;
+    return floorDiv(*a, *b);
+  }
+  case ExprKind::ExactDiv: {
+    auto a = evalNode(n->operands[0], env);
+    auto b = evalNode(n->operands[1], env);
+    if (!a || !b || *b == 0)
+      return std::nullopt;
+    if (*a % *b != 0)
+      return std::nullopt; // closed form produced a non-integer: bug upstream
+    return *a / *b;
+  }
+  case ExprKind::Mod: {
+    auto a = evalNode(n->operands[0], env);
+    auto b = evalNode(n->operands[1], env);
+    if (!a || !b || *b == 0)
+      return std::nullopt;
+    return floorMod(*a, *b);
+  }
+  case ExprKind::Min: {
+    auto a = evalNode(n->operands[0], env);
+    auto b = evalNode(n->operands[1], env);
+    if (!a || !b)
+      return std::nullopt;
+    return std::min(*a, *b);
+  }
+  case ExprKind::Max: {
+    auto a = evalNode(n->operands[0], env);
+    auto b = evalNode(n->operands[1], env);
+    if (!a || !b)
+      return std::nullopt;
+    return std::max(*a, *b);
+  }
+  case ExprKind::Sum: {
+    auto lo = evalNode(n->operands[0], env);
+    auto hi = evalNode(n->operands[1], env);
+    if (!lo || !hi)
+      return std::nullopt;
+    std::int64_t acc = 0;
+    Env inner = env;
+    for (std::int64_t v = *lo; v <= *hi; ++v) {
+      inner[n->name] = v;
+      auto b = evalNode(n->operands[2], inner);
+      if (!b)
+        return std::nullopt;
+      acc = checkedAdd(acc, *b);
+    }
+    return acc;
+  }
+  }
+  return std::nullopt;
+}
+
+enum class PrintStyle { Debug, Python };
+
+std::string printNode(const ExprNodeRef &n, PrintStyle style);
+
+std::string printJoin(const std::vector<ExprNodeRef> &ops, const char *sep,
+                      PrintStyle style) {
+  std::string out;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (i)
+      out += sep;
+    out += printNode(ops[i], style);
+  }
+  return out;
+}
+
+std::string printNode(const ExprNodeRef &n, PrintStyle style) {
+  switch (n->kind) {
+  case ExprKind::IntConst:
+    return std::to_string(n->value);
+  case ExprKind::Param:
+    return n->name;
+  case ExprKind::Add:
+    return "(" + printJoin(n->operands, " + ", style) + ")";
+  case ExprKind::Mul:
+    return "(" + printJoin(n->operands, "*", style) + ")";
+  case ExprKind::FloorDiv:
+    return "(" + printNode(n->operands[0], style) +
+           (style == PrintStyle::Python ? " // " : " fdiv ") +
+           printNode(n->operands[1], style) + ")";
+  case ExprKind::ExactDiv:
+    return "(" + printNode(n->operands[0], style) +
+           (style == PrintStyle::Python ? " // " : " / ") +
+           printNode(n->operands[1], style) + ")";
+  case ExprKind::Mod:
+    return "(" + printNode(n->operands[0], style) + " % " +
+           printNode(n->operands[1], style) + ")";
+  case ExprKind::Min:
+    return "min(" + printJoin(n->operands, ", ", style) + ")";
+  case ExprKind::Max:
+    return "max(" + printJoin(n->operands, ", ", style) + ")";
+  case ExprKind::Sum:
+    if (style == PrintStyle::Python)
+      return "sum((" + printNode(n->operands[2], style) + ") for " + n->name +
+             " in range(" + printNode(n->operands[0], style) + ", " +
+             printNode(n->operands[1], style) + " + 1))";
+    return "Sum(" + n->name + "=" + printNode(n->operands[0], style) + ".." +
+           printNode(n->operands[1], style) + ", " +
+           printNode(n->operands[2], style) + ")";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::optional<std::int64_t> Expr::evaluate(const Env &env) const {
+  try {
+    return evalNode(node_, env);
+  } catch (const ArithmeticError &) {
+    return std::nullopt;
+  }
+}
+
+Expr Expr::substitute(const std::string &name, const Expr &replacement) const {
+  std::function<Expr(const ExprNodeRef &)> walk =
+      [&](const ExprNodeRef &n) -> Expr {
+    switch (n->kind) {
+    case ExprKind::IntConst:
+      return Expr::intConst(n->value);
+    case ExprKind::Param:
+      return n->name == name ? replacement : Expr(Expr::param(n->name));
+    case ExprKind::Add: {
+      std::vector<Expr> ops;
+      for (const auto &o : n->operands)
+        ops.push_back(walk(o));
+      return Expr::add(std::move(ops));
+    }
+    case ExprKind::Mul: {
+      std::vector<Expr> ops;
+      for (const auto &o : n->operands)
+        ops.push_back(walk(o));
+      return Expr::mul(std::move(ops));
+    }
+    case ExprKind::FloorDiv:
+      return Expr::floorDiv(walk(n->operands[0]), walk(n->operands[1]));
+    case ExprKind::ExactDiv:
+      return Expr::exactDiv(walk(n->operands[0]), walk(n->operands[1]));
+    case ExprKind::Mod:
+      return Expr::mod(walk(n->operands[0]), walk(n->operands[1]));
+    case ExprKind::Min:
+      return Expr::min(walk(n->operands[0]), walk(n->operands[1]));
+    case ExprKind::Max:
+      return Expr::max(walk(n->operands[0]), walk(n->operands[1]));
+    case ExprKind::Sum: {
+      Expr lo = walk(n->operands[0]);
+      Expr hi = walk(n->operands[1]);
+      // The bound variable shadows same-named outer parameters.
+      Expr body = n->name == name ? Expr(n->operands[2])
+                                  : Expr(n->operands[2]).substitute(name,
+                                                                    replacement);
+      return Expr::sum(n->name, lo, hi, body);
+    }
+    }
+    return Expr::intConst(0);
+  };
+  return walk(node_);
+}
+
+std::string Expr::str() const { return printNode(node_, PrintStyle::Debug); }
+
+std::string Expr::toPython() const {
+  return printNode(node_, PrintStyle::Python);
+}
+
+} // namespace mira::symbolic

@@ -1,0 +1,272 @@
+#include "symbolic/polynomial.h"
+
+#include <algorithm>
+
+namespace mira::symbolic {
+
+Polynomial::Polynomial(Rational constant) {
+  if (!constant.isZero())
+    terms_[Monomial{}] = constant;
+}
+
+Polynomial Polynomial::variable(const std::string &name) {
+  Polynomial p;
+  p.terms_[Monomial{{name, 1}}] = Rational(1);
+  return p;
+}
+
+bool Polynomial::isConstant() const {
+  return terms_.empty() ||
+         (terms_.size() == 1 && terms_.begin()->first.empty());
+}
+
+Rational Polynomial::constantValue() const {
+  if (terms_.empty())
+    return Rational(0);
+  return terms_.begin()->second;
+}
+
+int Polynomial::degree() const {
+  int d = 0;
+  for (const auto &[m, c] : terms_) {
+    int t = 0;
+    for (const auto &[v, e] : m)
+      t += e;
+    d = std::max(d, t);
+  }
+  return d;
+}
+
+int Polynomial::degreeIn(const std::string &var) const {
+  int d = 0;
+  for (const auto &[m, c] : terms_)
+    for (const auto &[v, e] : m)
+      if (v == var)
+        d = std::max(d, e);
+  return d;
+}
+
+void Polynomial::addTerm(const Monomial &m, const Rational &c) {
+  if (c.isZero())
+    return;
+  auto it = terms_.find(m);
+  if (it == terms_.end()) {
+    terms_[m] = c;
+  } else {
+    it->second += c;
+    if (it->second.isZero())
+      terms_.erase(it);
+  }
+}
+
+Polynomial operator+(const Polynomial &a, const Polynomial &b) {
+  Polynomial out = a;
+  for (const auto &[m, c] : b.terms_)
+    out.addTerm(m, c);
+  return out;
+}
+
+Polynomial operator-(const Polynomial &a, const Polynomial &b) {
+  return a + (-b);
+}
+
+Polynomial Polynomial::operator-() const {
+  Polynomial out;
+  for (const auto &[m, c] : terms_)
+    out.terms_[m] = -c;
+  return out;
+}
+
+namespace {
+Monomial mergeMonomials(const Monomial &a, const Monomial &b) {
+  Monomial out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j == b.size() || (i < a.size() && a[i].first < b[j].first)) {
+      out.push_back(a[i++]);
+    } else if (i == a.size() || b[j].first < a[i].first) {
+      out.push_back(b[j++]);
+    } else {
+      out.emplace_back(a[i].first, a[i].second + b[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+} // namespace
+
+Polynomial operator*(const Polynomial &a, const Polynomial &b) {
+  Polynomial out;
+  for (const auto &[ma, ca] : a.terms_)
+    for (const auto &[mb, cb] : b.terms_)
+      out.addTerm(mergeMonomials(ma, mb), ca * cb);
+  return out;
+}
+
+Polynomial Polynomial::scaled(const Rational &factor) const {
+  Polynomial out;
+  if (factor.isZero())
+    return out;
+  for (const auto &[m, c] : terms_)
+    out.terms_[m] = c * factor;
+  return out;
+}
+
+Polynomial Polynomial::pow(int exponent) const {
+  Polynomial result{Rational(1)};
+  for (int i = 0; i < exponent; ++i)
+    result *= *this;
+  return result;
+}
+
+Polynomial Polynomial::substitute(const std::string &var,
+                                  const Polynomial &replacement) const {
+  Polynomial out;
+  for (const auto &[m, c] : terms_) {
+    Polynomial term{c};
+    for (const auto &[v, e] : m) {
+      if (v == var)
+        term *= replacement.pow(e);
+      else
+        term *= Polynomial::variable(v).pow(e);
+    }
+    out += term;
+  }
+  return out;
+}
+
+std::vector<Polynomial> Polynomial::coefficientsIn(
+    const std::string &var) const {
+  std::vector<Polynomial> out(static_cast<std::size_t>(degreeIn(var)) + 1);
+  for (const auto &[m, c] : terms_) {
+    int power = 0;
+    Monomial rest;
+    for (const auto &[v, e] : m) {
+      if (v == var)
+        power = e;
+      else
+        rest.push_back({v, e});
+    }
+    Polynomial piece;
+    piece.addTerm(rest, c);
+    out[static_cast<std::size_t>(power)] += piece;
+  }
+  return out;
+}
+
+std::optional<Rational> Polynomial::evaluateRational(const Env &env) const {
+  try {
+    Rational acc(0);
+    for (const auto &[m, c] : terms_) {
+      Rational term = c;
+      for (const auto &[v, e] : m) {
+        auto it = env.find(v);
+        if (it == env.end())
+          return std::nullopt;
+        for (int k = 0; k < e; ++k)
+          term *= Rational(it->second);
+      }
+      acc += term;
+    }
+    return acc;
+  } catch (const ArithmeticError &) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::int64_t> Polynomial::evaluate(const Env &env) const {
+  auto r = evaluateRational(env);
+  if (!r || !r->isInteger())
+    return std::nullopt;
+  return r->asInteger();
+}
+
+Expr Polynomial::toExpr() const {
+  if (terms_.empty())
+    return Expr::intConst(0);
+  // Common denominator.
+  std::int64_t lcm = 1;
+  for (const auto &[m, c] : terms_) {
+    std::int64_t d = c.den();
+    lcm = checkedMul(lcm / gcd64(lcm, d), d);
+  }
+  std::vector<Expr> sum;
+  for (const auto &[m, c] : terms_) {
+    std::vector<Expr> factors;
+    factors.push_back(Expr::intConst(checkedMul(c.num(), lcm / c.den())));
+    for (const auto &[v, e] : m)
+      for (int k = 0; k < e; ++k)
+        factors.push_back(Expr::param(v));
+    sum.push_back(Expr::mul(std::move(factors)));
+  }
+  Expr numerator = Expr::add(std::move(sum));
+  if (lcm == 1)
+    return numerator;
+  return Expr::exactDiv(numerator, Expr::intConst(lcm));
+}
+
+namespace {
+std::optional<Polynomial> polyFromNode(const ExprNode &node) {
+  switch (node.kind) {
+  case ExprKind::IntConst:
+    return Polynomial{Rational(node.value)};
+  case ExprKind::Param:
+    return Polynomial::variable(node.name);
+  case ExprKind::Add: {
+    Polynomial acc;
+    for (const auto &o : node.operands) {
+      auto p = polyFromNode(*o);
+      if (!p)
+        return std::nullopt;
+      acc += *p;
+    }
+    return acc;
+  }
+  case ExprKind::Mul: {
+    Polynomial acc{Rational(1)};
+    for (const auto &o : node.operands) {
+      auto p = polyFromNode(*o);
+      if (!p)
+        return std::nullopt;
+      acc *= *p;
+    }
+    return acc;
+  }
+  case ExprKind::ExactDiv: {
+    auto a = polyFromNode(*node.operands[0]);
+    auto b = polyFromNode(*node.operands[1]);
+    if (!a || !b || !b->isConstant() || b->constantValue().isZero())
+      return std::nullopt;
+    return a->scaled(Rational(1) / b->constantValue());
+  }
+  default:
+    return std::nullopt;
+  }
+}
+} // namespace
+
+std::optional<Polynomial> Polynomial::fromExpr(const Expr &expr) {
+  return polyFromNode(expr.node());
+}
+
+std::string Polynomial::str() const {
+  if (terms_.empty())
+    return "0";
+  std::string out;
+  bool first = true;
+  for (const auto &[m, c] : terms_) {
+    if (!first)
+      out += " + ";
+    first = false;
+    out += c.str();
+    for (const auto &[v, e] : m) {
+      out += "*" + v;
+      if (e > 1)
+        out += "^" + std::to_string(e);
+    }
+  }
+  return out;
+}
+
+} // namespace mira::symbolic

@@ -1,0 +1,86 @@
+// Multivariate polynomials with rational coefficients.
+//
+// Closed-form iteration counts of affine loop nests are (quasi-)polynomials
+// in the loop parameters. The polyhedral counter builds them by repeated
+// Faulhaber summation (summation.h) and converts the result back to an
+// integer Expr via a common denominator and ExactDiv.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.h"
+#include "symbolic/rational.h"
+
+namespace mira::symbolic {
+
+/// A monomial: product of variables raised to positive powers, e.g. x^2*y.
+/// Canonical form: sorted by variable name, exponents >= 1.
+using Monomial = std::vector<std::pair<std::string, int>>;
+
+/// Polynomial = sum of coeff * monomial. The empty monomial is the constant
+/// term. Zero coefficients are never stored.
+class Polynomial {
+public:
+  Polynomial() = default;
+  explicit Polynomial(Rational constant);
+  static Polynomial variable(const std::string &name);
+  static Polynomial constant(Rational value) { return Polynomial(value); }
+
+  bool isZero() const { return terms_.empty(); }
+  bool isConstant() const;
+  /// Constant value (requires isConstant()).
+  Rational constantValue() const;
+
+  /// Total degree; 0 for constants and the zero polynomial.
+  int degree() const;
+  /// Highest exponent of `var` across all terms.
+  int degreeIn(const std::string &var) const;
+
+  friend Polynomial operator+(const Polynomial &a, const Polynomial &b);
+  friend Polynomial operator-(const Polynomial &a, const Polynomial &b);
+  friend Polynomial operator*(const Polynomial &a, const Polynomial &b);
+  Polynomial operator-() const;
+  Polynomial &operator+=(const Polynomial &o) { return *this = *this + o; }
+  Polynomial &operator-=(const Polynomial &o) { return *this = *this - o; }
+  Polynomial &operator*=(const Polynomial &o) { return *this = *this * o; }
+
+  Polynomial scaled(const Rational &factor) const;
+  Polynomial pow(int exponent) const;
+
+  /// Replace `var` by another polynomial.
+  Polynomial substitute(const std::string &var,
+                        const Polynomial &replacement) const;
+
+  /// Rewrite as a univariate polynomial in `var`: index k holds the
+  /// coefficient polynomial (free of `var`) of var^k.
+  std::vector<Polynomial> coefficientsIn(const std::string &var) const;
+
+  /// Exact evaluation; nullopt when a parameter is unbound or the result
+  /// is not an integer.
+  std::optional<std::int64_t> evaluate(const Env &env) const;
+  std::optional<Rational> evaluateRational(const Env &env) const;
+
+  /// Convert to an integer Expr: multiply through by the coefficient LCM
+  /// and wrap in ExactDiv. Integer-valued polynomials (all counts are)
+  /// evaluate exactly.
+  Expr toExpr() const;
+
+  /// Parse an Expr into a polynomial; nullopt for non-polynomial kinds
+  /// (FloorDiv, Mod, Min, Max, Sum).
+  static std::optional<Polynomial> fromExpr(const Expr &expr);
+
+  std::string str() const;
+
+  const std::map<Monomial, Rational> &terms() const { return terms_; }
+
+private:
+  std::map<Monomial, Rational> terms_;
+
+  void addTerm(const Monomial &m, const Rational &c);
+};
+
+} // namespace mira::symbolic

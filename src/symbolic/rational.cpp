@@ -1,0 +1,138 @@
+#include "symbolic/rational.h"
+
+#include <limits>
+
+namespace mira::symbolic {
+
+namespace {
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+
+std::int64_t narrow(__int128 v, const char *op) {
+  if (v > static_cast<__int128>(kMax) || v < static_cast<__int128>(kMin))
+    throw ArithmeticError(std::string("int64 overflow in ") + op);
+  return static_cast<std::int64_t>(v);
+}
+} // namespace
+
+std::int64_t checkedAdd(std::int64_t a, std::int64_t b) {
+  return narrow(static_cast<__int128>(a) + b, "add");
+}
+std::int64_t checkedSub(std::int64_t a, std::int64_t b) {
+  return narrow(static_cast<__int128>(a) - b, "sub");
+}
+std::int64_t checkedMul(std::int64_t a, std::int64_t b) {
+  return narrow(static_cast<__int128>(a) * b, "mul");
+}
+
+std::int64_t floorDiv(std::int64_t a, std::int64_t b) {
+  if (b == 0)
+    throw ArithmeticError("floorDiv by zero");
+  std::int64_t q = a / b;
+  std::int64_t r = a % b;
+  if (r != 0 && ((r < 0) != (b < 0)))
+    --q;
+  return q;
+}
+
+std::int64_t floorMod(std::int64_t a, std::int64_t b) {
+  return checkedSub(a, checkedMul(floorDiv(a, b), b));
+}
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  if (a == kMin || b == kMin)
+    throw ArithmeticError("gcd of INT64_MIN");
+  if (a < 0)
+    a = -a;
+  if (b < 0)
+    b = -b;
+  while (b != 0) {
+    std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+Rational::Rational(std::int64_t numerator, std::int64_t denominator)
+    : num_(numerator), den_(denominator) {
+  if (den_ == 0)
+    throw ArithmeticError("rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ < 0) {
+    num_ = checkedSub(0, num_);
+    den_ = checkedSub(0, den_);
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  std::int64_t g = gcd64(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+std::int64_t Rational::asInteger() const {
+  if (!isInteger())
+    throw ArithmeticError("rational " + str() + " is not an integer");
+  return num_;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checkedSub(0, num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational operator+(const Rational &a, const Rational &b) {
+  std::int64_t g = gcd64(a.den_, b.den_);
+  std::int64_t lhs = checkedMul(a.num_, b.den_ / g);
+  std::int64_t rhs = checkedMul(b.num_, a.den_ / g);
+  return Rational(checkedAdd(lhs, rhs), checkedMul(a.den_ / g, b.den_));
+}
+
+Rational operator-(const Rational &a, const Rational &b) { return a + (-b); }
+
+Rational operator*(const Rational &a, const Rational &b) {
+  // Cross-reduce before multiplying to avoid overflow.
+  std::int64_t g1 = gcd64(a.num_, b.den_);
+  std::int64_t g2 = gcd64(b.num_, a.den_);
+  return Rational(checkedMul(a.num_ / g1, b.num_ / g2),
+                  checkedMul(a.den_ / g2, b.den_ / g1));
+}
+
+Rational operator/(const Rational &a, const Rational &b) {
+  if (b.isZero())
+    throw ArithmeticError("rational division by zero");
+  return a * Rational(b.den_, b.num_);
+}
+
+bool operator<(const Rational &a, const Rational &b) {
+  return static_cast<__int128>(a.num_) * b.den_ <
+         static_cast<__int128>(b.num_) * a.den_;
+}
+
+std::string Rational::str() const {
+  if (den_ == 1)
+    return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::int64_t binomial(int n, int k) {
+  if (k < 0 || k > n)
+    return 0;
+  if (k > n - k)
+    k = n - k;
+  std::int64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result = checkedMul(result, n - k + i);
+    result /= i; // exact at every step
+  }
+  return result;
+}
+
+} // namespace mira::symbolic

@@ -1,0 +1,76 @@
+#include "symbolic/summation.h"
+
+#include <array>
+#include <cassert>
+#include <mutex>
+
+namespace mira::symbolic {
+
+namespace {
+
+/// Compute Bernoulli numbers (B- convention) by the standard recurrence
+///   Sum_{j=0}^{m} C(m+1, j) B_j = 0 for m >= 1, B_0 = 1,
+/// then flip B1 to +1/2 (the only difference between conventions).
+const std::array<Rational, kMaxFaulhaberDegree + 1> &bernoulliTable() {
+  static std::array<Rational, kMaxFaulhaberDegree + 1> table = [] {
+    std::array<Rational, kMaxFaulhaberDegree + 1> b{};
+    b[0] = Rational(1);
+    for (int m = 1; m <= kMaxFaulhaberDegree; ++m) {
+      Rational acc(0);
+      for (int j = 0; j < m; ++j)
+        acc += Rational(binomial(m + 1, j)) * b[static_cast<std::size_t>(j)];
+      b[static_cast<std::size_t>(m)] =
+          -acc / Rational(binomial(m + 1, m));
+    }
+    b[1] = Rational(1, 2); // switch to the B+ convention
+    return b;
+  }();
+  return table;
+}
+
+} // namespace
+
+Rational bernoulliPlus(int index) {
+  assert(index >= 0 && index <= kMaxFaulhaberDegree);
+  return bernoulliTable()[static_cast<std::size_t>(index)];
+}
+
+Polynomial faulhaber(int k, const std::string &var) {
+  assert(k >= 0 && k <= kMaxFaulhaberDegree);
+  // S_k(n) = 1/(k+1) * Sum_{j=0}^{k} C(k+1, j) * B+_j * n^{k+1-j}
+  Polynomial n = Polynomial::variable(var);
+  Polynomial acc;
+  for (int j = 0; j <= k; ++j) {
+    Rational coeff = Rational(binomial(k + 1, j)) * bernoulliPlus(j);
+    if (coeff.isZero())
+      continue;
+    acc += n.pow(k + 1 - j).scaled(coeff);
+  }
+  return acc.scaled(Rational(1, static_cast<std::int64_t>(k) + 1));
+}
+
+Polynomial prefixSum(const Polynomial &poly, const std::string &iterVar,
+                     const std::string &var) {
+  std::vector<Polynomial> coeffs = poly.coefficientsIn(iterVar);
+  Polynomial acc;
+  for (std::size_t k = 0; k < coeffs.size(); ++k) {
+    if (coeffs[k].isZero())
+      continue;
+    acc += coeffs[k] * faulhaber(static_cast<int>(k), var);
+  }
+  return acc;
+}
+
+Polynomial sumOverRange(const Polynomial &poly, const std::string &iterVar,
+                        const Polynomial &lo, const Polynomial &hi) {
+  // F(n) = Sum_{i=1}^{n} P(i); answer = F(hi) - F(lo - 1).
+  // Use a fresh variable name that cannot collide with user parameters.
+  const std::string tmp = "__faulhaber_n";
+  Polynomial f = prefixSum(poly, iterVar, tmp);
+  Polynomial atHi = f.substitute(tmp, hi);
+  Polynomial atLoMinus1 =
+      f.substitute(tmp, lo - Polynomial{Rational(1)});
+  return atHi - atLoMinus1;
+}
+
+} // namespace mira::symbolic

@@ -1,0 +1,223 @@
+#include "workloads/coverage_suite.h"
+
+namespace mira::workloads {
+
+namespace {
+
+// Small MiniC kernels whose statement/loop profile approximates the
+// corresponding Table I application: mostly-in-loop numeric code with a
+// few out-of-loop scalar setups.
+
+const char *kApplu = R"MC(
+void applu_rhs(double* u, double* rsd, int nx, int ny, int nz) {
+  double c1 = 1.4;
+  double c2 = 0.4;
+  int n = nx * ny * nz;
+  for (int k = 0; k < nz; k++) {
+    for (int j = 0; j < ny; j++) {
+      for (int i = 0; i < nx; i++) {
+        int idx = i + nx * j + nx * ny * k;
+        double t = u[idx];
+        rsd[idx] = c1 * t - c2 * t * t;
+        rsd[idx] = rsd[idx] + 0.5 * t;
+      }
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    u[i] = u[i] + rsd[i];
+  }
+}
+)MC";
+
+const char *kApsi = R"MC(
+void apsi_smooth(double* w, double* t, int nx, int ny) {
+  double dtdx = 0.25;
+  double eps = 0.0001;
+  int n = nx * ny;
+  for (int j = 1; j < ny - 1; j++) {
+    for (int i = 1; i < nx - 1; i++) {
+      int idx = i + nx * j;
+      double lap = t[idx - 1] + t[idx + 1] + t[idx - nx] + t[idx + nx];
+      w[idx] = t[idx] + dtdx * (lap - 4.0 * t[idx]);
+      if (w[idx] < eps) {
+        w[idx] = eps;
+      }
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    t[i] = w[i];
+  }
+}
+)MC";
+
+const char *kMdg = R"MC(
+void mdg_forces(double* x, double* f, int n) {
+  double cutoff = 2.5;
+  for (int i = 0; i < n; i++) {
+    f[i] = 0.0;
+  }
+  for (int i = 0; i < n; i++) {
+    for (int j = i + 1; j < n; j++) {
+      double d = x[j] - x[i];
+      double d2 = d * d;
+      if (d2 < cutoff) {
+        double inv = 1.0 / (d2 + 0.001);
+        double s = inv * inv * inv;
+        f[i] = f[i] + s * d;
+        f[j] = f[j] - s * d;
+      }
+    }
+  }
+}
+)MC";
+
+const char *kLucas = R"MC(
+void lucas_fft_pass(double* re, double* im, int n) {
+  for (int s = 1; s < n; s = s + s) {
+    for (int k = 0; k < n; k++) {
+      double wr = 1.0 - 0.5 * s;
+      double wi = 0.5 * s;
+      double tr = wr * re[k] - wi * im[k];
+      double ti = wr * im[k] + wi * re[k];
+      re[k] = re[k] + tr;
+      im[k] = im[k] + ti;
+      re[k] = re[k] * 0.5;
+      im[k] = im[k] * 0.5;
+    }
+  }
+}
+)MC";
+
+const char *kMgrid = R"MC(
+void mgrid_resid(double* u, double* v, double* r, int n) {
+  for (int i = 1; i < n - 1; i++) {
+    r[i] = v[i] - 2.0 * u[i] + u[i - 1] + u[i + 1];
+  }
+  for (int i = 1; i < n - 1; i++) {
+    u[i] = u[i] + 0.66 * r[i];
+  }
+  for (int i = 0; i < n; i++) {
+    v[i] = u[i];
+  }
+}
+)MC";
+
+const char *kQuake = R"MC(
+void quake_step(double* disp, double* vel, double* m, int n, int steps) {
+  double dt = 0.0024;
+  double duration = dt * steps;
+  double damping = 0.1;
+  int checks = 0;
+  mc_print(duration);
+  for (int t = 0; t < steps; t++) {
+    for (int i = 0; i < n; i++) {
+      double dv = damping * vel[i] * dt;
+      vel[i] = vel[i] - dv;
+      double accel = vel[i] / m[i];
+      disp[i] = disp[i] + accel * dt;
+      if (disp[i] > 100.0) {
+        disp[i] = 100.0;
+      }
+    }
+    for (int i = 1; i < n - 1; i++) {
+      double smooth = 0.5 * (disp[i - 1] + disp[i + 1]);
+      disp[i] = 0.75 * disp[i] + 0.25 * smooth;
+    }
+  }
+  checks = checks + 1;
+  mc_print_int(checks);
+}
+)MC";
+
+const char *kSwim = R"MC(
+void swim_calc(double* p, double* u, double* v, int nx, int ny) {
+  for (int j = 0; j < ny; j++) {
+    for (int i = 0; i < nx; i++) {
+      int idx = i + nx * j;
+      double flux = u[idx] * p[idx];
+      v[idx] = v[idx] + 0.5 * flux;
+      p[idx] = p[idx] - 0.25 * flux;
+    }
+  }
+}
+)MC";
+
+const char *kAdm = R"MC(
+void adm_pressure(double* pr, double* div, int nx, int ny, int iters) {
+  double omega = 1.78;
+  double tol = 0.001;
+  int n = nx * ny;
+  for (int it = 0; it < iters; it++) {
+    for (int j = 1; j < ny - 1; j++) {
+      for (int i = 1; i < nx - 1; i++) {
+        int idx = i + nx * j;
+        double nb = pr[idx - 1] + pr[idx + 1] + pr[idx - nx] + pr[idx + nx];
+        double upd = 0.25 * (nb - div[idx]);
+        pr[idx] = pr[idx] + omega * (upd - pr[idx]);
+        if (upd < tol) {
+          pr[idx] = pr[idx] + tol;
+        }
+      }
+    }
+  }
+  for (int i = 0; i < n; i++) {
+    div[i] = 0.0;
+  }
+}
+)MC";
+
+const char *kDyfesm = R"MC(
+void dyfesm_elem(double* stiff, double* disp, double* force, int nelem) {
+  double ym = 30000000.0;
+  double area = 1.5;
+  for (int e = 0; e < nelem; e++) {
+    double k = ym * area * stiff[e];
+    double d = disp[e + 1] - disp[e];
+    force[e] = force[e] + k * d;
+    force[e + 1] = force[e + 1] - k * d;
+    if (force[e] > ym) {
+      force[e] = ym;
+    }
+  }
+  for (int e = 0; e < nelem; e++) {
+    disp[e] = disp[e] + force[e] / (ym * area);
+  }
+}
+)MC";
+
+const char *kMg3d = R"MC(
+void mg3d_relax(double* u, double* rhs, int nx, int ny, int nz) {
+  double w = 0.9;
+  for (int k = 1; k < nz - 1; k++) {
+    for (int j = 1; j < ny - 1; j++) {
+      for (int i = 1; i < nx - 1; i++) {
+        int idx = i + nx * j + nx * ny * k;
+        double nb = u[idx - 1] + u[idx + 1] + u[idx - nx] + u[idx + nx];
+        double nb2 = u[idx - nx * ny] + u[idx + nx * ny];
+        double upd = (nb + nb2 - rhs[idx]) / 6.0;
+        u[idx] = u[idx] + w * (upd - u[idx]);
+      }
+    }
+  }
+}
+)MC";
+
+} // namespace
+
+const std::vector<CoverageKernel> &coverageSuite() {
+  static const std::vector<CoverageKernel> suite = {
+      {"applu", kApplu, 19, 757, 633, 84},
+      {"apsi", kApsi, 80, 2192, 1839, 84},
+      {"mdg", kMdg, 17, 530, 464, 88},
+      {"lucas", kLucas, 4, 2070, 2050, 99},
+      {"mgrid", kMgrid, 12, 369, 369, 100},
+      {"quake", kQuake, 20, 639, 489, 77},
+      {"swim", kSwim, 6, 123, 123, 100},
+      {"adm", kAdm, 80, 2260, 1899, 84},
+      {"dyfesm", kDyfesm, 75, 1497, 1280, 86},
+      {"mg3d", kMg3d, 39, 1442, 1242, 86},
+  };
+  return suite;
+}
+
+} // namespace mira::workloads

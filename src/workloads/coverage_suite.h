@@ -1,0 +1,28 @@
+// Loop-coverage suite (paper Table I).
+//
+// Table I surveys loop coverage in ten HPC applications (applu, apsi,
+// mdg, lucas, mgrid, quake, swim, adm, dyfesm, mg3d — SPEC/Perfect
+// codes we cannot redistribute). The suite substitutes ten MiniC kernels
+// whose loop/statement structure mirrors each application's profile; the
+// bench runs Mira's coverage analyzer over them and prints our numbers
+// next to the paper's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mira::workloads {
+
+struct CoverageKernel {
+  std::string name;           // paper application name
+  std::string source;         // MiniC stand-in
+  std::size_t paperLoops;     // Table I column 1
+  std::size_t paperStatements;    // column 2
+  std::size_t paperInLoop;        // column 3
+  int paperPercent;               // column 4
+};
+
+const std::vector<CoverageKernel> &coverageSuite();
+
+} // namespace mira::workloads

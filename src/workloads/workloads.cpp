@@ -1,0 +1,357 @@
+#include "workloads/workloads.h"
+
+namespace mira::workloads {
+
+// NOTE: MiniC workloads follow a one-statement-per-line convention so the
+// line-table bridge attributes machine instructions unambiguously (the
+// same convention the paper's examples follow).
+
+const std::string &streamSource() {
+  static const std::string source = R"MC(
+void stream_init(double* a, double* b, double* c, int n) {
+  #pragma @Simulate {ff:yes}
+  for (int j = 0; j < n; j++) {
+    a[j] = 1.0;
+    b[j] = 2.0;
+    c[j] = 0.0;
+  }
+}
+
+void copy_kernel(double* c, double* a, int n) {
+  #pragma @Simulate {ff:yes}
+  for (int j = 0; j < n; j++) {
+    c[j] = a[j];
+  }
+}
+
+void scale_kernel(double* b, double* c, double s, int n) {
+  #pragma @Simulate {ff:yes}
+  for (int j = 0; j < n; j++) {
+    b[j] = s * c[j];
+  }
+}
+
+void add_kernel(double* c, double* a, double* b, int n) {
+  #pragma @Simulate {ff:yes}
+  for (int j = 0; j < n; j++) {
+    c[j] = a[j] + b[j];
+  }
+}
+
+void triad_kernel(double* a, double* b, double* c, double s, int n) {
+  #pragma @Simulate {ff:yes}
+  for (int j = 0; j < n; j++) {
+    a[j] = b[j] + s * c[j];
+  }
+}
+
+double checksum(double* a, int n) {
+  double total = 0.0;
+  #pragma @Simulate {ff:yes}
+  for (int j = 0; j < n; j++) {
+    total = total + a[j];
+  }
+  return total;
+}
+
+int stream_main(int n, int ntimes) {
+  double a[n];
+  double b[n];
+  double c[n];
+  stream_init(a, b, c, n);
+  for (int k = 0; k < ntimes; k++) {
+    copy_kernel(c, a, n);
+    scale_kernel(b, c, 3.0, n);
+    add_kernel(c, a, b, n);
+    triad_kernel(a, b, c, 3.0, n);
+  }
+  double s = checksum(a, n);
+  mc_print(s);
+  return 0;
+}
+)MC";
+  return source;
+}
+
+const std::string &dgemmSource() {
+  static const std::string source = R"MC(
+void dgemm_init(double* a, double* b, double* c, int n) {
+  int total = n * n;
+  #pragma @Simulate {ff:yes}
+  for (int i = 0; i < total; i++) {
+    a[i] = 0.5;
+    b[i] = 0.25;
+    c[i] = 0.0;
+  }
+}
+
+void dgemm_kernel(double* c, double* a, double* b, int n) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      #pragma @Simulate {ff:yes}
+      for (int k = 0; k < n; k++) {
+        c[i * n + j] = c[i * n + j] + a[i * n + k] * b[k * n + j];
+      }
+    }
+  }
+}
+
+double dgemm_checksum(double* c, int n) {
+  int total = n * n;
+  double s = 0.0;
+  #pragma @Simulate {ff:yes}
+  for (int i = 0; i < total; i++) {
+    s = s + c[i];
+  }
+  return s;
+}
+
+int dgemm_main(int n) {
+  int total = n * n;
+  double a[total];
+  double b[total];
+  double c[total];
+  dgemm_init(a, b, c, n);
+  dgemm_kernel(c, a, b, n);
+  double s = dgemm_checksum(c, n);
+  mc_print(s);
+  return 0;
+}
+)MC";
+  return source;
+}
+
+const std::string &minifeSource() {
+  static const std::string source = R"MC(
+class MatVec {
+public:
+  int nrows;
+  int* row_ptr;
+  int* cols;
+  double* vals;
+  void operator()(double* y, double* x) {
+    for (int i = 0; i < nrows; i++) {
+      double sum = 0.0;
+      int jbeg = row_ptr[i];
+      int jend = row_ptr[i + 1];
+      #pragma @Annotation {lp_iters:nnz_row}
+      #pragma @Simulate {ff:yes}
+      for (int jj = jbeg; jj < jend; jj++) {
+        sum = sum + vals[jj] * x[cols[jj]];
+      }
+      y[i] = sum;
+    }
+  }
+};
+
+double dot(double* x, double* y, int n) {
+  double result = 0.0;
+  #pragma @Simulate {ff:yes}
+  for (int i = 0; i < n; i++) {
+    result = result + x[i] * y[i];
+  }
+  return result;
+}
+
+void waxpby(double alpha, double* x, double beta, double* y, double* w, int n) {
+  #pragma @Simulate {ff:yes}
+  for (int i = 0; i < n; i++) {
+    w[i] = alpha * x[i] + beta * y[i];
+  }
+}
+
+int build_matrix(int* row_ptr, int* cols, double* vals, int nx, int ny, int nz) {
+  int nnz = 0;
+  row_ptr[0] = 0;
+  for (int iz = 0; iz < nz; iz++) {
+    for (int iy = 0; iy < ny; iy++) {
+      for (int ix = 0; ix < nx; ix++) {
+        int row = ix + nx * iy + nx * ny * iz;
+        if (iz > 0) {
+          cols[nnz] = row - nx * ny;
+          vals[nnz] = 0.0 - 1.0;
+          nnz = nnz + 1;
+        }
+        if (iy > 0) {
+          cols[nnz] = row - nx;
+          vals[nnz] = 0.0 - 1.0;
+          nnz = nnz + 1;
+        }
+        if (ix > 0) {
+          cols[nnz] = row - 1;
+          vals[nnz] = 0.0 - 1.0;
+          nnz = nnz + 1;
+        }
+        cols[nnz] = row;
+        vals[nnz] = 7.0;
+        nnz = nnz + 1;
+        if (ix < nx - 1) {
+          cols[nnz] = row + 1;
+          vals[nnz] = 0.0 - 1.0;
+          nnz = nnz + 1;
+        }
+        if (iy < ny - 1) {
+          cols[nnz] = row + nx;
+          vals[nnz] = 0.0 - 1.0;
+          nnz = nnz + 1;
+        }
+        if (iz < nz - 1) {
+          cols[nnz] = row + nx * ny;
+          vals[nnz] = 0.0 - 1.0;
+          nnz = nnz + 1;
+        }
+        row_ptr[row + 1] = nnz;
+      }
+    }
+  }
+  return nnz;
+}
+
+double cg_solve(int nx, int ny, int nz, int max_iters) {
+  int nrows = nx * ny * nz;
+  int maxnnz = nrows * 7;
+  double x[nrows];
+  double b[nrows];
+  double r[nrows];
+  double p[nrows];
+  double ap[nrows];
+  int row_ptr[nrows + 1];
+  int cols[maxnnz];
+  double vals[maxnnz];
+  MatVec a;
+  int nnz = build_matrix(row_ptr, cols, vals, nx, ny, nz);
+  a.nrows = nrows;
+  a.row_ptr = row_ptr;
+  a.cols = cols;
+  a.vals = vals;
+  #pragma @Simulate {ff:yes}
+  for (int i = 0; i < nrows; i++) {
+    x[i] = 0.0;
+    b[i] = 1.0;
+    r[i] = 1.0;
+    p[i] = 1.0;
+  }
+  double rtrans = dot(r, r, nrows);
+  for (int iter = 0; iter < max_iters; iter++) {
+    a(ap, p);
+    double pap = dot(p, ap, nrows);
+    double alpha = rtrans / pap;
+    waxpby(1.0, x, alpha, p, x, nrows);
+    waxpby(1.0, r, 0.0 - alpha, ap, r, nrows);
+    double new_rtrans = dot(r, r, nrows);
+    double beta = new_rtrans / rtrans;
+    rtrans = new_rtrans;
+    waxpby(1.0, r, beta, p, p, nrows);
+  }
+  double norm = sqrt(rtrans);
+  return norm;
+}
+
+int minife_main(int nx, int ny, int nz, int max_iters) {
+  double norm = cg_solve(nx, ny, nz, max_iters);
+  mc_print(norm);
+  return 0;
+}
+)MC";
+  return source;
+}
+
+const std::string &fig5Source() {
+  static const std::string source = R"MC(
+class A {
+public:
+  void foo(double* a, int* len) {
+    for (int i = 0; i < 16; i++) {
+      #pragma @Annotation {lp_init:0, lp_cond:y}
+      for (int j = 0; j < len[i]; j++) {
+        a[j] = a[j] * 2.0 + 1.0;
+      }
+    }
+  }
+};
+
+int fig5_main(int total) {
+  double buf[total];
+  int len[16];
+  #pragma @Simulate {ff:yes}
+  for (int i = 0; i < total; i++) {
+    buf[i] = 1.0;
+  }
+  for (int i = 0; i < 16; i++) {
+    len[i] = 8;
+  }
+  A obj;
+  obj.foo(buf, len);
+  return 0;
+}
+)MC";
+  return source;
+}
+
+const std::string &listingsSource() {
+  static const std::string source = R"MC(
+int listing1() {
+  int s = 0;
+  for (int i = 0; i < 10; i++) {
+    s = s + 1;
+  }
+  return s;
+}
+
+int listing2() {
+  int s = 0;
+  for (int i = 1; i <= 4; i++) {
+    for (int j = i + 1; j <= 6; j++) {
+      s = s + 1;
+    }
+  }
+  return s;
+}
+
+int listing4() {
+  int s = 0;
+  for (int i = 1; i <= 4; i++) {
+    for (int j = i + 1; j <= 6; j++) {
+      if (j > 4) {
+        s = s + 1;
+      }
+    }
+  }
+  return s;
+}
+
+int listing5() {
+  int s = 0;
+  for (int i = 1; i <= 4; i++) {
+    for (int j = i + 1; j <= 6; j++) {
+      if (j % 4 != 0) {
+        s = s + 1;
+      }
+    }
+  }
+  return s;
+}
+
+int listing3(int* bounds) {
+  int s = 0;
+  for (int i = 1; i <= 5; i++) {
+    #pragma @Annotation {lp_init:jlo, lp_cond:jhi}
+    for (int j = min(6 - i, 3); j <= max(8 - i, i); j++) {
+      s = s + 1;
+    }
+  }
+  return s;
+}
+
+int listings_main() {
+  int buf[4];
+  buf[0] = 0;
+  int total = listing1() + listing2() + listing4() + listing5() + listing3(buf);
+  mc_print_int(total);
+  return total;
+}
+)MC";
+  return source;
+}
+
+} // namespace mira::workloads

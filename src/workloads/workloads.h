@@ -1,0 +1,38 @@
+// Embedded MiniC workloads: the paper's evaluation programs
+// (Sec. IV-B/C) ported to MiniC, plus the polyhedral listings of Sec. III
+// and the Fig. 5 model-generation example.
+//
+// '#pragma @Simulate {ff:yes}' marks loops whose skipped memory side
+// effects cannot change later control flow, enabling simulator
+// fast-forward at large problem sizes (validated against exact execution
+// in tests at small sizes).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mira::workloads {
+
+/// STREAM (McCalpin): init + copy/scale/add/triad kernels repeated
+/// `ntimes`, checksum, print. Entry: stream_main(n, ntimes).
+/// FPI per rep per element: scale 1, add 1, triad 2.
+const std::string &streamSource();
+
+/// DGEMM (HPCC-style triple loop): C += A*B on n x n matrices.
+/// Entry: dgemm_main(n). FPI = 2*n^3 (+ O(n^2) checksum).
+const std::string &dgemmSource();
+
+/// miniFE-like conjugate gradient: 7-point Laplacian assembled in CSR,
+/// fixed-iteration CG with waxpby / dot / MatVec::operator() call chain.
+/// Entry: cg_solve(nx, ny, nz, max_iters); also run via minife_main.
+const std::string &minifeSource();
+
+/// Paper Fig. 5(a): class A member function with an annotated inner loop
+/// bound (the y_16 parameter pattern), called from a driver.
+const std::string &fig5Source();
+
+/// Paper listings 1 / 2 / 4 / 5 wrapped in functions (listing 3 is the
+/// min/max exception that requires annotation).
+const std::string &listingsSource();
+
+} // namespace mira::workloads

@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "sema/loop_analysis.h"
+#include "sema/sema.h"
+
+namespace mira::sema {
+namespace {
+
+using frontend::ExprKind;
+using frontend::Parser;
+using frontend::ScalarType;
+using frontend::Statement;
+using frontend::StmtKind;
+using frontend::TranslationUnit;
+
+struct Analyzed {
+  std::unique_ptr<TranslationUnit> unit;
+  SemaResult result;
+  DiagnosticEngine diags;
+};
+
+Analyzed analyze(const std::string &src) {
+  Analyzed out;
+  out.unit = Parser::parse(src, "t.mc", out.diags);
+  EXPECT_FALSE(out.diags.hasErrors()) << out.diags.str();
+  SemanticAnalyzer sema(out.diags);
+  out.result = sema.analyze(*out.unit);
+  return out;
+}
+
+Analyzed analyzeOk(const std::string &src) {
+  Analyzed out = analyze(src);
+  EXPECT_TRUE(out.result.success) << out.diags.str();
+  return out;
+}
+
+// ------------------------------------------------------------------- types
+
+TEST(Sema, TypesPropagateThroughArithmetic) {
+  auto a = analyzeOk("double f(int i, double d) { return i + d; }");
+  const auto &ret = *a.unit->functions[0]->bodyStmt->body[0]->expr;
+  EXPECT_EQ(ret.type.scalar, ScalarType::Double);
+}
+
+TEST(Sema, ComparisonYieldsBool) {
+  auto a = analyzeOk("bool f(int i) { return i < 3; }");
+  const auto &ret = *a.unit->functions[0]->bodyStmt->body[0]->expr;
+  EXPECT_EQ(ret.type.scalar, ScalarType::Bool);
+}
+
+TEST(Sema, IndexingPeelsPointer) {
+  auto a = analyzeOk("double f(double* p, int i) { return p[i]; }");
+  const auto &ret = *a.unit->functions[0]->bodyStmt->body[0]->expr;
+  EXPECT_EQ(ret.type.scalar, ScalarType::Double);
+  EXPECT_FALSE(ret.type.isPointer());
+}
+
+TEST(Sema, LocalArrayDecaysToPointer) {
+  auto a = analyzeOk("void f(int n) { double buf[n]; buf[0] = 1.0; }");
+  (void)a;
+}
+
+TEST(Sema, UndeclaredIdentifierIsError) {
+  auto a = analyze("void f() { x = 1; }");
+  EXPECT_FALSE(a.result.success);
+  EXPECT_TRUE(a.diags.containsMessage("undeclared identifier"));
+}
+
+TEST(Sema, RedeclarationIsError) {
+  auto a = analyze("void f() { int x; double x; }");
+  EXPECT_FALSE(a.result.success);
+  EXPECT_TRUE(a.diags.containsMessage("redeclaration"));
+}
+
+TEST(Sema, ModuloOnFloatIsError) {
+  auto a = analyze("double f(double d) { return d % 2.0; }");
+  EXPECT_FALSE(a.result.success);
+}
+
+TEST(Sema, SubscriptOnScalarIsError) {
+  auto a = analyze("void f(int i) { i[0] = 1; }");
+  EXPECT_FALSE(a.result.success);
+}
+
+TEST(Sema, VoidReturnMismatch) {
+  auto a = analyze("void f() { return 3; }");
+  EXPECT_FALSE(a.result.success);
+  auto b = analyze("int f() { return; }");
+  EXPECT_FALSE(b.result.success);
+}
+
+// -------------------------------------------------------------- resolution
+
+TEST(Sema, ResolvesFreeCall) {
+  auto a = analyzeOk("int g(int x) { return x; }\n"
+                     "int f() { return g(3); }");
+  const auto &call = *a.unit->findFunction("f")->bodyStmt->body[0]->expr;
+  EXPECT_EQ(call.resolvedCallee, "g");
+  EXPECT_FALSE(call.isExtern);
+}
+
+TEST(Sema, ResolvesMethodCall) {
+  auto a = analyzeOk("class A { public: int m(int x) { return x; } };\n"
+                     "int f() { A a; return a.m(1); }");
+  const auto &ret = *a.unit->findFunction("f")->bodyStmt->body[1]->expr;
+  EXPECT_EQ(ret.resolvedCallee, "A::m");
+}
+
+TEST(Sema, RewritesObjectCallToOperator) {
+  auto a = analyzeOk(
+      "class M { public: double operator()(double x) { return x; } };\n"
+      "double f() { M m; return m(2.0); }");
+  const auto &ret = *a.unit->findFunction("f")->bodyStmt->body[1]->expr;
+  EXPECT_EQ(ret.kind, ExprKind::Call);
+  EXPECT_EQ(ret.resolvedCallee, "M::operator()");
+  ASSERT_NE(ret.receiver, nullptr);
+}
+
+TEST(Sema, BuiltinsAndExternalsClassified) {
+  auto a = analyzeOk("double f(double x) {\n"
+                     "  double s = sqrt(x);\n"
+                     "  mc_print(s);\n"
+                     "  return s;\n"
+                     "}");
+  const auto &decl = *a.unit->findFunction("f")->bodyStmt->body[0];
+  EXPECT_TRUE(decl.declInit->isBuiltin);
+  const auto &print = *a.unit->findFunction("f")->bodyStmt->body[1]->expr;
+  EXPECT_TRUE(print.isExtern);
+}
+
+TEST(Sema, UnknownCalleeIsError) {
+  auto a = analyze("void f() { launch_rockets(); }");
+  EXPECT_FALSE(a.result.success);
+  EXPECT_TRUE(a.diags.containsMessage("undeclared function"));
+}
+
+TEST(Sema, ArityMismatchIsError) {
+  auto a = analyze("int g(int x) { return x; } void f() { g(1, 2); }");
+  EXPECT_FALSE(a.result.success);
+}
+
+TEST(Sema, MissingMethodIsError) {
+  auto a = analyze("class A { public: int n; };\n"
+                   "void f() { A a; a.nope(); }");
+  EXPECT_FALSE(a.result.success);
+}
+
+TEST(Sema, FieldAccessFromMethodScope) {
+  auto a = analyzeOk("class A { public: int n;\n"
+                     "  int get() { return n; } };");
+  (void)a;
+}
+
+TEST(Sema, FieldAccessThroughMember) {
+  auto a = analyzeOk("class A { public: int n; };\n"
+                     "int f() { A a; return a.n; }");
+  (void)a;
+}
+
+TEST(Sema, UnknownFieldIsError) {
+  auto a = analyze("class A { public: int n; };\n"
+                   "int f() { A a; return a.m; }");
+  EXPECT_FALSE(a.result.success);
+}
+
+// -------------------------------------------------------------- call graph
+
+TEST(Sema, CallGraphEdges) {
+  auto a = analyzeOk("int leaf(int x) { return x; }\n"
+                     "int mid(int x) { return leaf(x); }\n"
+                     "int top(int x) { return mid(x) + leaf(x); }");
+  const auto &edges = a.result.callGraph.edges;
+  EXPECT_TRUE(edges.at("top").count("mid"));
+  EXPECT_TRUE(edges.at("top").count("leaf"));
+  EXPECT_TRUE(edges.at("mid").count("leaf"));
+  EXPECT_TRUE(edges.at("leaf").empty());
+}
+
+TEST(Sema, TopologicalOrderPutsCalleesFirst) {
+  auto a = analyzeOk("int leaf(int x) { return x; }\n"
+                     "int mid(int x) { return leaf(x); }\n"
+                     "int top(int x) { return mid(x); }");
+  bool hasCycle = true;
+  auto order = a.result.callGraph.topologicalOrder(hasCycle);
+  EXPECT_FALSE(hasCycle);
+  auto pos = [&](const std::string &n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("leaf"), pos("mid"));
+  EXPECT_LT(pos("mid"), pos("top"));
+}
+
+TEST(Sema, RecursionIsDiagnosed) {
+  auto a = analyze("int f(int x) { return f(x - 1); }");
+  EXPECT_FALSE(a.result.success);
+  EXPECT_TRUE(a.diags.containsMessage("recursive"));
+}
+
+// ------------------------------------------------------------ loop analysis
+
+const Statement &firstLoop(const TranslationUnit &unit,
+                           const std::string &fn = "f") {
+  const auto *decl = unit.findFunction(fn);
+  EXPECT_NE(decl, nullptr);
+  for (const auto &s : decl->bodyStmt->body)
+    if (s->kind == StmtKind::For)
+      return *s;
+  throw std::runtime_error("no loop in function");
+}
+
+TEST(LoopAnalysis, BasicLoopListing1) {
+  auto a = analyzeOk("void f() { for (int i = 0; i < 10; i++) { } }");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  ASSERT_TRUE(info.recognized) << info.failReason;
+  EXPECT_EQ(info.var, "i");
+  EXPECT_EQ(info.lowerBound.constant(), 0);
+  EXPECT_EQ(info.upperBound.constant(), 9); // i < 10 normalized to <= 9
+  EXPECT_EQ(info.step, 1);
+}
+
+TEST(LoopAnalysis, ParametricBound) {
+  auto a = analyzeOk("void f(int n) { for (int i = 0; i < n; i++) { } }");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  ASSERT_TRUE(info.recognized);
+  EXPECT_EQ(info.upperBound.coeff("n"), 1);
+  EXPECT_EQ(info.upperBound.constant(), -1);
+}
+
+TEST(LoopAnalysis, AssignInitForm) {
+  auto a = analyzeOk("void f(int n) { int i;\n"
+                     "  for (i = 1; i <= n; i = i + 2) { } }");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  ASSERT_TRUE(info.recognized) << info.failReason;
+  EXPECT_EQ(info.step, 2);
+  EXPECT_EQ(info.lowerBound.constant(), 1);
+}
+
+TEST(LoopAnalysis, PlusAssignStep) {
+  auto a = analyzeOk("void f(int n) { for (int i = 0; i < n; i += 4) { } }");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  ASSERT_TRUE(info.recognized);
+  EXPECT_EQ(info.step, 4);
+}
+
+TEST(LoopAnalysis, TriangularBoundDependsOnOuterVar) {
+  auto a = analyzeOk("void f() {\n"
+                     "  for (int i = 1; i <= 4; i++)\n"
+                     "    for (int j = i + 1; j <= 6; j++) { }\n"
+                     "}");
+  const Statement &outer = firstLoop(*a.unit);
+  LoopInfo inner = analyzeForLoop(*outer.loopBody);
+  ASSERT_TRUE(inner.recognized);
+  EXPECT_EQ(inner.lowerBound.coeff("i"), 1);
+  EXPECT_EQ(inner.lowerBound.constant(), 1);
+}
+
+TEST(LoopAnalysis, NonAffineBoundFails) {
+  auto a = analyzeOk("void f(int n, int* v) {\n"
+                     "  for (int i = v[0]; i < n; i++) { }\n"
+                     "}");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  EXPECT_FALSE(info.recognized);
+  EXPECT_NE(info.failReason.find("not affine"), std::string::npos);
+}
+
+TEST(LoopAnalysis, MinMaxBoundFailsLikePaperListing3) {
+  auto a = analyzeOk("void f(int n) {\n"
+                     "  for (int j = min(6 - n, 3); j <= n; j++) { }\n"
+                     "}");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  EXPECT_FALSE(info.recognized);
+}
+
+TEST(LoopAnalysis, DecrementLoopNotRecognized) {
+  auto a = analyzeOk("void f(int n) { for (int i = n; i > 0; i--) { } }");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  EXPECT_FALSE(info.recognized);
+}
+
+TEST(LoopAnalysis, ReversedConditionNormalized) {
+  auto a = analyzeOk("void f(int n) { for (int i = 0; n > i; i++) { } }");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  ASSERT_TRUE(info.recognized) << info.failReason;
+  EXPECT_EQ(info.upperBound.coeff("n"), 1);
+  EXPECT_EQ(info.upperBound.constant(), -1);
+}
+
+TEST(ExprToAffine, HandlesScaledSums) {
+  auto a = analyzeOk("void f(int n, int m) {\n"
+                     "  for (int i = 2 * n + 3 * m - 1; i < n; i++) { }\n"
+                     "}");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  ASSERT_TRUE(info.recognized);
+  EXPECT_EQ(info.lowerBound.coeff("n"), 2);
+  EXPECT_EQ(info.lowerBound.coeff("m"), 3);
+  EXPECT_EQ(info.lowerBound.constant(), -1);
+}
+
+TEST(ExprToAffine, RejectsNonLinear) {
+  auto a = analyzeOk("void f(int n) { for (int i = n * n; i < n; i++) { } }");
+  LoopInfo info = analyzeForLoop(firstLoop(*a.unit));
+  EXPECT_FALSE(info.recognized);
+}
+
+} // namespace
+} // namespace mira::sema

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.h"
+#include "support/source_location.h"
+#include "support/string_utils.h"
+
+namespace mira {
+namespace {
+
+TEST(SourceLocation, InvalidByDefault) {
+  SourceLocation loc;
+  EXPECT_FALSE(loc.isValid());
+  EXPECT_EQ(loc.str(), "<unknown>");
+}
+
+TEST(SourceLocation, Ordering) {
+  SourceLocation a{1, 5}, b{1, 9}, c{2, 1};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (SourceLocation{1, 5}));
+  EXPECT_NE(a, b);
+}
+
+TEST(SourceRange, ContainsLine) {
+  SourceRange r{{3, 1}, {7, 80}};
+  EXPECT_TRUE(r.containsLine(3));
+  EXPECT_TRUE(r.containsLine(5));
+  EXPECT_TRUE(r.containsLine(7));
+  EXPECT_FALSE(r.containsLine(2));
+  EXPECT_FALSE(r.containsLine(8));
+}
+
+TEST(SourceRange, OpenEndedContainsAnythingAfterBegin) {
+  SourceRange r{{3, 1}, {}};
+  EXPECT_TRUE(r.containsLine(1000));
+  EXPECT_FALSE(r.containsLine(2));
+}
+
+TEST(Diagnostics, CountsBySeverity) {
+  DiagnosticEngine diags;
+  diags.error({1, 1}, "bad thing");
+  diags.warning({2, 1}, "iffy thing");
+  diags.note({2, 1}, "context");
+  EXPECT_TRUE(diags.hasErrors());
+  EXPECT_EQ(diags.errorCount(), 1u);
+  EXPECT_EQ(diags.warningCount(), 1u);
+  EXPECT_EQ(diags.all().size(), 3u);
+}
+
+TEST(Diagnostics, ContainsMessage) {
+  DiagnosticEngine diags;
+  diags.error({1, 1}, "unexpected token '}'");
+  EXPECT_TRUE(diags.containsMessage("unexpected token"));
+  EXPECT_FALSE(diags.containsMessage("no such message"));
+}
+
+TEST(Diagnostics, StrFormatsLocationAndSeverity) {
+  DiagnosticEngine diags;
+  diags.error({4, 2}, "boom");
+  EXPECT_EQ(diags.str(), "4:2: error: boom\n");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagnosticEngine diags;
+  diags.error({1, 1}, "x");
+  diags.clear();
+  EXPECT_FALSE(diags.hasErrors());
+  EXPECT_TRUE(diags.all().empty());
+}
+
+TEST(StringUtils, Split) {
+  auto parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("mira_model", "mira"));
+  EXPECT_FALSE(startsWith("mi", "mira"));
+  EXPECT_TRUE(endsWith("model.py", ".py"));
+  EXPECT_FALSE(endsWith("py", "model.py"));
+}
+
+TEST(StringUtils, ParseInt64) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parseInt64("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parseInt64("  -7 ", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parseInt64("12x", v));
+  EXPECT_FALSE(parseInt64("", v));
+  EXPECT_FALSE(parseInt64("99999999999999999999999", v));
+}
+
+TEST(StringUtils, FormatCountUsesScientificForBigValues) {
+  EXPECT_EQ(formatCount(0), "0");
+  EXPECT_EQ(formatCount(123), "123");
+  std::string big = formatCount(2.05e10);
+  EXPECT_NE(big.find("E10"), std::string::npos);
+}
+
+TEST(StringUtils, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.0308), "3.08%");
+  EXPECT_EQ(formatPercent(0.0000123), "0.0012%");
+}
+
+TEST(StringUtils, Padding) {
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("abcdef", 4), "abcdef");
+}
+
+} // namespace
+} // namespace mira
