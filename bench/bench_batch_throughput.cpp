@@ -1,0 +1,134 @@
+// Batch-analysis throughput: the driver subsystem's headline numbers.
+//
+// Fans the ten Table I coverage kernels plus the fig-series workloads
+// across the BatchAnalyzer thread pool and reports (a) serial-vs-parallel
+// wall-clock speedup and (b) the cache-hit fast path for repeated
+// (source, options) pairs. On multi-core hosts the 4-thread batch must
+// beat serial by >1.5x; on single-core containers the table still prints
+// and flags the configuration as unable to demonstrate parallelism.
+#include "bench_util.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "driver/batch.h"
+#include "workloads/coverage_suite.h"
+
+namespace {
+
+using namespace mira;
+
+std::vector<driver::AnalysisRequest> batchRequests() {
+  std::vector<driver::AnalysisRequest> requests;
+  for (const auto &kernel : workloads::coverageSuite()) {
+    driver::AnalysisRequest request;
+    request.name = kernel.name;
+    request.source = kernel.source;
+    requests.push_back(std::move(request));
+  }
+  for (const auto &workload : workloads::figSeriesWorkloads()) {
+    driver::AnalysisRequest request;
+    request.name = workload.name;
+    request.source = *workload.source;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+/// Wall seconds for one cold batch (cache off so every request computes).
+double timeBatch(const std::vector<driver::AnalysisRequest> &requests,
+                 std::size_t threads) {
+  driver::BatchOptions options;
+  options.threads = threads;
+  options.useCache = false;
+  driver::BatchAnalyzer analyzer(options);
+  auto outcomes = analyzer.run(requests);
+  for (const auto &outcome : outcomes) {
+    if (!outcome.ok) {
+      std::fprintf(stderr, "batch analysis of %s failed:\n%s\n",
+                   outcome.name.c_str(), outcome.diagnostics.c_str());
+      std::abort();
+    }
+  }
+  return analyzer.stats().wallSeconds;
+}
+
+void printSpeedupTable() {
+  bench::printHeader(
+      "Batch-analysis throughput: Table I kernels + fig-series workloads\n"
+      "(cold cache; best of 3 batches per thread count)");
+  auto requests = batchRequests();
+  std::printf("%zu sources, %zu hardware threads\n\n", requests.size(),
+              static_cast<std::size_t>(std::thread::hardware_concurrency()));
+
+  double serialSeconds = 0;
+  std::printf("%8s | %10s | %8s\n", "threads", "seconds", "speedup");
+  for (std::size_t threads : {1, 2, 4, 8}) {
+    double best = timeBatch(requests, threads);
+    for (int repeat = 0; repeat < 2; ++repeat)
+      best = std::min(best, timeBatch(requests, threads));
+    if (threads == 1)
+      serialSeconds = best;
+    std::printf("%8zu | %10.4f | %7.2fx\n", threads, best,
+                serialSeconds / best);
+    if (threads == 4 && std::thread::hardware_concurrency() >= 4 &&
+        serialSeconds / best < 1.5)
+      std::printf("  WARNING: <1.5x speedup at 4 threads on a >=4-core "
+                  "host\n");
+  }
+  if (std::thread::hardware_concurrency() < 4)
+    std::printf("note: <4 hardware threads; parallel speedup cannot be "
+                "demonstrated on this host\n");
+
+  // Cache fast path: a warm identical batch should be pure hits.
+  driver::BatchAnalyzer analyzer(driver::BatchOptions{4, true});
+  analyzer.run(requests);
+  double coldSeconds = analyzer.stats().wallSeconds;
+  analyzer.run(requests);
+  std::printf("\ncache: cold %.4f s -> warm %.4f s (%zu hits / %zu miss)\n",
+              coldSeconds, analyzer.stats().wallSeconds,
+              analyzer.stats().cacheHits, analyzer.stats().cacheMisses);
+  bench::printRule();
+}
+
+void BM_BatchAnalyzeSerial(benchmark::State &state) {
+  auto requests = batchRequests();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(timeBatch(requests, 1));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_BatchAnalyzeSerial)->Unit(benchmark::kMillisecond);
+
+void BM_BatchAnalyzeParallel(benchmark::State &state) {
+  auto requests = batchRequests();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(timeBatch(requests, threads));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_BatchAnalyzeParallel)->Arg(2)->Arg(4)->Arg(8)->Unit(
+    benchmark::kMillisecond);
+
+void BM_BatchAnalyzeWarmCache(benchmark::State &state) {
+  auto requests = batchRequests();
+  driver::BatchAnalyzer analyzer(driver::BatchOptions{4, true});
+  analyzer.run(requests); // populate
+  for (auto _ : state) {
+    auto outcomes = analyzer.run(requests);
+    benchmark::DoNotOptimize(outcomes.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(requests.size()));
+}
+BENCHMARK(BM_BatchAnalyzeWarmCache)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  printSpeedupTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -17,9 +18,13 @@
 
 namespace mira::bench {
 
+/// Analyze-once helper for the table printers. Guarded by a mutex so
+/// multi-threaded google-benchmark registrations can share it.
 inline core::AnalysisResult &analyzeCached(const std::string &source,
                                            const std::string &name) {
+  static std::mutex mutex;
   static std::map<std::string, std::unique_ptr<core::AnalysisResult>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
   auto it = cache.find(name);
   if (it == cache.end()) {
     DiagnosticEngine diags;

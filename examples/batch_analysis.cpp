@@ -1,0 +1,65 @@
+// Batch analysis: fan every embedded workload across the thread pool,
+// then evaluate one headline metric per model — the scale-out entry
+// point mirroring what `mira-cli batch` does programmatically.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/batch_analysis
+#include <cstdio>
+
+#include "driver/batch.h"
+#include "workloads/workloads.h"
+
+int main() {
+  using namespace mira;
+
+  // One request per fig-series workload, default options.
+  std::vector<driver::AnalysisRequest> requests;
+  for (const auto &workload : workloads::figSeriesWorkloads()) {
+    driver::AnalysisRequest request;
+    request.name = workload.name;
+    request.source = *workload.source;
+    requests.push_back(std::move(request));
+  }
+
+  driver::BatchOptions options;
+  options.threads = 4;
+  driver::BatchAnalyzer analyzer(options);
+  auto outcomes = analyzer.run(requests);
+
+  std::printf("%-10s | %-6s | %9s | functions\n", "workload", "status",
+              "seconds");
+  for (const auto &outcome : outcomes) {
+    if (!outcome.ok) {
+      std::printf("%-10s | FAILED\n%s\n", outcome.name.c_str(),
+                  outcome.diagnostics.c_str());
+      continue;
+    }
+    std::printf("%-10s | ok     | %9.4f | %zu\n", outcome.name.c_str(),
+                outcome.seconds, outcome.analysis->model.functions.size());
+  }
+  const auto &stats = analyzer.stats();
+  std::printf("\n%zu workloads in %.4f s on %zu threads\n", stats.requests,
+              stats.wallSeconds, analyzer.threadCount());
+
+  // Re-running the same batch is served entirely from the cache.
+  analyzer.run(requests);
+  std::printf("warm rerun: %.4f s, %zu cache hits\n",
+              analyzer.stats().wallSeconds, analyzer.stats().cacheHits);
+
+  // The STREAM model, evaluated like the paper's Table III column.
+  for (const auto &outcome : outcomes) {
+    if (outcome.name != "stream" || !outcome.ok)
+      continue;
+    model::Env env{{"n", 1000}, {"ntimes", 10}};
+    std::string error;
+    auto counts = outcome.analysis->model.evaluate("stream_main", env,
+                                                   &error);
+    if (counts)
+      std::printf("stream_main(n=1000, ntimes=10): %.0f FP instructions\n",
+                  counts->fpInstructions);
+    else
+      std::printf("stream_main evaluation failed: %s\n", error.c_str());
+  }
+  return 0;
+}

@@ -11,6 +11,13 @@
 // object emission -> disassembly -> bridge -> metric generation -> model.
 // simulate runs the same binary's semantics and returns the dynamic
 // ground-truth counters (the TAU/PAPI substitute).
+//
+// Thread-safety contract: analyzeSource keeps no shared mutable state —
+// every request owns its DiagnosticEngine and all pipeline-internal
+// statics are immutable lookup tables — so concurrent calls on different
+// (source, options, diags) tuples are safe. driver::BatchAnalyzer relies
+// on this to fan requests across a thread pool; any future global cache
+// or counter added to the pipeline must be synchronized or per-request.
 #pragma once
 
 #include <memory>

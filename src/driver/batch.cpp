@@ -1,0 +1,169 @@
+#include "driver/batch.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "support/hash.h"
+
+namespace mira::driver {
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+} // namespace
+
+std::uint64_t requestKey(const AnalysisRequest &request) {
+  // Tripwire: adding a field to either options struct changes its size;
+  // update the fingerprint below (and the driver_test key tests), then
+  // adjust these expected sizes.
+  static_assert(sizeof(mir::CompilerOptions) == 2 &&
+                    sizeof(metrics::MetricOptions) == 1,
+                "options gained a field: requestKey must hash it too");
+  std::uint64_t key = fnv1a(request.source);
+  const core::MiraOptions &o = request.options;
+  std::uint8_t flags = 0;
+  flags |= o.compile.compiler.optimize ? 1 : 0;
+  flags |= o.compile.compiler.vectorize ? 2 : 0;
+  flags |= o.metrics.assumeBranchesTaken ? 4 : 0;
+  key = fnv1a(&flags, sizeof(flags), key);
+  if (o.arch)
+    key = fnv1a(o.arch->name, key);
+  return key;
+}
+
+BatchAnalyzer::BatchAnalyzer(BatchOptions options)
+    : options_(options), pool_(options.threads) {}
+
+std::size_t BatchAnalyzer::cacheSize() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void BatchAnalyzer::clearCache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+BatchAnalyzer::CacheValue
+BatchAnalyzer::computeValue(const AnalysisRequest &request) {
+  CacheValue value;
+  value.producerName = request.name;
+  // The pipeline reports through diagnostics, but an escaping exception
+  // (e.g. bad_alloc) must fail one request, not terminate the pool.
+  try {
+    DiagnosticEngine diags;
+    auto result = core::analyzeSource(request.source, request.name,
+                                      request.options, diags);
+    value.diagnostics = diags.str();
+    if (result)
+      value.analysis = std::make_shared<const core::AnalysisResult>(
+          std::move(*result));
+  } catch (const std::exception &e) {
+    value.analysis = nullptr;
+    value.diagnostics = request.name + ": internal error: " + e.what();
+  }
+  return value;
+}
+
+AnalysisOutcome BatchAnalyzer::analyzeOne(const AnalysisRequest &request) {
+  AnalysisOutcome outcome;
+  outcome.name = request.name;
+  auto start = std::chrono::steady_clock::now();
+
+  if (!options_.useCache) {
+    CacheValue value = computeValue(request);
+    outcome.ok = value.analysis != nullptr;
+    outcome.analysis = value.analysis;
+    outcome.diagnostics = std::move(value.diagnostics);
+    outcome.seconds = secondsSince(start);
+    return outcome;
+  }
+
+  const std::uint64_t key = requestKey(request);
+  std::promise<std::shared_ptr<const CacheValue>> promise;
+  CacheFuture future;
+  bool producer = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      producer = true;
+      future = promise.get_future().share();
+      cache_.emplace(key, future);
+    } else {
+      future = it->second;
+    }
+  }
+
+  if (producer) {
+    try {
+      promise.set_value(std::make_shared<const CacheValue>(
+          computeValue(request)));
+    } catch (...) {
+      // Even allocating the cache entry failed; waiters see the same
+      // exception through the shared future instead of blocking forever.
+      promise.set_exception(std::current_exception());
+    }
+  }
+
+  // Non-producers wait here; the producer task is by construction already
+  // executing on some worker, so the wait always terminates.
+  std::shared_ptr<const CacheValue> value;
+  try {
+    value = future.get();
+  } catch (const std::exception &e) {
+    outcome.ok = false;
+    outcome.diagnostics = request.name + ": internal error: " + e.what();
+    outcome.seconds = secondsSince(start);
+    return outcome;
+  }
+  outcome.cacheHit = !producer;
+  outcome.ok = value->analysis != nullptr;
+  outcome.analysis = value->analysis;
+  outcome.diagnostics = value->diagnostics;
+  // Cached diagnostics cite the producing request's file name; when an
+  // identically-sourced request under a different name hits the entry,
+  // say where the text came from instead of misattributing it.
+  if (outcome.cacheHit && !outcome.diagnostics.empty() &&
+      value->producerName != request.name)
+    outcome.diagnostics = "(diagnostics from identical source '" +
+                          value->producerName + "')\n" +
+                          outcome.diagnostics;
+  outcome.seconds = secondsSince(start);
+  return outcome;
+}
+
+std::vector<AnalysisOutcome>
+BatchAnalyzer::run(const std::vector<AnalysisRequest> &requests) {
+  auto start = std::chrono::steady_clock::now();
+  std::vector<AnalysisOutcome> outcomes(requests.size());
+
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pool_.submit([this, &requests, &outcomes, i] {
+      outcomes[i] = analyzeOne(requests[i]);
+    });
+  }
+  pool_.waitIdle();
+
+  stats_ = BatchStats{};
+  stats_.requests = requests.size();
+  for (const AnalysisOutcome &outcome : outcomes) {
+    if (!outcome.ok)
+      ++stats_.failures;
+    if (options_.useCache) {
+      if (outcome.cacheHit)
+        ++stats_.cacheHits;
+      else
+        ++stats_.cacheMisses;
+    }
+  }
+  stats_.wallSeconds = secondsSince(start);
+  return outcomes;
+}
+
+} // namespace mira::driver

@@ -1,0 +1,103 @@
+// Parallel batch analysis: many MiniC sources through the full pipeline.
+//
+// BatchAnalyzer fans AnalysisRequests across a fixed ThreadPool, collects
+// per-request outcomes deterministically in input order, and de-duplicates
+// work through an in-memory cache keyed by (source hash, options). The
+// cache persists across run() calls on the same analyzer, so sweeps that
+// revisit a workload (bench series, repeated CLI batches) pay for each
+// distinct (source, options) pair exactly once.
+//
+// Thread-safety contract with core::analyzeSource: the pipeline keeps no
+// shared mutable state (each request gets its own DiagnosticEngine, and
+// all function-local statics in the pipeline are immutable tables), so
+// concurrent analyses of different requests are safe. run() itself must
+// not be called concurrently on one BatchAnalyzer.
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/mira.h"
+#include "support/thread_pool.h"
+
+namespace mira::driver {
+
+struct AnalysisRequest {
+  std::string name;   // display / file name (not part of the cache key)
+  std::string source; // MiniC source text
+  core::MiraOptions options;
+};
+
+/// Per-request result, at the request's input position.
+struct AnalysisOutcome {
+  std::string name;
+  bool ok = false;
+  bool cacheHit = false; // served from (or waited on) an existing entry
+  /// Shared with the cache and any duplicate requests; null when !ok.
+  std::shared_ptr<const core::AnalysisResult> analysis;
+  /// Rendered diagnostics (warnings on success, errors on failure).
+  std::string diagnostics;
+  double seconds = 0; // analysis wall time; ~0 for pure cache hits
+};
+
+struct BatchOptions {
+  std::size_t threads = ThreadPool::defaultThreadCount();
+  bool useCache = true;
+};
+
+struct BatchStats {
+  std::size_t requests = 0;
+  std::size_t failures = 0;
+  std::size_t cacheHits = 0;
+  std::size_t cacheMisses = 0;
+  double wallSeconds = 0; // whole-batch wall clock of the last run()
+};
+
+/// Cache key: FNV-1a fingerprint of the source bytes and every
+/// model-affecting option (compiler toggles, metric options, arch).
+std::uint64_t requestKey(const AnalysisRequest &request);
+
+class BatchAnalyzer {
+public:
+  explicit BatchAnalyzer(BatchOptions options = {});
+
+  /// Analyze every request; outcome[i] corresponds to requests[i]
+  /// regardless of thread count or completion order.
+  std::vector<AnalysisOutcome> run(const std::vector<AnalysisRequest> &requests);
+
+  /// Stats of the last run() (cache hit/miss, failures, wall clock).
+  const BatchStats &stats() const { return stats_; }
+
+  std::size_t threadCount() const { return pool_.threadCount(); }
+  std::size_t cacheSize() const;
+  void clearCache();
+
+private:
+  struct CacheValue {
+    std::shared_ptr<const core::AnalysisResult> analysis; // null on failure
+    std::string diagnostics;
+    std::string producerName; // request whose analysis populated the entry
+  };
+  using CacheFuture = std::shared_future<std::shared_ptr<const CacheValue>>;
+
+  /// Run one request and cache-share the result. Returns the outcome for
+  /// this position; duplicates of an in-flight request block on its
+  /// future (the producer is already running, so this cannot deadlock).
+  AnalysisOutcome analyzeOne(const AnalysisRequest &request);
+
+  static CacheValue computeValue(const AnalysisRequest &request);
+
+  BatchOptions options_;
+  ThreadPool pool_;
+  BatchStats stats_;
+
+  mutable std::mutex cache_mutex_;
+  std::map<std::uint64_t, CacheFuture> cache_;
+};
+
+} // namespace mira::driver

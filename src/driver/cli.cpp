@@ -1,0 +1,323 @@
+// mira-cli: command-line front door to the analysis pipeline.
+//
+//   mira-cli analyze <file.mc | @workload> [--no-optimize] [--no-vectorize]
+//            [--emit-python]
+//       Run the full pipeline on one source, print a model summary.
+//
+//   mira-cli batch <files/@workloads...> [--threads N] [--no-cache]
+//            [--compare-serial]
+//       Fan many sources across the thread pool; per-source status table,
+//       cache statistics, and (with --compare-serial) the wall-clock
+//       speedup against a 1-thread run.
+//
+//   mira-cli coverage [--threads N] [--compare-serial]
+//       Drive the ten Table I kernels plus the fig-series workloads
+//       through the batch engine; print loop-coverage numbers next to the
+//       paper's and the parallel speedup.
+//
+// '@name' pulls an embedded workload (stream, dgemm, minife, fig5,
+// listings) instead of reading a file.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/batch.h"
+#include "model/python_emitter.h"
+#include "sema/ast_stats.h"
+#include "workloads/coverage_suite.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace mira;
+
+int usage(const char *argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <analyze|batch|coverage> [args]\n"
+      "  analyze <file.mc|@workload> [--no-optimize] [--no-vectorize]\n"
+      "          [--emit-python]\n"
+      "  batch <files/@workloads...> [--threads N] [--no-cache]\n"
+      "          [--compare-serial]\n"
+      "  coverage [--threads N] [--compare-serial]\n"
+      "workloads: @stream @dgemm @minife @fig5 @listings\n",
+      argv0);
+  return 2;
+}
+
+const std::string *embeddedWorkload(const std::string &name) {
+  for (const auto &workload : workloads::figSeriesWorkloads())
+    if (workload.name == name)
+      return workload.source;
+  return nullptr;
+}
+
+/// Resolve a CLI source argument: '@name' -> embedded workload, anything
+/// else -> file contents. Returns false (with a message) on failure.
+bool loadSource(const std::string &arg, driver::AnalysisRequest &request) {
+  if (!arg.empty() && arg[0] == '@') {
+    const std::string *source = embeddedWorkload(arg.substr(1));
+    if (!source) {
+      std::fprintf(stderr, "unknown workload '%s'\n", arg.c_str());
+      return false;
+    }
+    request.name = arg;
+    request.source = *source;
+    return true;
+  }
+  std::ifstream in(arg);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", arg.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  request.name = arg;
+  request.source = buffer.str();
+  return true;
+}
+
+void printModelSummary(const core::AnalysisResult &analysis) {
+  std::printf("%-24s | %6s | %6s | %5s | parameters\n", "function", "counts",
+              "calls", "exact");
+  for (const auto &fn : analysis.model.functions) {
+    std::string params;
+    for (const auto &p : fn.parameters()) {
+      if (!params.empty())
+        params += ", ";
+      params += p;
+    }
+    std::printf("%-24s | %6zu | %6zu | %5s | %s\n", fn.sourceName.c_str(),
+                fn.counts.size(), fn.calls.size(), fn.exact ? "yes" : "no",
+                params.c_str());
+  }
+}
+
+struct CommonFlags {
+  std::size_t threads = ThreadPool::defaultThreadCount();
+  bool useCache = true;
+  bool compareSerial = false;
+  bool optimize = true;
+  bool vectorize = true;
+  bool emitPython = false;
+};
+
+/// Consume recognized flags from args (in place); leave positionals.
+bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string &a = args[i];
+    if (a == "--threads") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--threads requires a value\n");
+        return false;
+      }
+      flags.threads = static_cast<std::size_t>(
+          std::max(1L, std::atol(args[++i].c_str())));
+    } else if (a == "--no-cache") {
+      flags.useCache = false;
+    } else if (a == "--compare-serial") {
+      flags.compareSerial = true;
+    } else if (a == "--no-optimize") {
+      flags.optimize = false;
+    } else if (a == "--no-vectorize") {
+      flags.vectorize = false;
+    } else if (a == "--emit-python") {
+      flags.emitPython = true;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "unknown flag '%s'\n", a.c_str());
+      return false;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  args = std::move(positional);
+  return true;
+}
+
+core::MiraOptions optionsFor(const CommonFlags &flags) {
+  core::MiraOptions options;
+  options.compile.compiler.optimize = flags.optimize;
+  options.compile.compiler.vectorize = flags.vectorize;
+  return options;
+}
+
+/// Print the per-source status table and batch totals; returns the batch
+/// wall time (negative on any failure).
+double printOutcomes(const std::vector<driver::AnalysisOutcome> &outcomes,
+                     const driver::BatchStats &stats, std::size_t threads,
+                     bool quiet) {
+  bool allOk = true;
+  if (!quiet)
+    std::printf("%-24s | %-6s | %-5s | %9s\n", "source", "status", "cache",
+                "seconds");
+  for (const auto &outcome : outcomes) {
+    allOk = allOk && outcome.ok;
+    if (quiet)
+      continue;
+    std::printf("%-24s | %-6s | %-5s | %9.4f\n", outcome.name.c_str(),
+                outcome.ok ? "ok" : "FAILED",
+                outcome.cacheHit ? "hit" : "miss", outcome.seconds);
+    if (!outcome.ok)
+      std::fprintf(stderr, "%s\n", outcome.diagnostics.c_str());
+  }
+  if (!quiet)
+    std::printf("%zu sources, %zu failures, cache %zu hit / %zu miss, "
+                "%.4f s on %zu threads\n",
+                stats.requests, stats.failures, stats.cacheHits,
+                stats.cacheMisses, stats.wallSeconds, threads);
+  return allOk ? stats.wallSeconds : -1.0;
+}
+
+/// Run the requests through a fresh analyzer and print the table.
+double runBatch(const std::vector<driver::AnalysisRequest> &requests,
+                std::size_t threads, bool useCache, bool quiet) {
+  driver::BatchOptions batchOptions;
+  batchOptions.threads = threads;
+  batchOptions.useCache = useCache;
+  driver::BatchAnalyzer analyzer(batchOptions);
+  auto outcomes = analyzer.run(requests);
+  return printOutcomes(outcomes, analyzer.stats(), threads, quiet);
+}
+
+void printSpeedup(double serialSeconds, double parallelSeconds,
+                  std::size_t threads) {
+  if (serialSeconds <= 0 || parallelSeconds <= 0)
+    return;
+  std::printf("serial %.4f s -> parallel %.4f s on %zu threads: %.2fx "
+              "speedup\n",
+              serialSeconds, parallelSeconds, threads,
+              serialSeconds / parallelSeconds);
+}
+
+int cmdAnalyze(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || args.size() != 1)
+    return 2;
+  driver::AnalysisRequest request;
+  if (!loadSource(args[0], request))
+    return 1;
+  request.options = optionsFor(flags);
+
+  driver::BatchAnalyzer analyzer(driver::BatchOptions{1, false});
+  auto outcomes = analyzer.run({request});
+  const auto &outcome = outcomes[0];
+  if (!outcome.ok) {
+    std::fprintf(stderr, "analysis of %s failed:\n%s\n",
+                 outcome.name.c_str(), outcome.diagnostics.c_str());
+    return 1;
+  }
+  if (!outcome.diagnostics.empty())
+    std::fprintf(stderr, "%s\n", outcome.diagnostics.c_str());
+  std::printf("analyzed %s in %.4f s\n", outcome.name.c_str(),
+              outcome.seconds);
+  printModelSummary(*outcome.analysis);
+  if (flags.emitPython) {
+    std::puts("");
+    std::puts(model::emitPython(outcome.analysis->model).c_str());
+  }
+  return 0;
+}
+
+int cmdBatch(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || args.empty())
+    return 2;
+  std::vector<driver::AnalysisRequest> requests;
+  for (const auto &arg : args) {
+    driver::AnalysisRequest request;
+    if (!loadSource(arg, request))
+      return 1;
+    request.options = optionsFor(flags);
+    requests.push_back(std::move(request));
+  }
+
+  double parallelSeconds =
+      runBatch(requests, flags.threads, flags.useCache, false);
+  if (flags.compareSerial) {
+    double serialSeconds = runBatch(requests, 1, flags.useCache, true);
+    printSpeedup(serialSeconds, parallelSeconds, flags.threads);
+  }
+  return parallelSeconds < 0 ? 1 : 0;
+}
+
+std::vector<driver::AnalysisRequest> coverageRequests() {
+  std::vector<driver::AnalysisRequest> requests;
+  for (const auto &kernel : workloads::coverageSuite()) {
+    driver::AnalysisRequest request;
+    request.name = kernel.name;
+    request.source = kernel.source;
+    requests.push_back(std::move(request));
+  }
+  for (const auto &workload : workloads::figSeriesWorkloads()) {
+    driver::AnalysisRequest request;
+    request.name = "@" + workload.name;
+    request.source = *workload.source;
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+int cmdCoverage(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || !args.empty())
+    return 2;
+
+  // One batch analysis serves both the Table I numbers and the status
+  // table below.
+  auto requests = coverageRequests();
+  driver::BatchOptions batchOptions;
+  batchOptions.threads = flags.threads;
+  batchOptions.useCache = flags.useCache;
+  driver::BatchAnalyzer analyzer(batchOptions);
+  auto outcomes = analyzer.run(requests);
+
+  // Table I numbers from the analyzed ASTs (paper columns alongside).
+  std::printf("%-10s | %14s | %14s | %14s | %9s\n", "app",
+              "loops p/o", "stmts p/o", "in-loop p/o", "pct p/o");
+  const auto &suite = workloads::coverageSuite();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto &kernel = suite[i];
+    if (!outcomes[i].ok) {
+      std::printf("%-10s | analysis FAILED\n", kernel.name.c_str());
+      continue;
+    }
+    auto coverage = sema::computeLoopCoverage(
+        *outcomes[i].analysis->program->unit);
+    std::printf("%-10s | %6zu/%-7zu | %6zu/%-7zu | %6zu/%-7zu | %3d/%-5.0f\n",
+                kernel.name.c_str(), kernel.paperLoops, coverage.loops,
+                kernel.paperStatements, coverage.statements,
+                kernel.paperInLoop, coverage.inLoopStatements,
+                kernel.paperPercent, coverage.percent());
+  }
+  std::printf("\n");
+
+  double parallelSeconds =
+      printOutcomes(outcomes, analyzer.stats(), flags.threads, false);
+  if (flags.compareSerial) {
+    double serialSeconds = runBatch(requests, 1, flags.useCache, true);
+    printSpeedup(serialSeconds, parallelSeconds, flags.threads);
+  }
+  return parallelSeconds < 0 ? 1 : 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage(argv[0]);
+  std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  int result = 2;
+  if (command == "analyze")
+    result = cmdAnalyze(std::move(args));
+  else if (command == "batch")
+    result = cmdBatch(std::move(args));
+  else if (command == "coverage")
+    result = cmdCoverage(std::move(args));
+  return result == 2 ? usage(argv[0]) : result;
+}

@@ -1,0 +1,23 @@
+#include "support/hash.h"
+
+namespace mira {
+
+std::uint64_t fnv1a(const void *data, std::size_t size, std::uint64_t seed) {
+  const auto *bytes = static_cast<const unsigned char *>(data);
+  std::uint64_t hash = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a(const std::string &text, std::uint64_t seed) {
+  return fnv1a(text.data(), text.size(), seed);
+}
+
+std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t value) {
+  return fnv1a(&value, sizeof(value), seed);
+}
+
+} // namespace mira

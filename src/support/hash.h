@@ -1,0 +1,29 @@
+// FNV-1a hashing for cache keys.
+//
+// The batch driver keys its analysis cache on (source bytes, options)
+// fingerprints. FNV-1a is deterministic across platforms and processes,
+// unlike std::hash, so cache keys can be logged, compared between runs,
+// and used in on-disk formats later.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace mira {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// FNV-1a over a byte range, continuing from `seed`.
+std::uint64_t fnv1a(const void *data, std::size_t size,
+                    std::uint64_t seed = kFnvOffsetBasis);
+
+/// FNV-1a of a string's bytes.
+std::uint64_t fnv1a(const std::string &text,
+                    std::uint64_t seed = kFnvOffsetBasis);
+
+/// Mix an already-computed hash into `seed` (order-sensitive).
+std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t value);
+
+} // namespace mira

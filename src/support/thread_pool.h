@@ -1,0 +1,57 @@
+// Fixed-size worker pool with a shared task queue.
+//
+// The batch driver fans analysis requests across this pool; anything else
+// that needs coarse-grained parallelism (future: per-function model
+// evaluation, workload sweeps) should reuse it instead of spawning ad-hoc
+// threads. Tasks are plain std::function<void()>; results travel through
+// whatever the caller captured (promises, pre-sized output slots).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mira {
+
+class ThreadPool {
+public:
+  /// Spawns `threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains the queue: blocks until every submitted task has run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueue a task. Safe from any thread, including worker threads
+  /// (tasks may submit follow-up tasks). Tasks must not throw: an
+  /// escaping exception would reach the worker thread and terminate the
+  /// process, so callers (e.g. BatchAnalyzer) catch at the task boundary.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and no task is executing.
+  void waitIdle();
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// std::thread::hardware_concurrency with a sane fallback of 4.
+  static std::size_t defaultThreadCount();
+
+private:
+  void workerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   // workers wait for tasks / stop
+  std::condition_variable idle_;   // waitIdle/destructor wait for drain
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t running_ = 0; // tasks currently executing
+  bool stop_ = false;
+};
+
+} // namespace mira

@@ -2,7 +2,6 @@
 
 #include <array>
 #include <cassert>
-#include <mutex>
 
 namespace mira::symbolic {
 

@@ -354,4 +354,15 @@ int listings_main() {
   return source;
 }
 
+const std::vector<NamedSource> &figSeriesWorkloads() {
+  static const std::vector<NamedSource> series = {
+      {"stream", &streamSource()},
+      {"dgemm", &dgemmSource()},
+      {"minife", &minifeSource()},
+      {"fig5", &fig5Source()},
+      {"listings", &listingsSource()},
+  };
+  return series;
+}
+
 } // namespace mira::workloads

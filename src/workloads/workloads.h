@@ -35,4 +35,14 @@ const std::string &fig5Source();
 /// min/max exception that requires annotation).
 const std::string &listingsSource();
 
+/// A named workload source, as consumed by the batch driver.
+struct NamedSource {
+  std::string name;
+  const std::string *source; // points at the embedded static string
+};
+
+/// All fig-series workloads above (stream, dgemm, minife, fig5,
+/// listings) in stable order — the standard batch-driver sweep.
+const std::vector<NamedSource> &figSeriesWorkloads();
+
 } // namespace mira::workloads

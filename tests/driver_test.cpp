@@ -1,0 +1,283 @@
+// Batch-driver subsystem tests: FNV-1a hashing, the thread pool, cache
+// keying, and the headline invariants — batch results are byte-identical
+// to serial runs regardless of thread count, and the analysis cache
+// de-duplicates repeated (source, options) pairs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "driver/batch.h"
+#include "model/python_emitter.h"
+#include "support/hash.h"
+#include "support/thread_pool.h"
+#include "workloads/coverage_suite.h"
+#include "workloads/workloads.h"
+
+namespace mira::driver {
+namespace {
+
+// ------------------------------------------------------------------ hash
+
+TEST(Hash, Fnv1aReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(std::string()), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a(std::string("a")), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a(std::string("foobar")), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, CombineIsOrderSensitive) {
+  std::uint64_t a = fnv1a(std::string("alpha"));
+  std::uint64_t b = fnv1a(std::string("beta"));
+  EXPECT_NE(hashCombine(a, b), hashCombine(b, a));
+  EXPECT_NE(hashCombine(a, b), a);
+}
+
+// ----------------------------------------------------------- thread pool
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&counter] { ++counter; });
+    pool.waitIdle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&counter] { ++counter; });
+  } // ~ThreadPool must run everything before joining
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, TasksMaySubmitFollowUpTasks) {
+  std::atomic<int> counter{0};
+  ThreadPool pool(2);
+  pool.submit([&] {
+    ++counter;
+    pool.submit([&] { ++counter; });
+  });
+  pool.waitIdle();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), 1u);
+}
+
+// ------------------------------------------------------------- cache key
+
+AnalysisRequest makeRequest(const std::string &source,
+                            const std::string &name = "test.mc") {
+  AnalysisRequest request;
+  request.name = name;
+  request.source = source;
+  return request;
+}
+
+TEST(RequestKey, DependsOnSourceAndOptionsButNotName) {
+  AnalysisRequest a = makeRequest("int f() { return 1; }", "a.mc");
+  AnalysisRequest b = makeRequest("int f() { return 1; }", "b.mc");
+  EXPECT_EQ(requestKey(a), requestKey(b)); // name is display-only
+
+  AnalysisRequest other = makeRequest("int f() { return 2; }");
+  EXPECT_NE(requestKey(a), requestKey(other));
+
+  AnalysisRequest noOpt = a;
+  noOpt.options.compile.compiler.optimize = false;
+  AnalysisRequest noVec = a;
+  noVec.options.compile.compiler.vectorize = false;
+  AnalysisRequest noBranch = a;
+  noBranch.options.metrics.assumeBranchesTaken = false;
+  std::set<std::uint64_t> keys{requestKey(a), requestKey(noOpt),
+                               requestKey(noVec), requestKey(noBranch)};
+  EXPECT_EQ(keys.size(), 4u); // every option perturbs the key
+}
+
+// ------------------------------------------------------------ batch runs
+
+std::vector<AnalysisRequest> coverageRequests() {
+  std::vector<AnalysisRequest> requests;
+  for (const auto &kernel : workloads::coverageSuite())
+    requests.push_back(makeRequest(kernel.source, kernel.name));
+  return requests;
+}
+
+/// Canonical byte rendering of a batch: names, status, diagnostics, and
+/// the emitted Python of every model, in input order.
+std::string fingerprint(const std::vector<AnalysisOutcome> &outcomes) {
+  std::string bytes;
+  for (const auto &outcome : outcomes) {
+    bytes += outcome.name;
+    bytes += outcome.ok ? "|ok|" : "|fail|";
+    bytes += outcome.diagnostics;
+    if (outcome.analysis)
+      bytes += model::emitPython(outcome.analysis->model);
+    bytes += '\n';
+  }
+  return bytes;
+}
+
+TEST(BatchAnalyzerTest, ParallelResultsAreByteIdenticalToSerial) {
+  auto requests = coverageRequests();
+  BatchOptions serialOptions;
+  serialOptions.threads = 1;
+  BatchAnalyzer serial(serialOptions);
+  std::string reference = fingerprint(serial.run(requests));
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(serial.stats().failures, 0u);
+
+  for (std::size_t threads : {2u, 8u}) {
+    BatchOptions options;
+    options.threads = threads;
+    BatchAnalyzer analyzer(options);
+    EXPECT_EQ(fingerprint(analyzer.run(requests)), reference)
+        << "non-deterministic batch at " << threads << " threads";
+  }
+}
+
+TEST(BatchAnalyzerTest, OutcomesKeepInputOrder) {
+  std::vector<AnalysisRequest> requests;
+  requests.push_back(makeRequest(workloads::dgemmSource(), "first"));
+  requests.push_back(makeRequest("int broken(", "second"));
+  requests.push_back(makeRequest(workloads::fig5Source(), "third"));
+
+  BatchOptions options;
+  options.threads = 4;
+  BatchAnalyzer analyzer(options);
+  auto outcomes = analyzer.run(requests);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].name, "first");
+  EXPECT_EQ(outcomes[1].name, "second");
+  EXPECT_EQ(outcomes[2].name, "third");
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_TRUE(outcomes[2].ok);
+  EXPECT_EQ(analyzer.stats().failures, 1u);
+}
+
+TEST(BatchAnalyzerTest, MalformedSourceYieldsDiagnosticsNotCrash) {
+  BatchAnalyzer analyzer(BatchOptions{2, true});
+  auto outcomes = analyzer.run({makeRequest("void f( {", "bad.mc")});
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_EQ(outcomes[0].analysis, nullptr);
+  EXPECT_FALSE(outcomes[0].diagnostics.empty());
+}
+
+TEST(BatchAnalyzerTest, CachedDiagnosticsNameTheirProducer) {
+  // Identical broken sources under different names share one cache
+  // entry; the hit's diagnostics must say which request produced them
+  // instead of silently citing the wrong file.
+  BatchAnalyzer analyzer(BatchOptions{1, true});
+  auto outcomes = analyzer.run(
+      {makeRequest("int broken(", "a.mc"), makeRequest("int broken(", "b.mc")});
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_TRUE(outcomes[1].cacheHit);
+  EXPECT_NE(outcomes[1].diagnostics.find("identical source 'a.mc'"),
+            std::string::npos)
+      << outcomes[1].diagnostics;
+}
+
+TEST(BatchAnalyzerTest, DuplicateRequestsShareOneAnalysis) {
+  AnalysisRequest request = makeRequest(workloads::fig5Source(), "fig5");
+  std::vector<AnalysisRequest> requests{request, request, request};
+
+  BatchOptions options;
+  options.threads = 4;
+  BatchAnalyzer analyzer(options);
+  auto outcomes = analyzer.run(requests);
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(analyzer.stats().cacheMisses, 1u);
+  EXPECT_EQ(analyzer.stats().cacheHits, 2u);
+  EXPECT_EQ(analyzer.cacheSize(), 1u);
+  // All three positions share the one cached analysis object.
+  EXPECT_EQ(outcomes[0].analysis, outcomes[1].analysis);
+  EXPECT_EQ(outcomes[1].analysis, outcomes[2].analysis);
+}
+
+TEST(BatchAnalyzerTest, CachePersistsAcrossRuns) {
+  auto requests = coverageRequests();
+  BatchOptions options;
+  options.threads = 2;
+  BatchAnalyzer analyzer(options);
+
+  analyzer.run(requests);
+  EXPECT_EQ(analyzer.stats().cacheMisses, requests.size());
+  EXPECT_EQ(analyzer.stats().cacheHits, 0u);
+
+  analyzer.run(requests); // identical (source, options) pairs: all hits
+  EXPECT_EQ(analyzer.stats().cacheMisses, 0u);
+  EXPECT_EQ(analyzer.stats().cacheHits, requests.size());
+
+  analyzer.clearCache();
+  analyzer.run(requests);
+  EXPECT_EQ(analyzer.stats().cacheMisses, requests.size());
+}
+
+TEST(BatchAnalyzerTest, DifferentOptionsDoNotShareCacheEntries) {
+  AnalysisRequest optimized = makeRequest(workloads::fig5Source());
+  AnalysisRequest unoptimized = optimized;
+  unoptimized.options.compile.compiler.optimize = false;
+
+  BatchAnalyzer analyzer(BatchOptions{2, true});
+  auto outcomes = analyzer.run({optimized, unoptimized});
+  EXPECT_EQ(analyzer.stats().cacheMisses, 2u);
+  EXPECT_EQ(analyzer.stats().cacheHits, 0u);
+  ASSERT_TRUE(outcomes[0].ok);
+  ASSERT_TRUE(outcomes[1].ok);
+  EXPECT_NE(outcomes[0].analysis, outcomes[1].analysis);
+}
+
+TEST(BatchAnalyzerTest, CacheCanBeDisabled) {
+  AnalysisRequest request = makeRequest(workloads::fig5Source());
+  BatchOptions options;
+  options.threads = 2;
+  options.useCache = false;
+  BatchAnalyzer analyzer(options);
+  auto outcomes = analyzer.run({request, request});
+  EXPECT_EQ(analyzer.stats().cacheHits, 0u);
+  EXPECT_EQ(analyzer.stats().cacheMisses, 0u);
+  EXPECT_EQ(analyzer.cacheSize(), 0u);
+  ASSERT_TRUE(outcomes[0].ok);
+  ASSERT_TRUE(outcomes[1].ok);
+  EXPECT_NE(outcomes[0].analysis, outcomes[1].analysis); // recomputed
+}
+
+TEST(BatchAnalyzerTest, CachedModelStillEvaluates) {
+  // A cached AnalysisResult is shared const; evaluating it must work and
+  // agree with a fresh serial analysis (paper FPI on the Fig. 5 model).
+  BatchAnalyzer analyzer(BatchOptions{4, true});
+  auto first = analyzer.run({makeRequest(workloads::fig5Source())});
+  auto second = analyzer.run({makeRequest(workloads::fig5Source())});
+  ASSERT_TRUE(first[0].ok);
+  ASSERT_TRUE(second[0].ok);
+  EXPECT_TRUE(second[0].cacheHit);
+
+  DiagnosticEngine diags;
+  core::MiraOptions options;
+  auto serial = core::analyzeSource(workloads::fig5Source(), "fig5.mc",
+                                    options, diags);
+  ASSERT_TRUE(serial.has_value()) << diags.str();
+
+  model::Env env{{"total", 8}, {"y", 16}};
+  auto cached = second[0].analysis->model.evaluate("fig5_main", env);
+  auto fresh = serial->model.evaluate("fig5_main", env);
+  ASSERT_TRUE(cached.has_value());
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(cached->fpInstructions, fresh->fpInstructions);
+  EXPECT_EQ(cached->totalInstructions, fresh->totalInstructions);
+}
+
+} // namespace
+} // namespace mira::driver
