@@ -23,7 +23,7 @@ std::optional<AnalysisResult> analyzeSource(const std::string &source,
     return std::nullopt;
   result.model = metrics::generateModel(
       *result.program->unit, result.program->sema.callGraph,
-      *result.program->bridge, options.metrics, diags);
+      *result.program->bridge, options.metrics, diags, options.modelPool);
   if (diags.hasErrors())
     return std::nullopt;
   return result;

@@ -1,8 +1,9 @@
 #include "driver/batch.h"
 
-#include <atomic>
 #include <chrono>
 
+#include "model/serialize.h"
+#include "support/binary_io.h"
 #include "support/hash.h"
 
 namespace mira::driver {
@@ -20,7 +21,10 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 std::uint64_t requestKey(const AnalysisRequest &request) {
   // Tripwire: adding a field to either options struct changes its size;
   // update the fingerprint below (and the driver_test key tests), then
-  // adjust these expected sizes.
+  // adjust these expected sizes. Execution-strategy fields of
+  // MiraOptions (modelPool) and everything in BatchOptions must stay OUT
+  // of the key: they never change what is computed, and hashing them
+  // would make the on-disk cache miss across equivalent configurations.
   static_assert(sizeof(mir::CompilerOptions) == 2 &&
                     sizeof(metrics::MetricOptions) == 1,
                 "options gained a field: requestKey must hash it too");
@@ -37,7 +41,13 @@ std::uint64_t requestKey(const AnalysisRequest &request) {
 }
 
 BatchAnalyzer::BatchAnalyzer(BatchOptions options)
-    : options_(options), pool_(options.threads) {}
+    : options_(std::move(options)), pool_(options_.threads) {
+  if (options_.modelThreads > 1)
+    model_pool_ = std::make_unique<ThreadPool>(options_.modelThreads);
+  if (options_.useCache && !options_.cacheDir.empty())
+    disk_ = std::make_unique<CacheStore>(options_.cacheDir,
+                                         options_.cacheBytesLimit);
+}
 
 std::size_t BatchAnalyzer::cacheSize() const {
   std::lock_guard<std::mutex> lock(cache_mutex_);
@@ -49,6 +59,48 @@ void BatchAnalyzer::clearCache() {
   cache_.clear();
 }
 
+namespace {
+
+// Disk payload layout (versioned as a whole by the CacheStore header —
+// bump kCacheSchemaVersion when changing this):
+//   [ok u8][producerName str][diagnostics str][model bytes when ok]
+std::string serializeValue(const core::AnalysisResult *analysis,
+                           const std::string &diagnostics,
+                           const std::string &producerName) {
+  std::string out;
+  bio::putU8(out, analysis ? 1 : 0);
+  bio::putString(out, producerName);
+  bio::putString(out, diagnostics);
+  if (analysis)
+    model::serializeModel(analysis->model, out);
+  return out;
+}
+
+bool deserializeValue(const std::string &payload,
+                      std::shared_ptr<const core::AnalysisResult> &analysis,
+                      std::string &diagnostics, std::string &producerName) {
+  bio::Reader r{payload, 0};
+  std::uint8_t ok = 0;
+  if (!r.u8(ok) || ok > 1)
+    return false;
+  if (!r.str(producerName) || !r.str(diagnostics))
+    return false;
+  if (!ok) {
+    analysis = nullptr;
+    return r.remaining() == 0;
+  }
+  auto result = std::make_shared<core::AnalysisResult>();
+  std::size_t offset = r.offset;
+  if (!model::deserializeModel(payload, offset, result->model))
+    return false;
+  if (offset != payload.size())
+    return false; // trailing garbage: treat as corrupt
+  analysis = std::move(result);
+  return true;
+}
+
+} // namespace
+
 BatchAnalyzer::CacheValue
 BatchAnalyzer::computeValue(const AnalysisRequest &request) {
   CacheValue value;
@@ -57,8 +109,11 @@ BatchAnalyzer::computeValue(const AnalysisRequest &request) {
   // (e.g. bad_alloc) must fail one request, not terminate the pool.
   try {
     DiagnosticEngine diags;
-    auto result = core::analyzeSource(request.source, request.name,
-                                      request.options, diags);
+    core::MiraOptions options = request.options;
+    if (model_pool_)
+      options.modelPool = model_pool_.get();
+    auto result =
+        core::analyzeSource(request.source, request.name, options, diags);
     value.diagnostics = diags.str();
     if (result)
       value.analysis = std::make_shared<const core::AnalysisResult>(
@@ -66,6 +121,39 @@ BatchAnalyzer::computeValue(const AnalysisRequest &request) {
   } catch (const std::exception &e) {
     value.analysis = nullptr;
     value.diagnostics = request.name + ": internal error: " + e.what();
+    value.transientFailure = true;
+  }
+  return value;
+}
+
+BatchAnalyzer::CacheValue
+BatchAnalyzer::produceValue(const AnalysisRequest &request,
+                            std::uint64_t key) {
+  if (disk_) {
+    if (auto payload = disk_->load(key)) {
+      CacheValue value;
+      value.fromDisk = true;
+      if (deserializeValue(*payload, value.analysis, value.diagnostics,
+                           value.producerName)) {
+        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        return value;
+      }
+      // Validated by the store but structurally unusable (e.g. written
+      // by a build with different serializer semantics under the same
+      // schema version — a bug, but one that must degrade to a
+      // recompute, not a failure).
+    }
+    disk_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  CacheValue value = computeValue(request);
+  // Deterministic results (models and compile errors alike) persist;
+  // exception-path failures do not — caching a one-off bad_alloc would
+  // replay it on every future run of this source.
+  if (disk_ && !value.transientFailure) {
+    const std::string payload = serializeValue(
+        value.analysis.get(), value.diagnostics, value.producerName);
+    if (disk_->store(key, payload))
+      disk_stores_.fetch_add(1, std::memory_order_relaxed);
   }
   return value;
 }
@@ -101,13 +189,25 @@ AnalysisOutcome BatchAnalyzer::analyzeOne(const AnalysisRequest &request) {
   }
 
   if (producer) {
+    bool dropEntry = false;
     try {
-      promise.set_value(std::make_shared<const CacheValue>(
-          computeValue(request)));
+      auto value = std::make_shared<const CacheValue>(
+          produceValue(request, key));
+      dropEntry = value->transientFailure;
+      promise.set_value(std::move(value));
     } catch (...) {
       // Even allocating the cache entry failed; waiters see the same
       // exception through the shared future instead of blocking forever.
       promise.set_exception(std::current_exception());
+      dropEntry = true;
+    }
+    if (dropEntry) {
+      // Transient failures must not outlive this batch: duplicates
+      // already in flight share the failure (they were concurrent with
+      // it), but later run()s and future duplicates must recompute
+      // rather than replay a one-off bad_alloc forever.
+      std::lock_guard<std::mutex> lock(cache_mutex_);
+      cache_.erase(key);
     }
   }
 
@@ -122,7 +222,7 @@ AnalysisOutcome BatchAnalyzer::analyzeOne(const AnalysisRequest &request) {
     outcome.seconds = secondsSince(start);
     return outcome;
   }
-  outcome.cacheHit = !producer;
+  outcome.cacheHit = !producer || value->fromDisk;
   outcome.ok = value->analysis != nullptr;
   outcome.analysis = value->analysis;
   outcome.diagnostics = value->diagnostics;
@@ -142,6 +242,9 @@ std::vector<AnalysisOutcome>
 BatchAnalyzer::run(const std::vector<AnalysisRequest> &requests) {
   auto start = std::chrono::steady_clock::now();
   std::vector<AnalysisOutcome> outcomes(requests.size());
+  disk_hits_.store(0, std::memory_order_relaxed);
+  disk_misses_.store(0, std::memory_order_relaxed);
+  disk_stores_.store(0, std::memory_order_relaxed);
 
   for (std::size_t i = 0; i < requests.size(); ++i) {
     pool_.submit([this, &requests, &outcomes, i] {
@@ -162,6 +265,9 @@ BatchAnalyzer::run(const std::vector<AnalysisRequest> &requests) {
         ++stats_.cacheMisses;
     }
   }
+  stats_.diskHits = disk_hits_.load(std::memory_order_relaxed);
+  stats_.diskMisses = disk_misses_.load(std::memory_order_relaxed);
+  stats_.diskStores = disk_stores_.load(std::memory_order_relaxed);
   stats_.wallSeconds = secondsSince(start);
   return outcomes;
 }

@@ -1,19 +1,24 @@
-// Parallel batch analysis: many MiniC sources through the full pipeline.
-//
-// BatchAnalyzer fans AnalysisRequests across a fixed ThreadPool, collects
-// per-request outcomes deterministically in input order, and de-duplicates
-// work through an in-memory cache keyed by (source hash, options). The
-// cache persists across run() calls on the same analyzer, so sweeps that
-// revisit a workload (bench series, repeated CLI batches) pay for each
-// distinct (source, options) pair exactly once.
-//
-// Thread-safety contract with core::analyzeSource: the pipeline keeps no
-// shared mutable state (each request gets its own DiagnosticEngine, and
-// all function-local statics in the pipeline are immutable tables), so
-// concurrent analyses of different requests are safe. run() itself must
-// not be called concurrently on one BatchAnalyzer.
+/// \file
+/// Parallel batch analysis: many MiniC sources through the full pipeline.
+///
+/// BatchAnalyzer fans AnalysisRequests across a fixed ThreadPool,
+/// collects per-request outcomes deterministically in input order, and
+/// de-duplicates work through a two-level cache keyed by (source hash,
+/// options): an in-memory future map that persists across run() calls on
+/// the same analyzer, and an optional on-disk CacheStore
+/// (support/cache_store.h) that persists across processes. Sweeps that
+/// revisit a workload (bench series, repeated CLI batches) pay for each
+/// distinct (source, options) pair exactly once per machine, not once
+/// per process.
+///
+/// Thread-safety contract with core::analyzeSource: the pipeline keeps
+/// no shared mutable state (each request gets its own DiagnosticEngine,
+/// and all function-local statics in the pipeline are immutable tables),
+/// so concurrent analyses of different requests are safe. run() itself
+/// must not be called concurrently on one BatchAnalyzer.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -23,45 +28,75 @@
 #include <vector>
 
 #include "core/mira.h"
+#include "support/cache_store.h"
 #include "support/thread_pool.h"
 
 namespace mira::driver {
 
+/// One unit of batch work: a named MiniC source plus pipeline options.
 struct AnalysisRequest {
-  std::string name;   // display / file name (not part of the cache key)
-  std::string source; // MiniC source text
-  core::MiraOptions options;
+  std::string name;   ///< display / file name (not part of the cache key)
+  std::string source; ///< MiniC source text
+  core::MiraOptions options; ///< pipeline options (part of the cache key)
 };
 
 /// Per-request result, at the request's input position.
 struct AnalysisOutcome {
-  std::string name;
-  bool ok = false;
-  bool cacheHit = false; // served from (or waited on) an existing entry
+  std::string name; ///< echoed AnalysisRequest::name
+  bool ok = false;  ///< analysis produced a model (no errors)
+  /// Served without recomputing: from another in-flight/completed
+  /// request this process (memory hit) or from the disk cache of an
+  /// earlier run (disk hit).
+  bool cacheHit = false;
   /// Shared with the cache and any duplicate requests; null when !ok.
+  /// Disk-cache hits restore the model and diagnostics but NOT the
+  /// compiled program (AnalysisResult::program is null): consumers that
+  /// need the AST or binary (coverage stats, simulation) must analyze
+  /// without the disk layer.
   std::shared_ptr<const core::AnalysisResult> analysis;
   /// Rendered diagnostics (warnings on success, errors on failure).
   std::string diagnostics;
-  double seconds = 0; // analysis wall time; ~0 for pure cache hits
+  double seconds = 0; ///< analysis wall time; ~0 for pure cache hits
 };
 
+/// Knobs for one BatchAnalyzer. Only AnalysisRequest::options influence
+/// cache keys — everything here is execution strategy and storage
+/// placement, deliberately excluded from requestKey().
 struct BatchOptions {
+  /// Worker threads analyzing requests concurrently.
   std::size_t threads = ThreadPool::defaultThreadCount();
+  /// Master switch for both cache levels (memory and disk).
   bool useCache = true;
+  /// Directory for the persistent cache; empty disables the disk level.
+  std::string cacheDir;
+  /// LRU byte cap for the disk level (0 = unlimited). See
+  /// support/cache_store.h for the eviction policy.
+  std::uint64_t cacheBytesLimit = 0;
+  /// Threads for within-request per-function model generation (1 =
+  /// serial). When >1 the analyzer owns a second, dedicated pool shared
+  /// by all requests; results are byte-identical either way.
+  std::size_t modelThreads = 1;
 };
 
+/// Counters describing the last BatchAnalyzer::run().
 struct BatchStats {
-  std::size_t requests = 0;
-  std::size_t failures = 0;
-  std::size_t cacheHits = 0;
-  std::size_t cacheMisses = 0;
-  double wallSeconds = 0; // whole-batch wall clock of the last run()
+  std::size_t requests = 0;    ///< size of the request vector
+  std::size_t failures = 0;    ///< outcomes with ok == false
+  std::size_t cacheHits = 0;   ///< outcomes served without recomputation
+  std::size_t cacheMisses = 0; ///< outcomes that ran the pipeline
+  std::size_t diskHits = 0;    ///< entries restored from the disk cache
+  std::size_t diskMisses = 0;  ///< disk lookups that fell through
+  std::size_t diskStores = 0;  ///< entries written to the disk cache
+  double wallSeconds = 0; ///< whole-batch wall clock of the last run()
 };
 
 /// Cache key: FNV-1a fingerprint of the source bytes and every
 /// model-affecting option (compiler toggles, metric options, arch).
+/// Stable across processes and runs by construction — it is the on-disk
+/// cache's file name (support/cache_store.h).
 std::uint64_t requestKey(const AnalysisRequest &request);
 
+/// Analyzes batches of sources in parallel with two-level caching.
 class BatchAnalyzer {
 public:
   explicit BatchAnalyzer(BatchOptions options = {});
@@ -74,14 +109,28 @@ public:
   const BatchStats &stats() const { return stats_; }
 
   std::size_t threadCount() const { return pool_.threadCount(); }
+
+  /// Entries in the in-memory level (the disk level is inspected through
+  /// diskCache()).
   std::size_t cacheSize() const;
+
+  /// Drop every in-memory entry. The disk level, if any, is untouched —
+  /// use diskCache()->clear() for that.
   void clearCache();
+
+  /// The disk level, or null when BatchOptions::cacheDir was empty.
+  CacheStore *diskCache() { return disk_.get(); }
 
 private:
   struct CacheValue {
     std::shared_ptr<const core::AnalysisResult> analysis; // null on failure
     std::string diagnostics;
     std::string producerName; // request whose analysis populated the entry
+    bool fromDisk = false;    // restored from the disk level, not computed
+    /// Failure came from a caught exception (bad_alloc, resource
+    /// exhaustion), not from deterministic diagnostics. Never persisted:
+    /// a transient failure written to disk would replay forever.
+    bool transientFailure = false;
   };
   using CacheFuture = std::shared_future<std::shared_ptr<const CacheValue>>;
 
@@ -90,11 +139,22 @@ private:
   /// future (the producer is already running, so this cannot deadlock).
   AnalysisOutcome analyzeOne(const AnalysisRequest &request);
 
-  static CacheValue computeValue(const AnalysisRequest &request);
+  /// The producer path: disk lookup, then compute + disk store.
+  CacheValue produceValue(const AnalysisRequest &request, std::uint64_t key);
+
+  CacheValue computeValue(const AnalysisRequest &request);
 
   BatchOptions options_;
   ThreadPool pool_;
+  std::unique_ptr<ThreadPool> model_pool_; // within-request fan-out
+  std::unique_ptr<CacheStore> disk_;
   BatchStats stats_;
+
+  // Disk counters accumulate from worker threads during run(); run()
+  // folds them into stats_ after the pool drains.
+  std::atomic<std::size_t> disk_hits_{0};
+  std::atomic<std::size_t> disk_misses_{0};
+  std::atomic<std::size_t> disk_stores_{0};
 
   mutable std::mutex cache_mutex_;
   std::map<std::uint64_t, CacheFuture> cache_;

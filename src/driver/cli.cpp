@@ -1,32 +1,43 @@
 // mira-cli: command-line front door to the analysis pipeline.
 //
 //   mira-cli analyze <file.mc | @workload> [--no-optimize] [--no-vectorize]
-//            [--emit-python]
+//            [--emit-python] [--model-threads N] [--cache-dir DIR]
 //       Run the full pipeline on one source, print a model summary.
 //
 //   mira-cli batch <files/@workloads...> [--threads N] [--no-cache]
-//            [--compare-serial]
+//            [--compare-serial] [--model-threads N]
+//            [--cache-dir DIR] [--cache-limit BYTES]
 //       Fan many sources across the thread pool; per-source status table,
 //       cache statistics, and (with --compare-serial) the wall-clock
-//       speedup against a 1-thread run.
+//       speedup against a 1-thread run. With --cache-dir, results persist
+//       on disk and a rerun over an unchanged corpus recomputes nothing.
 //
 //   mira-cli coverage [--threads N] [--compare-serial]
 //       Drive the ten Table I kernels plus the fig-series workloads
 //       through the batch engine; print loop-coverage numbers next to the
-//       paper's and the parallel speedup.
+//       paper's and the parallel speedup. (Needs the compiled program, so
+//       it ignores --cache-dir: disk hits restore only the model.)
+//
+//   mira-cli cache <stats|clear> --cache-dir DIR
+//       Inspect or empty a persistent analysis cache directory.
 //
 // '@name' pulls an embedded workload (stream, dgemm, minife, fig5,
-// listings) instead of reading a file.
+// listings) instead of reading a file. See docs/CLI.md for a full tour
+// and docs/CACHING.md for the on-disk format.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver/batch.h"
 #include "model/python_emitter.h"
+#include "support/cache_store.h"
 #include "sema/ast_stats.h"
 #include "workloads/coverage_suite.h"
 #include "workloads/workloads.h"
@@ -38,13 +49,16 @@ using namespace mira;
 int usage(const char *argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <analyze|batch|coverage> [args]\n"
+      "usage: %s <analyze|batch|coverage|cache> [args]\n"
       "  analyze <file.mc|@workload> [--no-optimize] [--no-vectorize]\n"
-      "          [--emit-python]\n"
+      "          [--emit-python] [--model-threads N] [--cache-dir DIR]\n"
       "  batch <files/@workloads...> [--threads N] [--no-cache]\n"
-      "          [--compare-serial]\n"
+      "          [--compare-serial] [--model-threads N]\n"
+      "          [--cache-dir DIR] [--cache-limit BYTES]\n"
       "  coverage [--threads N] [--compare-serial]\n"
-      "workloads: @stream @dgemm @minife @fig5 @listings\n",
+      "  cache <stats|clear> --cache-dir DIR\n"
+      "workloads: @stream @dgemm @minife @fig5 @listings\n"
+      "--cache-limit accepts plain bytes or a K/M/G suffix (e.g. 64M)\n",
       argv0);
   return 2;
 }
@@ -104,7 +118,49 @@ struct CommonFlags {
   bool optimize = true;
   bool vectorize = true;
   bool emitPython = false;
+  std::size_t modelThreads = 1;
+  std::string cacheDir;
+  std::uint64_t cacheBytesLimit = 0;
 };
+
+/// Parse "1048576", "64K", "64M", "2G" into bytes; false on junk or on
+/// values that would overflow 64 bits (a silently wrapped limit would
+/// evict a cache the user asked to be effectively unlimited).
+bool parseByteSize(const std::string &text, std::uint64_t &bytes) {
+  if (text.empty())
+    return false;
+  std::uint64_t multiplier = 1;
+  std::string digits = text;
+  switch (digits.back()) {
+  case 'K':
+  case 'k':
+    multiplier = 1024ull;
+    digits.pop_back();
+    break;
+  case 'M':
+  case 'm':
+    multiplier = 1024ull * 1024;
+    digits.pop_back();
+    break;
+  case 'G':
+  case 'g':
+    multiplier = 1024ull * 1024 * 1024;
+    digits.pop_back();
+    break;
+  default:
+    break;
+  }
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(digits.c_str(), nullptr, 10);
+  if (errno == ERANGE ||
+      parsed > std::numeric_limits<std::uint64_t>::max() / multiplier)
+    return false;
+  bytes = parsed * multiplier;
+  return true;
+}
 
 /// Consume recognized flags from args (in place); leave positionals.
 bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
@@ -118,6 +174,27 @@ bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
       }
       flags.threads = static_cast<std::size_t>(
           std::max(1L, std::atol(args[++i].c_str())));
+    } else if (a == "--model-threads") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--model-threads requires a value\n");
+        return false;
+      }
+      flags.modelThreads = static_cast<std::size_t>(
+          std::max(1L, std::atol(args[++i].c_str())));
+    } else if (a == "--cache-dir") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--cache-dir requires a value\n");
+        return false;
+      }
+      flags.cacheDir = args[++i];
+    } else if (a == "--cache-limit") {
+      if (i + 1 == args.size() ||
+          !parseByteSize(args[i + 1], flags.cacheBytesLimit)) {
+        std::fprintf(stderr,
+                     "--cache-limit requires a byte size (e.g. 64M)\n");
+        return false;
+      }
+      ++i;
     } else if (a == "--no-cache") {
       flags.useCache = false;
     } else if (a == "--compare-serial") {
@@ -146,6 +223,19 @@ core::MiraOptions optionsFor(const CommonFlags &flags) {
   return options;
 }
 
+driver::BatchOptions batchOptionsFor(const CommonFlags &flags,
+                                     std::size_t threads,
+                                     bool withDiskCache = true) {
+  driver::BatchOptions options;
+  options.threads = threads;
+  options.useCache = flags.useCache;
+  if (withDiskCache)
+    options.cacheDir = flags.cacheDir;
+  options.cacheBytesLimit = flags.cacheBytesLimit;
+  options.modelThreads = flags.modelThreads;
+  return options;
+}
+
 /// Print the per-source status table and batch totals; returns the batch
 /// wall time (negative on any failure).
 double printOutcomes(const std::vector<driver::AnalysisOutcome> &outcomes,
@@ -165,23 +255,25 @@ double printOutcomes(const std::vector<driver::AnalysisOutcome> &outcomes,
     if (!outcome.ok)
       std::fprintf(stderr, "%s\n", outcome.diagnostics.c_str());
   }
-  if (!quiet)
+  if (!quiet) {
     std::printf("%zu sources, %zu failures, cache %zu hit / %zu miss, "
                 "%.4f s on %zu threads\n",
                 stats.requests, stats.failures, stats.cacheHits,
                 stats.cacheMisses, stats.wallSeconds, threads);
+    if (stats.diskHits + stats.diskMisses + stats.diskStores > 0)
+      std::printf("disk cache: %zu hit / %zu miss, %zu stored\n",
+                  stats.diskHits, stats.diskMisses, stats.diskStores);
+  }
   return allOk ? stats.wallSeconds : -1.0;
 }
 
 /// Run the requests through a fresh analyzer and print the table.
 double runBatch(const std::vector<driver::AnalysisRequest> &requests,
-                std::size_t threads, bool useCache, bool quiet) {
-  driver::BatchOptions batchOptions;
-  batchOptions.threads = threads;
-  batchOptions.useCache = useCache;
+                const driver::BatchOptions &batchOptions, bool quiet) {
   driver::BatchAnalyzer analyzer(batchOptions);
   auto outcomes = analyzer.run(requests);
-  return printOutcomes(outcomes, analyzer.stats(), threads, quiet);
+  return printOutcomes(outcomes, analyzer.stats(), batchOptions.threads,
+                       quiet);
 }
 
 void printSpeedup(double serialSeconds, double parallelSeconds,
@@ -203,7 +295,14 @@ int cmdAnalyze(std::vector<std::string> args) {
     return 1;
   request.options = optionsFor(flags);
 
-  driver::BatchAnalyzer analyzer(driver::BatchOptions{1, false});
+  // One request: the batch pool is a single thread, but --model-threads
+  // still fans out per-function model generation, and --cache-dir makes
+  // repeated analyses of an unchanged source near-free.
+  driver::BatchOptions batchOptions = batchOptionsFor(flags, 1);
+  // For a single request the cache only matters as the disk level;
+  // --no-cache still wins over --cache-dir.
+  batchOptions.useCache = flags.useCache && !flags.cacheDir.empty();
+  driver::BatchAnalyzer analyzer(batchOptions);
   auto outcomes = analyzer.run({request});
   const auto &outcome = outcomes[0];
   if (!outcome.ok) {
@@ -213,8 +312,8 @@ int cmdAnalyze(std::vector<std::string> args) {
   }
   if (!outcome.diagnostics.empty())
     std::fprintf(stderr, "%s\n", outcome.diagnostics.c_str());
-  std::printf("analyzed %s in %.4f s\n", outcome.name.c_str(),
-              outcome.seconds);
+  std::printf("analyzed %s in %.4f s%s\n", outcome.name.c_str(),
+              outcome.seconds, outcome.cacheHit ? " (disk cache)" : "");
   printModelSummary(*outcome.analysis);
   if (flags.emitPython) {
     std::puts("");
@@ -237,9 +336,12 @@ int cmdBatch(std::vector<std::string> args) {
   }
 
   double parallelSeconds =
-      runBatch(requests, flags.threads, flags.useCache, false);
+      runBatch(requests, batchOptionsFor(flags, flags.threads), false);
   if (flags.compareSerial) {
-    double serialSeconds = runBatch(requests, 1, flags.useCache, true);
+    // The serial reference run skips the disk cache: it would otherwise
+    // be warmed by the parallel run above and win every comparison.
+    double serialSeconds =
+        runBatch(requests, batchOptionsFor(flags, 1, false), true);
     printSpeedup(serialSeconds, parallelSeconds, flags.threads);
   }
   return parallelSeconds < 0 ? 1 : 0;
@@ -267,12 +369,15 @@ int cmdCoverage(std::vector<std::string> args) {
   if (!parseFlags(args, flags) || !args.empty())
     return 2;
 
+  if (!flags.cacheDir.empty())
+    std::fprintf(stderr, "note: coverage needs the compiled program and "
+                         "ignores --cache-dir\n");
+
   // One batch analysis serves both the Table I numbers and the status
   // table below.
   auto requests = coverageRequests();
-  driver::BatchOptions batchOptions;
-  batchOptions.threads = flags.threads;
-  batchOptions.useCache = flags.useCache;
+  driver::BatchOptions batchOptions =
+      batchOptionsFor(flags, flags.threads, false);
   driver::BatchAnalyzer analyzer(batchOptions);
   auto outcomes = analyzer.run(requests);
 
@@ -299,10 +404,57 @@ int cmdCoverage(std::vector<std::string> args) {
   double parallelSeconds =
       printOutcomes(outcomes, analyzer.stats(), flags.threads, false);
   if (flags.compareSerial) {
-    double serialSeconds = runBatch(requests, 1, flags.useCache, true);
+    double serialSeconds =
+        runBatch(requests, batchOptionsFor(flags, 1, false), true);
     printSpeedup(serialSeconds, parallelSeconds, flags.threads);
   }
   return parallelSeconds < 0 ? 1 : 0;
+}
+
+int cmdCache(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || args.size() != 1)
+    return 2;
+  if (flags.cacheDir.empty()) {
+    std::fprintf(stderr, "cache requires --cache-dir\n");
+    return 2;
+  }
+  // Opening a CacheStore creates the directory; an inspection command
+  // must not conjure an empty cache out of a typo'd path and report
+  // "0 entries removed" as success.
+  std::error_code ec;
+  if (!std::filesystem::is_directory(flags.cacheDir, ec)) {
+    std::fprintf(stderr, "no cache directory at '%s'\n",
+                 flags.cacheDir.c_str());
+    return 1;
+  }
+  CacheStore store(flags.cacheDir, flags.cacheBytesLimit);
+  if (!store.usable()) {
+    std::fprintf(stderr, "cannot open cache directory '%s'\n",
+                 flags.cacheDir.c_str());
+    return 1;
+  }
+  if (args[0] == "stats") {
+    std::printf("cache directory : %s\n", store.directory().c_str());
+    std::printf("entries         : %zu\n", store.entryCount());
+    std::printf("total bytes     : %llu\n",
+                static_cast<unsigned long long>(store.totalBytes()));
+    if (store.bytesLimit() != 0)
+      std::printf("byte limit      : %llu\n",
+                  static_cast<unsigned long long>(store.bytesLimit()));
+    else
+      std::printf("byte limit      : unlimited\n");
+    std::printf("schema version  : %u\n", kCacheSchemaVersion);
+    return 0;
+  }
+  if (args[0] == "clear") {
+    const std::size_t before = store.entryCount();
+    store.clear();
+    std::printf("removed %zu cache entries from %s\n", before,
+                store.directory().c_str());
+    return 0;
+  }
+  return 2;
 }
 
 } // namespace
@@ -319,5 +471,7 @@ int main(int argc, char **argv) {
     result = cmdBatch(std::move(args));
   else if (command == "coverage")
     result = cmdCoverage(std::move(args));
+  else if (command == "cache")
+    result = cmdCache(std::move(args));
   return result == 2 ? usage(argv[0]) : result;
 }

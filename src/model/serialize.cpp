@@ -1,0 +1,230 @@
+#include "model/serialize.h"
+
+#include "isa/opcode.h"
+#include "support/binary_io.h"
+#include "symbolic/expr.h"
+
+namespace mira::model {
+
+namespace {
+
+using symbolic::Expr;
+using symbolic::ExprKind;
+using symbolic::ExprNode;
+using symbolic::ExprNodeRef;
+
+using bio::putI64;
+using bio::putString;
+using bio::putU32;
+using bio::putU8;
+
+// Corrupt data must fail parsing, not exhaust memory or the stack.
+constexpr std::size_t kMaxExprDepth = 512;
+
+void putExprNode(std::string &out, const ExprNode &node) {
+  putU8(out, static_cast<std::uint8_t>(node.kind));
+  switch (node.kind) {
+  case ExprKind::IntConst:
+    putI64(out, node.value);
+    return;
+  case ExprKind::Param:
+    putString(out, node.name);
+    return;
+  case ExprKind::Sum:
+    putString(out, node.name);
+    break; // operands follow (lo, hi, body)
+  default:
+    break;
+  }
+  putU32(out, static_cast<std::uint32_t>(node.operands.size()));
+  for (const ExprNodeRef &operand : node.operands)
+    putExprNode(out, *operand);
+}
+
+void putExpr(std::string &out, const Expr &expr) {
+  putExprNode(out, expr.node());
+}
+
+// ------------------------------------------------------------- readers
+
+struct Reader : bio::Reader {
+  bool exprNode(ExprNodeRef &out, std::size_t depth);
+
+  bool expr(Expr &out) {
+    ExprNodeRef node;
+    if (!exprNode(node, 0))
+      return false;
+    out = Expr::fromNode(std::move(node));
+    return true;
+  }
+};
+
+bool Reader::exprNode(ExprNodeRef &out, std::size_t depth) {
+  if (depth > kMaxExprDepth)
+    return false;
+  std::uint8_t kindTag = 0;
+  if (!u8(kindTag))
+    return false;
+  if (kindTag > static_cast<std::uint8_t>(ExprKind::Sum))
+    return false;
+  const auto kind = static_cast<ExprKind>(kindTag);
+  auto node = std::make_shared<ExprNode>(kind);
+  switch (kind) {
+  case ExprKind::IntConst:
+    if (!i64(node->value))
+      return false;
+    out = std::move(node);
+    return true;
+  case ExprKind::Param:
+    if (!str(node->name))
+      return false;
+    out = std::move(node);
+    return true;
+  case ExprKind::Sum:
+    if (!str(node->name))
+      return false;
+    break;
+  default:
+    break;
+  }
+  std::uint32_t count = 0;
+  if (!u32(count))
+    return false;
+  // Every operand costs at least its one-byte kind tag.
+  if (count > remaining())
+    return false;
+  if (kind == ExprKind::Sum && count != 3)
+    return false;
+  node->operands.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ExprNodeRef child;
+    if (!exprNode(child, depth + 1))
+      return false;
+    node->operands.push_back(std::move(child));
+  }
+  out = std::move(node);
+  return true;
+}
+
+} // namespace
+
+void serializeModel(const PerformanceModel &model, std::string &out) {
+  putString(out, model.sourceFile);
+  putU32(out, static_cast<std::uint32_t>(model.functions.size()));
+  for (const FunctionModel &fn : model.functions) {
+    putString(out, fn.sourceName);
+    putString(out, fn.modelName);
+    putU32(out, static_cast<std::uint32_t>(fn.paramNames.size()));
+    for (const std::string &name : fn.paramNames)
+      putString(out, name);
+    putU8(out, fn.exact ? 1 : 0);
+    putU32(out, static_cast<std::uint32_t>(fn.notes.size()));
+    for (const std::string &note : fn.notes)
+      putString(out, note);
+    putU32(out, static_cast<std::uint32_t>(fn.counts.size()));
+    for (const CountStep &step : fn.counts) {
+      putExpr(out, step.multiplier);
+      putString(out, step.comment);
+      putU32(out, static_cast<std::uint32_t>(step.opcodes.size()));
+      for (const auto &[op, n] : step.opcodes) {
+        putU32(out, static_cast<std::uint32_t>(op));
+        putI64(out, n);
+      }
+    }
+    putU32(out, static_cast<std::uint32_t>(fn.calls.size()));
+    for (const CallStep &step : fn.calls) {
+      putExpr(out, step.multiplier);
+      putString(out, step.callee);
+      putU32(out, step.line);
+      putU32(out, static_cast<std::uint32_t>(step.argBindings.size()));
+      for (const auto &[name, expr] : step.argBindings) {
+        putString(out, name);
+        putExpr(out, expr);
+      }
+    }
+  }
+}
+
+bool deserializeModel(const std::string &bytes, std::size_t &offset,
+                      PerformanceModel &out) {
+  Reader r{{bytes, offset}};
+  out = PerformanceModel();
+  if (!r.str(out.sourceFile))
+    return false;
+  std::uint32_t functionCount = 0;
+  if (!r.u32(functionCount) || functionCount > r.remaining())
+    return false;
+  out.functions.reserve(functionCount);
+  for (std::uint32_t f = 0; f < functionCount; ++f) {
+    FunctionModel fn;
+    if (!r.str(fn.sourceName) || !r.str(fn.modelName))
+      return false;
+    std::uint32_t paramCount = 0;
+    if (!r.u32(paramCount) || paramCount > r.remaining())
+      return false;
+    fn.paramNames.reserve(paramCount);
+    for (std::uint32_t i = 0; i < paramCount; ++i) {
+      std::string name;
+      if (!r.str(name))
+        return false;
+      fn.paramNames.push_back(std::move(name));
+    }
+    std::uint8_t exact = 0;
+    if (!r.u8(exact) || exact > 1)
+      return false;
+    fn.exact = exact != 0;
+    std::uint32_t noteCount = 0;
+    if (!r.u32(noteCount) || noteCount > r.remaining())
+      return false;
+    for (std::uint32_t i = 0; i < noteCount; ++i) {
+      std::string note;
+      if (!r.str(note))
+        return false;
+      fn.notes.push_back(std::move(note));
+    }
+    std::uint32_t countSteps = 0;
+    if (!r.u32(countSteps) || countSteps > r.remaining())
+      return false;
+    for (std::uint32_t i = 0; i < countSteps; ++i) {
+      CountStep step;
+      if (!r.expr(step.multiplier) || !r.str(step.comment))
+        return false;
+      std::uint32_t opcodeCount = 0;
+      if (!r.u32(opcodeCount) || opcodeCount > r.remaining())
+        return false;
+      for (std::uint32_t o = 0; o < opcodeCount; ++o) {
+        std::uint32_t opcode = 0;
+        std::int64_t n = 0;
+        if (!r.u32(opcode) || opcode >= isa::kNumOpcodes || !r.i64(n))
+          return false;
+        step.opcodes[static_cast<isa::Opcode>(opcode)] = n;
+      }
+      fn.counts.push_back(std::move(step));
+    }
+    std::uint32_t callSteps = 0;
+    if (!r.u32(callSteps) || callSteps > r.remaining())
+      return false;
+    for (std::uint32_t i = 0; i < callSteps; ++i) {
+      CallStep step;
+      if (!r.expr(step.multiplier) || !r.str(step.callee) ||
+          !r.u32(step.line))
+        return false;
+      std::uint32_t bindingCount = 0;
+      if (!r.u32(bindingCount) || bindingCount > r.remaining())
+        return false;
+      for (std::uint32_t b = 0; b < bindingCount; ++b) {
+        std::string name;
+        Expr expr;
+        if (!r.str(name) || !r.expr(expr))
+          return false;
+        step.argBindings.emplace(std::move(name), expr);
+      }
+      fn.calls.push_back(std::move(step));
+    }
+    out.functions.push_back(std::move(fn));
+  }
+  offset = r.offset;
+  return true;
+}
+
+} // namespace mira::model

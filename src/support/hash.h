@@ -1,9 +1,12 @@
-// FNV-1a hashing for cache keys.
-//
-// The batch driver keys its analysis cache on (source bytes, options)
-// fingerprints. FNV-1a is deterministic across platforms and processes,
-// unlike std::hash, so cache keys can be logged, compared between runs,
-// and used in on-disk formats later.
+/// \file
+/// FNV-1a hashing for cache keys.
+///
+/// The batch driver keys its analysis cache on (source bytes, options)
+/// fingerprints (driver::requestKey). FNV-1a is deterministic across
+/// platforms and processes, unlike std::hash, so cache keys can be
+/// logged, compared between runs, and used in on-disk formats — the
+/// persistent cache (support/cache_store.h) names its entry files after
+/// these keys and checksums payloads with the same function.
 #pragma once
 
 #include <cstddef>
@@ -12,7 +15,9 @@
 
 namespace mira {
 
+/// FNV-1a 64-bit offset basis (the hash of the empty input).
 inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+/// FNV-1a 64-bit prime.
 inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
 
 /// FNV-1a over a byte range, continuing from `seed`.

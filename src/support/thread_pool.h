@@ -1,10 +1,13 @@
-// Fixed-size worker pool with a shared task queue.
-//
-// The batch driver fans analysis requests across this pool; anything else
-// that needs coarse-grained parallelism (future: per-function model
-// evaluation, workload sweeps) should reuse it instead of spawning ad-hoc
-// threads. Tasks are plain std::function<void()>; results travel through
-// whatever the caller captured (promises, pre-sized output slots).
+/// \file
+/// Fixed-size worker pool with a shared task queue.
+///
+/// The batch driver fans analysis requests across this pool, and
+/// metric generation fans per-function modeling across a second one
+/// (metrics::generateModel); anything else that needs coarse-grained
+/// parallelism (workload sweeps, future pass pipelines) should reuse it
+/// instead of spawning ad-hoc threads. Tasks are plain
+/// std::function<void()>; results travel through whatever the caller
+/// captured (promises, pre-sized output slots).
 #pragma once
 
 #include <condition_variable>
@@ -17,6 +20,13 @@
 
 namespace mira {
 
+/// Fixed pool of worker threads draining one FIFO task queue.
+///
+/// Nested-pool etiquette: a task running on pool A may submit to and
+/// block on futures from pool B, but must never block on work queued to
+/// its own pool — if every A-worker did so, the queued tasks could
+/// never start. This is why BatchAnalyzer keeps a separate model pool
+/// for within-request parallelism.
 class ThreadPool {
 public:
   /// Spawns `threads` workers (clamped to at least 1).
@@ -34,9 +44,12 @@ public:
   /// process, so callers (e.g. BatchAnalyzer) catch at the task boundary.
   void submit(std::function<void()> task);
 
-  /// Block until the queue is empty and no task is executing.
+  /// Block until the queue is empty and no task is executing. Only
+  /// meaningful when this caller is the sole submitter; a task waiting
+  /// for specific results should wait on its own future instead.
   void waitIdle();
 
+  /// Number of worker threads (fixed at construction).
   std::size_t threadCount() const { return workers_.size(); }
 
   /// std::thread::hardware_concurrency with a sane fallback of 4.

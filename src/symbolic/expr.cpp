@@ -250,6 +250,12 @@ Expr Expr::sum(std::string var, Expr lo, Expr hi, Expr body) {
   return Expr(n);
 }
 
+Expr Expr::fromNode(ExprNodeRef node) {
+  if (!node)
+    return Expr();
+  return Expr(std::move(node));
+}
+
 Expr operator+(const Expr &a, const Expr &b) { return Expr::add({a, b}); }
 Expr operator-(const Expr &a, const Expr &b) {
   return Expr::add({a, Expr::mul({Expr::intConst(-1), b})});

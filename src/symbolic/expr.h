@@ -64,6 +64,13 @@ public:
   /// (hi < lo) evaluate to 0.
   static Expr sum(std::string var, Expr lo, Expr hi, Expr body);
 
+  /// Wrap an already-built node verbatim, bypassing the canonicalizing
+  /// builders. For deserialization (model/serialize.h) only: the node
+  /// must come from a tree that was canonical when serialized, so
+  /// re-canonicalizing would be at best a no-op and at worst a source of
+  /// byte-level drift between cached and fresh models.
+  static Expr fromNode(ExprNodeRef node);
+
   friend Expr operator+(const Expr &a, const Expr &b);
   friend Expr operator-(const Expr &a, const Expr &b);
   friend Expr operator*(const Expr &a, const Expr &b);
