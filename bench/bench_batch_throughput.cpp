@@ -3,19 +3,27 @@
 // Fans the ten Table I coverage kernels plus the fig-series workloads
 // across the BatchAnalyzer thread pool and reports (a) serial-vs-parallel
 // wall-clock speedup, (b) the cache-hit fast path for repeated
-// (source, options) pairs, and (c) the persistent disk cache: a cold run
+// (source, options) pairs, (c) the persistent disk cache: a cold run
 // that stores every entry followed by a fresh-analyzer warm run that
-// must be pure disk hits, with hit/miss counts printed. On multi-core
-// hosts the 4-thread batch must beat serial by >1.5x; on single-core
-// containers the table still prints and flags the configuration as
-// unable to demonstrate parallelism.
+// must be pure disk hits, with hit/miss counts printed, and (d) the
+// serving daemon: per-request latency of the one-shot path (a fresh
+// analyzer per request — the work every new CLI process repeats) vs.
+// round-trips to one warm in-process daemon over its Unix socket. On
+// multi-core hosts the 4-thread batch must beat serial by >1.5x; on
+// single-core containers the table still prints and flags the
+// configuration as unable to demonstrate parallelism.
 #include "bench_util.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <thread>
 
+#include <unistd.h>
+
 #include "driver/batch.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "workloads/coverage_suite.h"
 
 namespace {
@@ -126,8 +134,127 @@ void printSpeedupTable() {
     std::printf("  WARNING: warm disk-cache run recomputed %zu sources\n",
                 warmMisses);
   std::filesystem::remove_all(cacheDir);
+
+  // Daemon phase: what one request costs through a cold process versus
+  // a warm daemon. The one-shot column runs a fresh BatchAnalyzer per
+  // request (every CLI invocation's in-process work, excluding exec and
+  // runtime startup — the real CLI gap is larger); the daemon column is
+  // a full socket round-trip against a server whose memory cache is hot
+  // after the first request.
+  const std::string socketPath =
+      (std::filesystem::temp_directory_path() /
+       ("mira_bench_daemon_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  server::ServerOptions serverOptions;
+  serverOptions.socketPath = socketPath;
+  serverOptions.threads = 2;
+  server::AnalysisServer daemon(serverOptions);
+  std::string error;
+  if (!daemon.start(error)) {
+    std::printf("daemon phase skipped: %s\n", error.c_str());
+    bench::printRule();
+    return;
+  }
+  std::thread serveThread([&daemon] { daemon.serve(); });
+  server::Client client;
+  if (!client.connect(socketPath)) {
+    std::printf("daemon phase skipped: %s\n", client.lastError().c_str());
+    daemon.requestStop();
+    serveThread.join();
+    bench::printRule();
+    return;
+  }
+
+  constexpr int kRepeats = 20;
+  const std::string &daemonSource = workloads::minifeSource();
+  auto now = [] { return std::chrono::steady_clock::now(); };
+  auto elapsed = [](std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  double oneShotSeconds = 0;
+  for (int i = 0; i < kRepeats; ++i) {
+    driver::BatchOptions oneShot;
+    oneShot.threads = 1;
+    auto start = now();
+    driver::BatchAnalyzer fresh(oneShot); // a "new process" every time
+    driver::AnalysisRequest request;
+    request.name = "@minife";
+    request.source = daemonSource;
+    if (!fresh.analyzeSingle(request).ok)
+      std::abort();
+    oneShotSeconds += elapsed(start);
+  }
+
+  double daemonSeconds = 0;
+  std::size_t daemonHits = 0;
+  for (int i = 0; i < kRepeats; ++i) {
+    server::ClientOutcome outcome;
+    auto start = now();
+    if (!client.analyze("@minife", daemonSource, core::MiraOptions(),
+                        outcome) ||
+        !outcome.ok)
+      std::abort();
+    daemonSeconds += elapsed(start);
+    if (outcome.cacheHit)
+      ++daemonHits;
+  }
+  if (!client.shutdownServer())
+    daemon.requestStop(); // a failed wire shutdown must not hang join()
+  serveThread.join();
+
+  std::printf("\ndaemon: one-shot %.4f ms/req -> warm daemon %.4f ms/req "
+              "(%.1fx, %zu/%d cache hits; exec+startup excluded from "
+              "one-shot)\n",
+              1e3 * oneShotSeconds / kRepeats, 1e3 * daemonSeconds / kRepeats,
+              daemonSeconds > 0 ? oneShotSeconds / daemonSeconds : 0.0,
+              daemonHits, kRepeats);
+  if (daemonHits + 1 < kRepeats)
+    std::printf("  WARNING: warm daemon recomputed %d requests\n",
+                static_cast<int>(kRepeats - 1 - daemonHits));
   bench::printRule();
 }
+
+void BM_DaemonWarmAnalyze(benchmark::State &state) {
+  // Socket round-trip + cache hit: the daemon's steady-state serving
+  // latency for one already-hot source.
+  const std::string socketPath =
+      (std::filesystem::temp_directory_path() /
+       ("mira_bench_daemon_bm_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  server::ServerOptions options;
+  options.socketPath = socketPath;
+  server::AnalysisServer daemon(options);
+  std::string error;
+  if (!daemon.start(error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  std::thread serveThread([&daemon] { daemon.serve(); });
+  server::Client client;
+  server::ClientOutcome outcome;
+  if (!client.connect(socketPath) ||
+      !client.analyze("@fig5", workloads::fig5Source(), core::MiraOptions(),
+                      outcome)) {
+    daemon.requestStop();
+    serveThread.join();
+    state.SkipWithError("daemon warmup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!client.analyze("@fig5", workloads::fig5Source(), core::MiraOptions(),
+                        outcome))
+      std::abort();
+    benchmark::DoNotOptimize(outcome.payload.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (!client.shutdownServer())
+    daemon.requestStop();
+  serveThread.join();
+}
+BENCHMARK(BM_DaemonWarmAnalyze)->Unit(benchmark::kMillisecond);
 
 void BM_BatchAnalyzeWarmDiskCache(benchmark::State &state) {
   auto requests = batchRequests();

@@ -1,6 +1,7 @@
 #include "driver/batch.h"
 
 #include <chrono>
+#include <condition_variable>
 
 #include "model/serialize.h"
 #include "support/binary_io.h"
@@ -59,14 +60,15 @@ void BatchAnalyzer::clearCache() {
   cache_.clear();
 }
 
-namespace {
-
-// Disk payload layout (versioned as a whole by the CacheStore header —
-// bump kCacheSchemaVersion when changing this):
+// Payload layout (versioned as a whole by the CacheStore header — bump
+// kCacheSchemaVersion when changing this):
 //   [ok u8][producerName str][diagnostics str][model bytes when ok]
-std::string serializeValue(const core::AnalysisResult *analysis,
-                           const std::string &diagnostics,
-                           const std::string &producerName) {
+// Shared by the disk cache and the serving protocol (docs/PROTOCOL.md),
+// which is what makes a daemon-served model byte-identical to a
+// disk-cached one by construction.
+std::string serializeOutcomePayload(const core::AnalysisResult *analysis,
+                                    const std::string &diagnostics,
+                                    const std::string &producerName) {
   std::string out;
   bio::putU8(out, analysis ? 1 : 0);
   bio::putString(out, producerName);
@@ -76,9 +78,10 @@ std::string serializeValue(const core::AnalysisResult *analysis,
   return out;
 }
 
-bool deserializeValue(const std::string &payload,
-                      std::shared_ptr<const core::AnalysisResult> &analysis,
-                      std::string &diagnostics, std::string &producerName) {
+bool deserializeOutcomePayload(
+    const std::string &payload,
+    std::shared_ptr<const core::AnalysisResult> &analysis,
+    std::string &diagnostics, std::string &producerName) {
   bio::Reader r{payload, 0};
   std::uint8_t ok = 0;
   if (!r.u8(ok) || ok > 1)
@@ -98,8 +101,6 @@ bool deserializeValue(const std::string &payload,
   analysis = std::move(result);
   return true;
 }
-
-} // namespace
 
 BatchAnalyzer::CacheValue
 BatchAnalyzer::computeValue(const AnalysisRequest &request) {
@@ -133,8 +134,8 @@ BatchAnalyzer::produceValue(const AnalysisRequest &request,
     if (auto payload = disk_->load(key)) {
       CacheValue value;
       value.fromDisk = true;
-      if (deserializeValue(*payload, value.analysis, value.diagnostics,
-                           value.producerName)) {
+      if (deserializeOutcomePayload(*payload, value.analysis,
+                                    value.diagnostics, value.producerName)) {
         disk_hits_.fetch_add(1, std::memory_order_relaxed);
         return value;
       }
@@ -150,12 +151,45 @@ BatchAnalyzer::produceValue(const AnalysisRequest &request,
   // exception-path failures do not — caching a one-off bad_alloc would
   // replay it on every future run of this source.
   if (disk_ && !value.transientFailure) {
-    const std::string payload = serializeValue(
+    const std::string payload = serializeOutcomePayload(
         value.analysis.get(), value.diagnostics, value.producerName);
     if (disk_->store(key, payload))
       disk_stores_.fetch_add(1, std::memory_order_relaxed);
   }
   return value;
+}
+
+AnalysisOutcome BatchAnalyzer::analyzeSingle(const AnalysisRequest &request) {
+  return analyzeOne(request);
+}
+
+std::vector<AnalysisOutcome>
+BatchAnalyzer::analyzeMany(const std::vector<AnalysisRequest> &requests) {
+  std::vector<AnalysisOutcome> outcomes(requests.size());
+  if (requests.empty())
+    return outcomes;
+  // A per-call latch instead of pool_.waitIdle(): concurrent callers
+  // must each wait for exactly their own tasks. Workers hold shared
+  // ownership so the state outlives this frame even if a worker is
+  // descheduled between its decrement and its return.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = requests.size();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pool_.submit([this, &requests, &outcomes, latch, i] {
+      outcomes[i] = analyzeOne(requests[i]);
+      std::lock_guard<std::mutex> lock(latch->mutex);
+      if (--latch->remaining == 0)
+        latch->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch->mutex);
+  latch->done.wait(lock, [&] { return latch->remaining == 0; });
+  return outcomes;
 }
 
 AnalysisOutcome BatchAnalyzer::analyzeOne(const AnalysisRequest &request) {

@@ -96,6 +96,24 @@ struct BatchStats {
 /// cache's file name (support/cache_store.h).
 std::uint64_t requestKey(const AnalysisRequest &request);
 
+/// Serialize one analysis value into the canonical payload format shared
+/// by the disk cache and the serving protocol:
+/// `[ok u8][producerName str][diagnostics str][model bytes when ok]`
+/// (docs/CACHING.md "Entry format"). `analysis` may be null (a cached
+/// failure). Versioned as a whole by kCacheSchemaVersion.
+std::string serializeOutcomePayload(const core::AnalysisResult *analysis,
+                                    const std::string &diagnostics,
+                                    const std::string &producerName);
+
+/// Parse a serializeOutcomePayload buffer. Returns false on any
+/// structural problem (bounds, trailing garbage) — callers treat that as
+/// corruption and recompute. On success `analysis` is null iff the
+/// payload recorded a failed analysis.
+bool deserializeOutcomePayload(
+    const std::string &payload,
+    std::shared_ptr<const core::AnalysisResult> &analysis,
+    std::string &diagnostics, std::string &producerName);
+
 /// Analyzes batches of sources in parallel with two-level caching.
 class BatchAnalyzer {
 public:
@@ -104,6 +122,23 @@ public:
   /// Analyze every request; outcome[i] corresponds to requests[i]
   /// regardless of thread count or completion order.
   std::vector<AnalysisOutcome> run(const std::vector<AnalysisRequest> &requests);
+
+  /// Analyze one request on the calling thread, sharing the in-memory
+  /// and disk cache levels with every other caller. Unlike run(), this
+  /// IS safe to call concurrently (the serving daemon fans sessions
+  /// across its own pool and calls this per request); it does not use
+  /// the analyzer's batch pool and does not touch stats().
+  AnalysisOutcome analyzeSingle(const AnalysisRequest &request);
+
+  /// Fan `requests` across the batch pool and block until all outcomes
+  /// are in (input order). Like analyzeSingle — and unlike run() — this
+  /// is safe to call concurrently and does not touch stats(): the
+  /// daemon serves each batch request through one call, so concurrent
+  /// sessions share the pool fairly. Must not be called from a task
+  /// running on this analyzer's own pool (nested-pool rule,
+  /// support/thread_pool.h).
+  std::vector<AnalysisOutcome>
+  analyzeMany(const std::vector<AnalysisRequest> &requests);
 
   /// Stats of the last run() (cache hit/miss, failures, wall clock).
   const BatchStats &stats() const { return stats_; }

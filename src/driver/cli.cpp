@@ -21,11 +21,26 @@
 //   mira-cli cache <stats|clear> --cache-dir DIR
 //       Inspect or empty a persistent analysis cache directory.
 //
+//   mira-cli serve --socket PATH [--threads N] [--model-threads N]
+//            [--cache-dir DIR] [--cache-limit BYTES]
+//       Long-lived analysis daemon on a Unix-domain socket: the
+//       in-memory cache stays hot across requests, so repeat analyses
+//       cost one socket round-trip instead of a process start plus a
+//       cold pipeline. Stops on SIGINT/SIGTERM or a client shutdown.
+//
+//   mira-cli client <analyze|batch|cache-stats|ping|shutdown>
+//            --socket PATH [sources...] [--no-optimize] [--no-vectorize]
+//            [--emit-python]
+//       Talk to a running daemon over the wire protocol
+//       (docs/PROTOCOL.md).
+//
 // '@name' pulls an embedded workload (stream, dgemm, minife, fig5,
-// listings) instead of reading a file. See docs/CLI.md for a full tour
-// and docs/CACHING.md for the on-disk format.
+// listings) instead of reading a file. See docs/CLI.md for a full tour,
+// docs/CACHING.md for the on-disk format, and docs/SERVING.md for the
+// daemon operator guide.
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -35,9 +50,14 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "driver/batch.h"
 #include "model/python_emitter.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "support/cache_store.h"
+#include "support/string_utils.h"
 #include "sema/ast_stats.h"
 #include "workloads/coverage_suite.h"
 #include "workloads/workloads.h"
@@ -49,7 +69,7 @@ using namespace mira;
 int usage(const char *argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <analyze|batch|coverage|cache> [args]\n"
+      "usage: %s <analyze|batch|coverage|cache|serve|client> [args]\n"
       "  analyze <file.mc|@workload> [--no-optimize] [--no-vectorize]\n"
       "          [--emit-python] [--model-threads N] [--cache-dir DIR]\n"
       "  batch <files/@workloads...> [--threads N] [--no-cache]\n"
@@ -57,6 +77,11 @@ int usage(const char *argv0) {
       "          [--cache-dir DIR] [--cache-limit BYTES]\n"
       "  coverage [--threads N] [--compare-serial]\n"
       "  cache <stats|clear> --cache-dir DIR\n"
+      "  serve --socket PATH [--threads N] [--model-threads N]\n"
+      "          [--cache-dir DIR] [--cache-limit BYTES]\n"
+      "  client <analyze|batch|cache-stats|ping|shutdown> --socket PATH\n"
+      "          [sources...] [--no-optimize] [--no-vectorize]\n"
+      "          [--emit-python]\n"
       "workloads: @stream @dgemm @minife @fig5 @listings\n"
       "--cache-limit accepts plain bytes or a K/M/G suffix (e.g. 64M)\n",
       argv0);
@@ -121,6 +146,7 @@ struct CommonFlags {
   std::size_t modelThreads = 1;
   std::string cacheDir;
   std::uint64_t cacheBytesLimit = 0;
+  std::string socketPath;
 };
 
 /// Parse "1048576", "64K", "64M", "2G" into bytes; false on junk or on
@@ -187,6 +213,12 @@ bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
         return false;
       }
       flags.cacheDir = args[++i];
+    } else if (a == "--socket") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--socket requires a value\n");
+        return false;
+      }
+      flags.socketPath = args[++i];
     } else if (a == "--cache-limit") {
       if (i + 1 == args.size() ||
           !parseByteSize(args[i + 1], flags.cacheBytesLimit)) {
@@ -435,13 +467,21 @@ int cmdCache(std::vector<std::string> args) {
     return 1;
   }
   if (args[0] == "stats") {
+    // Raw counts stay first on each line (scripts parse them); the
+    // human-readable size rides along in parentheses. Field meanings
+    // are documented in docs/CACHING.md, "Observability".
     std::printf("cache directory : %s\n", store.directory().c_str());
-    std::printf("entries         : %zu\n", store.entryCount());
-    std::printf("total bytes     : %llu\n",
-                static_cast<unsigned long long>(store.totalBytes()));
+    std::size_t entries = 0;
+    std::uint64_t total = 0;
+    store.usage(entries, total);
+    std::printf("entries         : %zu\n", entries);
+    std::printf("total bytes     : %llu (%s)\n",
+                static_cast<unsigned long long>(total),
+                formatBytes(total).c_str());
     if (store.bytesLimit() != 0)
-      std::printf("byte limit      : %llu\n",
-                  static_cast<unsigned long long>(store.bytesLimit()));
+      std::printf("byte limit      : %llu (%s)\n",
+                  static_cast<unsigned long long>(store.bytesLimit()),
+                  formatBytes(store.bytesLimit()).c_str());
     else
       std::printf("byte limit      : unlimited\n");
     std::printf("schema version  : %u\n", kCacheSchemaVersion);
@@ -454,6 +494,232 @@ int cmdCache(std::vector<std::string> args) {
                 store.directory().c_str());
     return 0;
   }
+  return 2;
+}
+
+// ------------------------------------------------------------- daemon
+
+// Signal handlers may only touch async-signal-safe state: a single
+// write(2) on the server's stop-event pipe is exactly that.
+volatile int g_serverStopFd = -1;
+
+extern "C" void onStopSignal(int) {
+  const int fd = g_serverStopFd;
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = write(fd, &byte, 1);
+  }
+}
+
+int cmdServe(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || !args.empty())
+    return 2;
+  if (flags.socketPath.empty()) {
+    std::fprintf(stderr, "serve requires --socket PATH\n");
+    return 2;
+  }
+
+  server::ServerOptions options;
+  options.socketPath = flags.socketPath;
+  options.threads = flags.threads;
+  options.modelThreads = flags.modelThreads;
+  options.cacheDir = flags.cacheDir;
+  options.cacheBytesLimit = flags.cacheBytesLimit;
+
+  server::AnalysisServer daemon(options);
+  std::string error;
+  if (!daemon.start(error)) {
+    std::fprintf(stderr, "cannot start daemon: %s\n", error.c_str());
+    return 1;
+  }
+
+  g_serverStopFd = daemon.stopEventFd();
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+
+  std::printf("mira daemon listening on %s (%zu session threads%s%s)\n",
+              options.socketPath.c_str(), options.threads,
+              options.cacheDir.empty() ? "" : ", disk cache at ",
+              options.cacheDir.c_str());
+  std::fflush(stdout); // supervisors tail this line to detect readiness
+
+  daemon.serve();
+
+  const server::ServerStats stats = daemon.snapshotStats();
+  g_serverStopFd = -1;
+  std::printf("daemon stopped: %llu requests over %llu connections, "
+              "%llu analyses (%llu cache hits / %llu computed)\n",
+              static_cast<unsigned long long>(stats.requestsServed),
+              static_cast<unsigned long long>(stats.connectionsAccepted),
+              static_cast<unsigned long long>(stats.sourcesAnalyzed),
+              static_cast<unsigned long long>(stats.cacheHits),
+              static_cast<unsigned long long>(stats.computed));
+  return 0;
+}
+
+// ------------------------------------------------------------- client
+
+int requireClientConnection(server::Client &client,
+                            const CommonFlags &flags) {
+  if (flags.socketPath.empty()) {
+    std::fprintf(stderr, "client requires --socket PATH\n");
+    return 2;
+  }
+  if (!client.connect(flags.socketPath)) {
+    std::fprintf(stderr, "%s\n", client.lastError().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+void printClientOutcome(const server::ClientOutcome &outcome) {
+  if (!outcome.diagnostics.empty())
+    std::fprintf(stderr, "%s\n", outcome.diagnostics.c_str());
+  std::printf("analyzed %s via daemon in %.4f s (%s)\n",
+              outcome.name.c_str(),
+              static_cast<double>(outcome.micros) / 1e6,
+              outcome.cacheHit ? "cache hit" : "computed");
+}
+
+int cmdClient(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || args.empty())
+    return 2;
+  const std::string action = args[0];
+  args.erase(args.begin());
+
+  server::Client client;
+
+  if (action == "ping") {
+    if (int rc = requireClientConnection(client, flags))
+      return rc;
+    if (!client.ping()) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    std::printf("daemon at %s is alive\n", flags.socketPath.c_str());
+    return 0;
+  }
+
+  if (action == "shutdown") {
+    if (int rc = requireClientConnection(client, flags))
+      return rc;
+    if (!client.shutdownServer()) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    std::printf("daemon at %s acknowledged shutdown\n",
+                flags.socketPath.c_str());
+    return 0;
+  }
+
+  if (action == "cache-stats") {
+    if (int rc = requireClientConnection(client, flags))
+      return rc;
+    server::ServerStats stats;
+    if (!client.cacheStats(stats)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    // Field meanings: docs/PROTOCOL.md, CacheStatsReply.
+    std::printf("uptime          : %.1f s\n",
+                static_cast<double>(stats.uptimeMicros) / 1e6);
+    std::printf("connections     : %llu\n",
+                static_cast<unsigned long long>(stats.connectionsAccepted));
+    std::printf("requests served : %llu\n",
+                static_cast<unsigned long long>(stats.requestsServed));
+    std::printf("analyze / batch : %llu / %llu\n",
+                static_cast<unsigned long long>(stats.analyzeRequests),
+                static_cast<unsigned long long>(stats.batchRequests));
+    std::printf("sources analyzed: %llu (%llu cache hits, %llu computed, "
+                "%llu failed)\n",
+                static_cast<unsigned long long>(stats.sourcesAnalyzed),
+                static_cast<unsigned long long>(stats.cacheHits),
+                static_cast<unsigned long long>(stats.computed),
+                static_cast<unsigned long long>(stats.failures));
+    std::printf("protocol errors : %llu\n",
+                static_cast<unsigned long long>(stats.protocolErrors));
+    std::printf("memory entries  : %llu\n",
+                static_cast<unsigned long long>(stats.memoryEntries));
+    std::printf("disk cache      : %llu hit / %llu miss, %llu stored, "
+                "%llu entries, %llu bytes (%s)\n",
+                static_cast<unsigned long long>(stats.diskHits),
+                static_cast<unsigned long long>(stats.diskMisses),
+                static_cast<unsigned long long>(stats.diskStores),
+                static_cast<unsigned long long>(stats.diskEntries),
+                static_cast<unsigned long long>(stats.diskBytes),
+                formatBytes(stats.diskBytes).c_str());
+    std::printf("session threads : %llu\n",
+                static_cast<unsigned long long>(stats.threads));
+    return 0;
+  }
+
+  if (action == "analyze") {
+    if (args.size() != 1) {
+      std::fprintf(stderr, "client analyze takes exactly one source\n");
+      return 2;
+    }
+    driver::AnalysisRequest request;
+    if (!loadSource(args[0], request))
+      return 1;
+    if (int rc = requireClientConnection(client, flags))
+      return rc;
+    server::ClientOutcome outcome;
+    if (!client.analyze(request.name, request.source, optionsFor(flags),
+                        outcome)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    if (!outcome.ok) {
+      std::fprintf(stderr, "analysis of %s failed:\n%s\n",
+                   outcome.name.c_str(), outcome.diagnostics.c_str());
+      return 1;
+    }
+    printClientOutcome(outcome);
+    printModelSummary(*outcome.analysis);
+    if (flags.emitPython) {
+      std::puts("");
+      std::puts(model::emitPython(outcome.analysis->model).c_str());
+    }
+    return 0;
+  }
+
+  if (action == "batch") {
+    if (args.empty()) {
+      std::fprintf(stderr, "client batch needs at least one source\n");
+      return 2;
+    }
+    std::vector<server::SourceItem> items;
+    for (const auto &arg : args) {
+      driver::AnalysisRequest request;
+      if (!loadSource(arg, request))
+        return 1;
+      items.push_back({request.name, request.source});
+    }
+    if (int rc = requireClientConnection(client, flags))
+      return rc;
+    std::vector<server::ClientOutcome> outcomes;
+    if (!client.analyzeBatch(items, optionsFor(flags), outcomes)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    bool allOk = true;
+    std::printf("%-24s | %-6s | %-5s | %9s\n", "source", "status", "cache",
+                "seconds");
+    for (const auto &outcome : outcomes) {
+      allOk = allOk && outcome.ok;
+      std::printf("%-24s | %-6s | %-5s | %9.4f\n", outcome.name.c_str(),
+                  outcome.ok ? "ok" : "FAILED",
+                  outcome.cacheHit ? "hit" : "miss",
+                  static_cast<double>(outcome.micros) / 1e6);
+      if (!outcome.ok)
+        std::fprintf(stderr, "%s\n", outcome.diagnostics.c_str());
+    }
+    return allOk ? 0 : 1;
+  }
+
+  std::fprintf(stderr, "unknown client action '%s'\n", action.c_str());
   return 2;
 }
 
@@ -473,5 +739,9 @@ int main(int argc, char **argv) {
     result = cmdCoverage(std::move(args));
   else if (command == "cache")
     result = cmdCache(std::move(args));
+  else if (command == "serve")
+    result = cmdServe(std::move(args));
+  else if (command == "client")
+    result = cmdClient(std::move(args));
   return result == 2 ? usage(argv[0]) : result;
 }

@@ -1,0 +1,168 @@
+#include "server/client.h"
+
+#include "driver/batch.h"
+
+namespace mira::server {
+
+bool Client::fail(const std::string &message) {
+  error_ = message;
+  return false;
+}
+
+bool Client::connect(const std::string &path) {
+  disconnect();
+  std::string error;
+  socket_ = net::connectUnix(path, error);
+  if (!socket_.valid())
+    return fail(error);
+  return true;
+}
+
+void Client::disconnect() { socket_.close(); }
+
+bool Client::roundTrip(const std::string &request, MessageType expected,
+                       std::string &reply) {
+  if (!socket_.valid())
+    return fail("not connected");
+  // The frame cap is a protocol MUST for both peers: refuse to send an
+  // over-cap request up front, with the actionable message the daemon
+  // could never deliver (it would close the connection mid-send).
+  if (request.size() > kMaxFrameBytes)
+    return fail("request of " + std::to_string(request.size()) +
+                " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                "-byte frame cap; split the request");
+  if (!net::writeFrame(socket_.fd(), request)) {
+    disconnect();
+    return fail("send failed (daemon gone?)");
+  }
+  net::FrameStatus status =
+      net::readFrame(socket_.fd(), reply, kMaxFrameBytes);
+  if (status != net::FrameStatus::ok) {
+    disconnect();
+    switch (status) {
+    case net::FrameStatus::closed:
+      return fail("daemon closed the connection");
+    case net::FrameStatus::truncated:
+      return fail("daemon closed the connection mid-reply");
+    case net::FrameStatus::oversized:
+      return fail("reply frame exceeds the frame cap");
+    default:
+      return fail("receive failed");
+    }
+  }
+  bio::Reader r{reply, 0};
+  MessageType type{};
+  std::string headerError;
+  if (!readHeader(r, type, headerError)) {
+    disconnect();
+    return fail("malformed reply: " + headerError);
+  }
+  if (type == MessageType::error) {
+    std::string message;
+    // The daemon closes the connection after an Error reply.
+    disconnect();
+    if (decodeErrorReply(r, message))
+      return fail("daemon error: " + message);
+    return fail("daemon error (unreadable message)");
+  }
+  if (type != expected) {
+    disconnect();
+    return fail("unexpected reply type " +
+                std::to_string(static_cast<unsigned>(type)));
+  }
+  // Strip the consumed header so callers decode the body only.
+  reply.erase(0, r.offset);
+  return true;
+}
+
+bool Client::ping() {
+  std::string reply;
+  return roundTrip(encodeEmptyMessage(MessageType::ping), MessageType::pong,
+                   reply);
+}
+
+bool Client::decodeOutcome(const AnalyzeReply &wire, ClientOutcome &outcome) {
+  outcome = ClientOutcome();
+  outcome.cacheHit = wire.cacheHit;
+  outcome.micros = wire.micros;
+  outcome.payload = wire.payload;
+  std::shared_ptr<const core::AnalysisResult> analysis;
+  if (!driver::deserializeOutcomePayload(wire.payload, analysis,
+                                         outcome.diagnostics, outcome.name))
+    return fail("malformed outcome payload in reply");
+  outcome.analysis = std::move(analysis);
+  outcome.ok = outcome.analysis != nullptr;
+  return true;
+}
+
+bool Client::analyze(const std::string &name, const std::string &source,
+                     const core::MiraOptions &options,
+                     ClientOutcome &outcome) {
+  SourceItem item{name, source};
+  std::string reply;
+  if (!roundTrip(encodeAnalyzeRequest(item, packOptions(options)),
+                 MessageType::analyzeReply, reply))
+    return false;
+  bio::Reader r{reply, 0};
+  AnalyzeReply wire;
+  if (!decodeAnalyzeReply(r, wire)) {
+    disconnect();
+    return fail("malformed analyze reply");
+  }
+  return decodeOutcome(wire, outcome);
+}
+
+bool Client::analyzeBatch(const std::vector<SourceItem> &items,
+                          const core::MiraOptions &options,
+                          std::vector<ClientOutcome> &outcomes) {
+  std::string reply;
+  if (!roundTrip(encodeBatchRequest(items, packOptions(options)),
+                 MessageType::batchReply, reply))
+    return false;
+  bio::Reader r{reply, 0};
+  std::vector<AnalyzeReply> wires;
+  if (!decodeBatchReply(r, wires)) {
+    disconnect();
+    return fail("malformed batch reply");
+  }
+  if (wires.size() != items.size())
+    return fail("batch reply count mismatch");
+  // Decode into a local vector so a mid-loop failure leaves the
+  // caller's outcomes untouched (the documented all-or-nothing
+  // contract).
+  std::vector<ClientOutcome> decoded;
+  decoded.reserve(wires.size());
+  for (const AnalyzeReply &wire : wires) {
+    ClientOutcome outcome;
+    if (!decodeOutcome(wire, outcome))
+      return false;
+    decoded.push_back(std::move(outcome));
+  }
+  outcomes = std::move(decoded);
+  return true;
+}
+
+bool Client::cacheStats(ServerStats &stats) {
+  std::string reply;
+  if (!roundTrip(encodeEmptyMessage(MessageType::cacheStats),
+                 MessageType::cacheStatsReply, reply))
+    return false;
+  bio::Reader r{reply, 0};
+  if (!decodeCacheStatsReply(r, stats)) {
+    disconnect();
+    return fail("malformed cache-stats reply");
+  }
+  return true;
+}
+
+bool Client::shutdownServer() {
+  std::string reply;
+  if (!roundTrip(encodeEmptyMessage(MessageType::shutdown),
+                 MessageType::shutdownReply, reply))
+    return false;
+  // The daemon stops reading afterwards; this connection is done.
+  disconnect();
+  return true;
+}
+
+} // namespace mira::server

@@ -1,0 +1,92 @@
+/// \file
+/// C++ client for the analysis daemon (`mira-cli serve`).
+///
+/// Client wraps one connection to a daemon socket and exposes each
+/// protocol request (server/protocol.h) as a blocking call returning
+/// decoded results. The connection is persistent: many requests may be
+/// issued over one Client, which is exactly the amortization the daemon
+/// exists for. Errors — connect failures, protocol violations, Error
+/// replies from the daemon — surface as a false return plus a
+/// human-readable lastError(); nothing throws. `mira-cli client` is a
+/// thin shell around this class, and tests/server_test.cpp drives both
+/// ends in one process.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mira.h"
+#include "server/protocol.h"
+#include "support/socket.h"
+
+namespace mira::server {
+
+/// A decoded analysis result from the daemon: the wire AnalyzeReply with
+/// its outcome payload unpacked into usable parts.
+struct ClientOutcome {
+  std::string name;        ///< producer name from the payload
+  bool ok = false;         ///< analysis produced a model
+  bool cacheHit = false;   ///< daemon served it without recomputation
+  std::uint64_t micros = 0;    ///< server-side wall time
+  std::string diagnostics;     ///< rendered warnings/errors
+  std::string payload;         ///< raw outcome payload (byte-comparable)
+  /// Deserialized model; null when !ok. Shares no state with the daemon.
+  std::shared_ptr<const core::AnalysisResult> analysis;
+};
+
+/// One blocking connection to an AnalysisServer socket.
+class Client {
+public:
+  Client() = default;
+
+  /// Connect to the daemon socket at `path`. False (see lastError()) if
+  /// no daemon is listening.
+  bool connect(const std::string &path);
+
+  bool connected() const { return socket_.valid(); }
+
+  /// Close the connection; the client can connect() again afterwards.
+  void disconnect();
+
+  /// Round-trip a ping. True when the daemon answered pong.
+  bool ping();
+
+  /// Analyze one named source under `options` (only the wire-visible
+  /// option bits travel; see protocol OptionFlags).
+  bool analyze(const std::string &name, const std::string &source,
+               const core::MiraOptions &options, ClientOutcome &outcome);
+
+  /// Analyze many sources in one request; outcomes arrive in input
+  /// order. False on transport/protocol failure (partial results are
+  /// discarded).
+  bool analyzeBatch(const std::vector<SourceItem> &items,
+                    const core::MiraOptions &options,
+                    std::vector<ClientOutcome> &outcomes);
+
+  /// Fetch the daemon's counter block.
+  bool cacheStats(ServerStats &stats);
+
+  /// Ask the daemon to shut down cleanly. True once the daemon
+  /// acknowledged (it drains in-flight work and exits afterwards).
+  bool shutdownServer();
+
+  /// Description of the most recent failure (connect, send, receive,
+  /// decode, or an Error reply's message).
+  const std::string &lastError() const { return error_; }
+
+private:
+  /// Send `request`, receive one reply frame, validate its header and
+  /// check for Error replies. On success `r` is positioned at the reply
+  /// body of type `expected`.
+  bool roundTrip(const std::string &request, MessageType expected,
+                 std::string &reply);
+  bool decodeOutcome(const AnalyzeReply &wire, ClientOutcome &outcome);
+  bool fail(const std::string &message);
+
+  net::Socket socket_;
+  std::string error_;
+};
+
+} // namespace mira::server

@@ -1,0 +1,200 @@
+#include "server/protocol.h"
+
+namespace mira::server {
+
+std::uint8_t packOptions(const core::MiraOptions &options) {
+  std::uint8_t flags = 0;
+  if (options.compile.compiler.optimize)
+    flags |= kOptionOptimize;
+  if (options.compile.compiler.vectorize)
+    flags |= kOptionVectorize;
+  if (options.metrics.assumeBranchesTaken)
+    flags |= kOptionAssumeBranchesTaken;
+  return flags;
+}
+
+core::MiraOptions unpackOptions(std::uint8_t flags) {
+  core::MiraOptions options;
+  options.compile.compiler.optimize = (flags & kOptionOptimize) != 0;
+  options.compile.compiler.vectorize = (flags & kOptionVectorize) != 0;
+  options.metrics.assumeBranchesTaken =
+      (flags & kOptionAssumeBranchesTaken) != 0;
+  return options;
+}
+
+void beginMessage(std::string &out, MessageType type) {
+  bio::putU32(out, kProtocolMagic);
+  bio::putU32(out, kProtocolVersion);
+  bio::putU8(out, static_cast<std::uint8_t>(type));
+}
+
+bool readHeader(bio::Reader &r, MessageType &type, std::string &error) {
+  std::uint32_t magic = 0, version = 0;
+  std::uint8_t rawType = 0;
+  if (!r.u32(magic) || !r.u32(version) || !r.u8(rawType)) {
+    error = "short message header";
+    return false;
+  }
+  if (magic != kProtocolMagic) {
+    error = "bad magic (not a Mira protocol message)";
+    return false;
+  }
+  if (version != kProtocolVersion) {
+    error = "unsupported protocol version " + std::to_string(version) +
+            " (this peer speaks " + std::to_string(kProtocolVersion) + ")";
+    return false;
+  }
+  type = static_cast<MessageType>(rawType);
+  return true;
+}
+
+std::string encodeEmptyMessage(MessageType type) {
+  std::string out;
+  beginMessage(out, type);
+  return out;
+}
+
+std::string encodeAnalyzeRequest(const SourceItem &item, std::uint8_t flags) {
+  std::string out;
+  beginMessage(out, MessageType::analyze);
+  bio::putU8(out, flags);
+  bio::putString(out, item.name);
+  bio::putString(out, item.source);
+  return out;
+}
+
+std::string encodeBatchRequest(const std::vector<SourceItem> &items,
+                               std::uint8_t flags) {
+  std::string out;
+  beginMessage(out, MessageType::batch);
+  bio::putU8(out, flags);
+  bio::putU32(out, static_cast<std::uint32_t>(items.size()));
+  for (const SourceItem &item : items) {
+    bio::putString(out, item.name);
+    bio::putString(out, item.source);
+  }
+  return out;
+}
+
+std::string encodeErrorReply(const std::string &message) {
+  std::string out;
+  beginMessage(out, MessageType::error);
+  bio::putString(out, message);
+  return out;
+}
+
+namespace {
+
+void putAnalyzeReplyBody(std::string &out, const AnalyzeReply &reply) {
+  bio::putU8(out, reply.cacheHit ? 1 : 0);
+  bio::putU64(out, reply.micros);
+  bio::putString(out, reply.payload);
+}
+
+bool readAnalyzeReplyBody(bio::Reader &r, AnalyzeReply &reply) {
+  std::uint8_t hit = 0;
+  if (!r.u8(hit) || hit > 1)
+    return false;
+  reply.cacheHit = hit == 1;
+  return r.u64(reply.micros) && r.str(reply.payload);
+}
+
+} // namespace
+
+std::string encodeAnalyzeReply(const AnalyzeReply &reply) {
+  std::string out;
+  beginMessage(out, MessageType::analyzeReply);
+  putAnalyzeReplyBody(out, reply);
+  return out;
+}
+
+std::string encodeBatchReply(const std::vector<AnalyzeReply> &replies) {
+  std::string out;
+  beginMessage(out, MessageType::batchReply);
+  bio::putU32(out, static_cast<std::uint32_t>(replies.size()));
+  for (const AnalyzeReply &reply : replies)
+    putAnalyzeReplyBody(out, reply);
+  return out;
+}
+
+std::string encodeCacheStatsReply(const ServerStats &stats) {
+  std::string out;
+  beginMessage(out, MessageType::cacheStatsReply);
+  bio::putU64(out, stats.uptimeMicros);
+  bio::putU64(out, stats.connectionsAccepted);
+  bio::putU64(out, stats.requestsServed);
+  bio::putU64(out, stats.analyzeRequests);
+  bio::putU64(out, stats.batchRequests);
+  bio::putU64(out, stats.sourcesAnalyzed);
+  bio::putU64(out, stats.cacheHits);
+  bio::putU64(out, stats.computed);
+  bio::putU64(out, stats.failures);
+  bio::putU64(out, stats.protocolErrors);
+  bio::putU64(out, stats.memoryEntries);
+  bio::putU64(out, stats.diskHits);
+  bio::putU64(out, stats.diskMisses);
+  bio::putU64(out, stats.diskStores);
+  bio::putU64(out, stats.diskEntries);
+  bio::putU64(out, stats.diskBytes);
+  bio::putU64(out, stats.threads);
+  return out;
+}
+
+bool decodeAnalyzeRequest(bio::Reader &r, SourceItem &item,
+                          std::uint8_t &flags) {
+  return r.u8(flags) && r.str(item.name) && r.str(item.source) &&
+         r.remaining() == 0;
+}
+
+bool decodeBatchRequest(bio::Reader &r, std::vector<SourceItem> &items,
+                        std::uint8_t &flags) {
+  std::uint32_t count = 0;
+  if (!r.u8(flags) || !r.u32(count))
+    return false;
+  items.clear();
+  // No reserve(count): the count is attacker-controlled; per-item reads
+  // below fail naturally when the body runs out.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SourceItem item;
+    if (!r.str(item.name) || !r.str(item.source))
+      return false;
+    items.push_back(std::move(item));
+  }
+  return r.remaining() == 0;
+}
+
+bool decodeErrorReply(bio::Reader &r, std::string &message) {
+  return r.str(message) && r.remaining() == 0;
+}
+
+bool decodeAnalyzeReply(bio::Reader &r, AnalyzeReply &reply) {
+  return readAnalyzeReplyBody(r, reply) && r.remaining() == 0;
+}
+
+bool decodeBatchReply(bio::Reader &r, std::vector<AnalyzeReply> &replies) {
+  std::uint32_t count = 0;
+  if (!r.u32(count))
+    return false;
+  replies.clear();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    AnalyzeReply reply;
+    if (!readAnalyzeReplyBody(r, reply))
+      return false;
+    replies.push_back(std::move(reply));
+  }
+  return r.remaining() == 0;
+}
+
+bool decodeCacheStatsReply(bio::Reader &r, ServerStats &stats) {
+  return r.u64(stats.uptimeMicros) && r.u64(stats.connectionsAccepted) &&
+         r.u64(stats.requestsServed) && r.u64(stats.analyzeRequests) &&
+         r.u64(stats.batchRequests) && r.u64(stats.sourcesAnalyzed) &&
+         r.u64(stats.cacheHits) && r.u64(stats.computed) &&
+         r.u64(stats.failures) && r.u64(stats.protocolErrors) &&
+         r.u64(stats.memoryEntries) && r.u64(stats.diskHits) &&
+         r.u64(stats.diskMisses) && r.u64(stats.diskStores) &&
+         r.u64(stats.diskEntries) && r.u64(stats.diskBytes) &&
+         r.u64(stats.threads) && r.remaining() == 0;
+}
+
+} // namespace mira::server

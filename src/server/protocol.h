@@ -1,0 +1,162 @@
+/// \file
+/// Wire protocol of the analysis daemon: message types and codecs.
+///
+/// `mira-cli serve` and its clients exchange length-prefixed frames
+/// (support/socket.h) whose payload is one protocol message: a fixed
+/// header — magic `"MirP"`, protocol version, one-byte message type —
+/// followed by a type-specific body encoded with the same little-endian
+/// primitives as every other Mira byte format (support/binary_io.h).
+/// This header is the single in-tree source of those encodings: the
+/// daemon (server/server.h), the client library (server/client.h), and
+/// the protocol tests all go through these functions, and
+/// docs/PROTOCOL.md specifies the byte layout normatively so non-C++
+/// clients can speak it too.
+///
+/// Analysis results travel as the canonical outcome payload of
+/// driver::serializeOutcomePayload — the same bytes the disk cache
+/// stores — so a daemon-served model is byte-identical to a one-shot
+/// `mira-cli analyze` of the same (source, options) by construction.
+/// Decoders never trust the wire: every read is bounds-checked and any
+/// structural problem yields `false`, which peers answer with an Error
+/// message and a closed connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mira.h"
+#include "support/binary_io.h"
+
+namespace mira::server {
+
+/// Message magic: the bytes `"MirP"` on the wire, read as a
+/// little-endian u32. First field of every message.
+inline constexpr std::uint32_t kProtocolMagic = 0x5072694du;
+
+/// Protocol version; peers reject any other value. Bump on any change
+/// to the message layouts below or to the outcome payload they embed
+/// (i.e. whenever kCacheSchemaVersion bumps, bump this too).
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Default cap on one frame's payload, enforced by both sides. A
+/// declared length beyond the cap is answered with Error and the
+/// connection is closed (the body is never read).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/// One-byte message type. Requests are < 100; replies are >= 100.
+enum class MessageType : std::uint8_t {
+  // Requests (client -> server).
+  ping = 1,       ///< liveness probe; empty body
+  analyze = 2,    ///< one source: [flags u8][name str][source str]
+  batch = 3,      ///< many sources: [flags u8][count u32][count x item]
+  cacheStats = 4, ///< server/cache counters; empty body
+  shutdown = 5,   ///< stop accepting, drain, exit; empty body
+
+  // Replies (server -> client).
+  error = 100,           ///< [message str]; connection closes after
+  pong = 101,            ///< empty body
+  analyzeReply = 102,    ///< one result (see AnalyzeReply)
+  batchReply = 103,      ///< [count u32][count x result]
+  cacheStatsReply = 104, ///< fixed u64 counter block (see ServerStats)
+  shutdownReply = 105,   ///< empty body; sent before the daemon drains
+};
+
+/// Model-affecting option bits carried by analyze/batch requests —
+/// exactly the options driver::requestKey hashes, so equal flags mean
+/// equal cache keys for equal sources.
+enum OptionFlags : std::uint8_t {
+  kOptionOptimize = 1 << 0,
+  kOptionVectorize = 1 << 1,
+  kOptionAssumeBranchesTaken = 1 << 2,
+};
+
+/// Pack the wire-visible subset of MiraOptions into OptionFlags bits.
+std::uint8_t packOptions(const core::MiraOptions &options);
+
+/// Expand OptionFlags into a MiraOptions (all other fields default).
+core::MiraOptions unpackOptions(std::uint8_t flags);
+
+/// One named source, the unit of analyze/batch requests.
+struct SourceItem {
+  std::string name;   ///< display name; echoed as the payload's producer
+  std::string source; ///< MiniC source text
+};
+
+/// One analysis result as served to a client.
+struct AnalyzeReply {
+  /// Served without recomputation (daemon memory cache or disk cache).
+  bool cacheHit = false;
+  /// Server-side wall time of this request, microseconds.
+  std::uint64_t micros = 0;
+  /// driver::serializeOutcomePayload bytes:
+  /// `[ok u8][producerName str][diagnostics str][model bytes when ok]`.
+  std::string payload;
+};
+
+/// Counter block answered to cacheStats, all u64, in this wire order.
+/// Lifetime counters cover everything since the daemon started.
+struct ServerStats {
+  std::uint64_t uptimeMicros = 0;        ///< since the daemon started
+  std::uint64_t connectionsAccepted = 0; ///< client sessions opened
+  std::uint64_t requestsServed = 0;      ///< frames answered (errors too)
+  std::uint64_t analyzeRequests = 0;     ///< analyze messages
+  std::uint64_t batchRequests = 0;       ///< batch messages
+  std::uint64_t sourcesAnalyzed = 0;     ///< items across both kinds
+  std::uint64_t cacheHits = 0;           ///< items served without recompute
+  std::uint64_t computed = 0;            ///< items that ran the pipeline
+  std::uint64_t failures = 0;            ///< items whose analysis failed
+  std::uint64_t protocolErrors = 0;      ///< error replies + bad frames
+  std::uint64_t memoryEntries = 0;       ///< in-memory cache entries now
+  std::uint64_t diskHits = 0;            ///< disk-cache loads that hit
+  std::uint64_t diskMisses = 0;          ///< disk-cache loads that missed
+  std::uint64_t diskStores = 0;          ///< disk-cache entries written
+  std::uint64_t diskEntries = 0;         ///< disk entries on disk now
+  std::uint64_t diskBytes = 0;           ///< disk bytes on disk now
+  std::uint64_t threads = 0;             ///< concurrent session workers
+};
+
+/// Append the message header (magic, version, type) to `out`.
+void beginMessage(std::string &out, MessageType type);
+
+/// Read and validate a message header. On failure sets `error` and
+/// returns false; `type` is only meaningful on success.
+bool readHeader(bio::Reader &r, MessageType &type, std::string &error);
+
+/// Build a complete header-only message (ping, pong, cacheStats,
+/// shutdown, shutdownReply).
+std::string encodeEmptyMessage(MessageType type);
+/// Build an analyze request for one source under OptionFlags `flags`.
+std::string encodeAnalyzeRequest(const SourceItem &item, std::uint8_t flags);
+/// Build a batch request; every item shares one OptionFlags byte.
+std::string encodeBatchRequest(const std::vector<SourceItem> &items,
+                               std::uint8_t flags);
+/// Build an Error reply carrying a human-readable description.
+std::string encodeErrorReply(const std::string &message);
+/// Build an analyzeReply carrying one result.
+std::string encodeAnalyzeReply(const AnalyzeReply &reply);
+/// Build a batchReply carrying results in request order.
+std::string encodeBatchReply(const std::vector<AnalyzeReply> &replies);
+/// Build a cacheStatsReply from a counter snapshot.
+std::string encodeCacheStatsReply(const ServerStats &stats);
+
+// Body decoders take a Reader positioned just past the header. Each
+// returns false on any structural problem, including a body that does
+// not end exactly where the message does (trailing garbage).
+
+/// Decode an analyze request body.
+bool decodeAnalyzeRequest(bio::Reader &r, SourceItem &item,
+                          std::uint8_t &flags);
+/// Decode a batch request body.
+bool decodeBatchRequest(bio::Reader &r, std::vector<SourceItem> &items,
+                        std::uint8_t &flags);
+/// Decode an Error reply body.
+bool decodeErrorReply(bio::Reader &r, std::string &message);
+/// Decode an analyzeReply body.
+bool decodeAnalyzeReply(bio::Reader &r, AnalyzeReply &reply);
+/// Decode a batchReply body.
+bool decodeBatchReply(bio::Reader &r, std::vector<AnalyzeReply> &replies);
+/// Decode a cacheStatsReply body.
+bool decodeCacheStatsReply(bio::Reader &r, ServerStats &stats);
+
+} // namespace mira::server

@@ -1,0 +1,306 @@
+#include "server/server.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace mira::server {
+
+namespace {
+
+std::uint64_t microsSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+} // namespace
+
+AnalysisServer::AnalysisServer(ServerOptions options)
+    : options_(std::move(options)), started_(std::chrono::steady_clock::now()) {
+  driver::BatchOptions batchOptions;
+  // Single analyzes run inline on the session worker; batch requests
+  // fan their items across the analyzer's own pool (analyzeMany), so
+  // size it like the session pool. modelThreads additionally fans out
+  // per-function model generation inside one request.
+  batchOptions.threads = options_.threads;
+  batchOptions.useCache = true;
+  batchOptions.cacheDir = options_.cacheDir;
+  batchOptions.cacheBytesLimit = options_.cacheBytesLimit;
+  batchOptions.modelThreads = options_.modelThreads;
+  analyzer_ = std::make_unique<driver::BatchAnalyzer>(batchOptions);
+  sessions_ = std::make_unique<ThreadPool>(options_.threads);
+}
+
+AnalysisServer::~AnalysisServer() {
+  if (bound_) {
+    // serve() normally unlinks; cover start()-without-serve() too.
+    ::unlink(options_.socketPath.c_str());
+  }
+}
+
+bool AnalysisServer::start(std::string &error) {
+  int pipeFds[2];
+  if (::pipe(pipeFds) != 0) {
+    error = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  stop_read_ = net::Socket(pipeFds[0]);
+  stop_write_ = net::Socket(pipeFds[1]);
+
+  // Owner-only from the first instant: bind() creates the inode with
+  // 0777&~umask, so a chmod afterwards would leave a connectable
+  // window under a permissive umask. umask is process-global; start()
+  // runs before the daemon spawns request threads (docs/SERVING.md).
+  const mode_t oldMask = ::umask(0177);
+  listener_ = net::listenUnix(options_.socketPath, error);
+  ::umask(oldMask);
+  if (!listener_.valid())
+    return false;
+  ::chmod(options_.socketPath.c_str(), 0600);
+  bound_ = true;
+  return true;
+}
+
+void AnalysisServer::requestStop() {
+  if (stop_write_.valid()) {
+    // A single byte on the self-pipe; extra bytes from repeated calls or
+    // signal handlers are harmless (serve() drains on its way out).
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(stop_write_.fd(), &byte, 1);
+  }
+}
+
+void AnalysisServer::serve() {
+  for (;;) {
+    pollfd fds[2] = {{listener_.fd(), POLLIN, 0}, {stop_read_.fd(), POLLIN, 0}};
+    if (::poll(fds, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (fds[1].revents != 0)
+      break; // stop requested
+    if ((fds[0].revents & POLLIN) == 0)
+      continue;
+    net::Socket conn = net::acceptConnection(listener_);
+    if (!conn.valid())
+      continue; // transient (EMFILE, aborted handshake): keep serving
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto shared = std::make_shared<net::Socket>(std::move(conn));
+    sessions_->submit([this, shared] {
+      handleConnection(std::move(*shared));
+    });
+  }
+
+  // Shutdown: stop accepting, wake idle readers, finish in-flight work.
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    stopping_ = true;
+    for (int fd : connections_)
+      ::shutdown(fd, SHUT_RD); // blocked readFrames see EOF; replies
+                               // in flight still go out
+  }
+  sessions_->waitIdle();
+  ::unlink(options_.socketPath.c_str());
+  bound_ = false;
+}
+
+void AnalysisServer::handleConnection(net::Socket sock) {
+  const int fd = sock.fd();
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.insert(fd);
+    if (stopping_)
+      sock.shutdownRead(); // accepted before stop, dispatched after:
+                           // close without serving
+  }
+
+  std::string message;
+  for (;;) {
+    net::FrameStatus status =
+        net::readFrame(fd, message, options_.maxFrameBytes);
+    if (status == net::FrameStatus::closed)
+      break; // client finished cleanly
+    if (status == net::FrameStatus::oversized) {
+      sendError(fd, "frame exceeds " + std::to_string(options_.maxFrameBytes) +
+                        " bytes");
+      break;
+    }
+    if (status != net::FrameStatus::ok) { // truncated or I/O error
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (!handleMessage(fd, message))
+      break;
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connections_.erase(fd);
+  }
+  // sock closes on scope exit.
+}
+
+bool AnalysisServer::handleMessage(int fd, const std::string &message) {
+  bio::Reader r{message, 0};
+  MessageType type{};
+  std::string headerError;
+  if (!readHeader(r, type, headerError)) {
+    sendError(fd, headerError);
+    return false;
+  }
+
+  switch (type) {
+  case MessageType::ping:
+    return sendReply(fd, encodeEmptyMessage(MessageType::pong));
+
+  case MessageType::analyze: {
+    SourceItem item;
+    std::uint8_t flags = 0;
+    if (!decodeAnalyzeRequest(r, item, flags)) {
+      sendError(fd, "malformed analyze request");
+      return false;
+    }
+    analyze_requests_.fetch_add(1, std::memory_order_relaxed);
+    AnalyzeReply reply = analyzeItem(item, flags);
+    return sendReply(fd, encodeAnalyzeReply(reply));
+  }
+
+  case MessageType::batch: {
+    std::vector<SourceItem> items;
+    std::uint8_t flags = 0;
+    if (!decodeBatchRequest(r, items, flags)) {
+      sendError(fd, "malformed batch request");
+      return false;
+    }
+    batch_requests_.fetch_add(1, std::memory_order_relaxed);
+    // Items fan across the analyzer's pool: a cold batch gets the same
+    // intra-request parallelism as `mira-cli batch --threads N`.
+    std::vector<driver::AnalysisRequest> requests;
+    requests.reserve(items.size());
+    const core::MiraOptions options = unpackOptions(flags);
+    for (SourceItem &item : items) {
+      driver::AnalysisRequest request;
+      request.name = std::move(item.name);
+      request.source = std::move(item.source);
+      request.options = options;
+      requests.push_back(std::move(request));
+    }
+    std::vector<driver::AnalysisOutcome> outcomes =
+        analyzer_->analyzeMany(requests);
+    std::vector<AnalyzeReply> replies;
+    replies.reserve(outcomes.size());
+    for (const driver::AnalysisOutcome &outcome : outcomes)
+      replies.push_back(replyFor(outcome));
+    return sendReply(fd, encodeBatchReply(replies));
+  }
+
+  case MessageType::cacheStats:
+    return sendReply(fd, encodeCacheStatsReply(snapshotStats()));
+
+  case MessageType::shutdown: {
+    // Acknowledge first: the requester must learn the shutdown was
+    // accepted even though the daemon stops reading from everyone next.
+    bool sent = net::writeFrame(fd, encodeEmptyMessage(MessageType::shutdownReply));
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    requestStop();
+    (void)sent;
+    return false;
+  }
+
+  default:
+    sendError(fd, "unexpected message type " +
+                      std::to_string(static_cast<unsigned>(type)));
+    return false;
+  }
+}
+
+AnalyzeReply AnalysisServer::analyzeItem(const SourceItem &item,
+                                         std::uint8_t flags) {
+  driver::AnalysisRequest request;
+  request.name = item.name;
+  request.source = item.source;
+  request.options = unpackOptions(flags);
+  return replyFor(analyzer_->analyzeSingle(request));
+}
+
+AnalyzeReply
+AnalysisServer::replyFor(const driver::AnalysisOutcome &outcome) {
+  sources_analyzed_.fetch_add(1, std::memory_order_relaxed);
+  if (outcome.cacheHit)
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  else
+    computed_.fetch_add(1, std::memory_order_relaxed);
+  if (!outcome.ok)
+    failures_.fetch_add(1, std::memory_order_relaxed);
+
+  AnalyzeReply reply;
+  reply.cacheHit = outcome.cacheHit;
+  reply.micros = static_cast<std::uint64_t>(outcome.seconds * 1e6);
+  // The canonical outcome payload (docs/CACHING.md format), named after
+  // this request: byte-identical to a one-shot analyze of the same
+  // (source, options), whether served cold, from memory, or from disk.
+  reply.payload = driver::serializeOutcomePayload(
+      outcome.analysis.get(), outcome.diagnostics, outcome.name);
+  return reply;
+}
+
+bool AnalysisServer::sendReply(int fd, const std::string &message) {
+  // The frame cap binds both directions: a reply the daemon itself
+  // cannot legally frame (a huge batch's aggregated payloads) becomes
+  // an Error, not a protocol violation the client chokes on.
+  if (message.size() > options_.maxFrameBytes) {
+    sendError(fd, "reply of " + std::to_string(message.size()) +
+                      " bytes exceeds the " +
+                      std::to_string(options_.maxFrameBytes) +
+                      "-byte frame cap; split the request");
+    return false;
+  }
+  return net::writeFrame(fd, message);
+}
+
+void AnalysisServer::sendError(int fd, const std::string &text) {
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  net::writeFrame(fd, encodeErrorReply(text));
+}
+
+ServerStats AnalysisServer::snapshotStats() const {
+  ServerStats stats;
+  stats.uptimeMicros = microsSince(started_);
+  stats.connectionsAccepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  stats.requestsServed = requests_served_.load(std::memory_order_relaxed);
+  stats.analyzeRequests = analyze_requests_.load(std::memory_order_relaxed);
+  stats.batchRequests = batch_requests_.load(std::memory_order_relaxed);
+  stats.sourcesAnalyzed = sources_analyzed_.load(std::memory_order_relaxed);
+  stats.cacheHits = cache_hits_.load(std::memory_order_relaxed);
+  stats.computed = computed_.load(std::memory_order_relaxed);
+  stats.failures = failures_.load(std::memory_order_relaxed);
+  stats.protocolErrors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.memoryEntries = analyzer_->cacheSize();
+  if (CacheStore *disk = analyzer_->diskCache()) {
+    const CacheStoreStats diskStats = disk->statsSnapshot();
+    stats.diskHits = diskStats.hits;
+    stats.diskMisses = diskStats.misses;
+    stats.diskStores = diskStats.stores;
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0;
+    disk->usage(entries, bytes); // one scan for both numbers
+    stats.diskEntries = entries;
+    stats.diskBytes = bytes;
+  }
+  stats.threads = sessions_->threadCount();
+  return stats;
+}
+
+} // namespace mira::server

@@ -1,0 +1,131 @@
+/// \file
+/// The long-lived analysis daemon behind `mira-cli serve`.
+///
+/// AnalysisServer listens on a Unix-domain socket, fans client sessions
+/// across a ThreadPool, and answers protocol requests (server/protocol.h)
+/// from one shared BatchAnalyzer — so the in-memory analysis cache stays
+/// hot across requests and processes stop paying startup plus cold-cache
+/// cost per invocation. With a cache directory configured the daemon
+/// also reads and feeds the persistent disk level, making it a warm
+/// front-end to the same cache a batch run would use.
+///
+/// Life cycle: construct -> start() binds the socket -> serve() accepts
+/// and dispatches until a shutdown request (protocol message or
+/// requestStop()) -> in-flight requests finish, idle connections close,
+/// serve() returns, the socket file is removed. docs/SERVING.md is the
+/// operator guide; tests/server_test.cpp pins the concurrency and
+/// malformed-input behavior.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "driver/batch.h"
+#include "server/protocol.h"
+#include "support/socket.h"
+
+namespace mira::server {
+
+/// Daemon configuration. Analysis-affecting options arrive per request
+/// over the wire; everything here is placement and execution strategy.
+struct ServerOptions {
+  /// Filesystem path of the Unix-domain listening socket. The daemon
+  /// creates it (mode 0600) and unlinks it on clean shutdown.
+  std::string socketPath;
+  /// Concurrent client sessions (worker threads). Additional accepted
+  /// connections wait in the pool queue until a worker frees up.
+  std::size_t threads = 4;
+  /// Threads for within-request per-function model generation.
+  std::size_t modelThreads = 1;
+  /// Persistent cache directory shared with batch runs; empty = memory
+  /// cache only.
+  std::string cacheDir;
+  /// LRU byte cap for the disk level (0 = unlimited).
+  std::uint64_t cacheBytesLimit = 0;
+  /// Per-frame payload cap; larger declared lengths are rejected with an
+  /// Error reply and a closed connection.
+  std::uint32_t maxFrameBytes = kMaxFrameBytes;
+};
+
+/// Unix-socket analysis daemon serving the wire protocol of
+/// server/protocol.h from a shared two-level analysis cache.
+class AnalysisServer {
+public:
+  explicit AnalysisServer(ServerOptions options);
+  ~AnalysisServer();
+
+  AnalysisServer(const AnalysisServer &) = delete;
+  AnalysisServer &operator=(const AnalysisServer &) = delete;
+
+  /// Bind the listening socket and the internal stop event. Returns
+  /// false (with a description in `error`) when the path is unusable or
+  /// another daemon already listens there.
+  bool start(std::string &error);
+
+  /// Accept and dispatch until shutdown; blocks the calling thread.
+  /// Returns after every in-flight request finished and the socket file
+  /// was removed. Must be preceded by a successful start().
+  void serve();
+
+  /// Ask serve() to stop: no new connections are accepted, idle
+  /// connections see EOF, in-flight requests complete. Callable from any
+  /// thread. Also reachable from signal handlers via stopEventFd().
+  void requestStop();
+
+  /// Write end of the stop event pipe: writing one byte is equivalent to
+  /// requestStop() and is async-signal-safe (the CLI's SIGINT/SIGTERM
+  /// handlers use exactly this).
+  int stopEventFd() const { return stop_write_.fd(); }
+
+  /// Lifetime counters plus current cache occupancy — the cacheStats
+  /// wire reply. Safe to call concurrently with serving.
+  ServerStats snapshotStats() const;
+
+  const ServerOptions &options() const { return options_; }
+
+private:
+  void handleConnection(net::Socket sock);
+  /// Serve one decoded message; returns false when the connection must
+  /// close (shutdown request, protocol error, unexpected type).
+  bool handleMessage(int fd, const std::string &message);
+  AnalyzeReply analyzeItem(const SourceItem &item, std::uint8_t flags);
+  /// Record an outcome in the counters and wrap it as a wire reply.
+  AnalyzeReply replyFor(const driver::AnalysisOutcome &outcome);
+  /// Send a reply frame, enforcing the frame cap on the daemon's own
+  /// output (an over-cap reply degrades to an Error). False when the
+  /// connection must close.
+  bool sendReply(int fd, const std::string &message);
+  /// Send an Error reply and count it; the caller closes the connection.
+  void sendError(int fd, const std::string &text);
+
+  ServerOptions options_;
+  std::unique_ptr<driver::BatchAnalyzer> analyzer_;
+  std::unique_ptr<ThreadPool> sessions_;
+  net::Socket listener_;
+  net::Socket stop_read_, stop_write_; // self-pipe: poll()-able stop event
+  std::chrono::steady_clock::time_point started_;
+  bool bound_ = false;
+
+  /// Guards connections_ and stopping_ (fds are shutdownRead() under the
+  /// lock so a handler can never close an fd mid-iteration).
+  std::mutex connections_mutex_;
+  std::set<int> connections_;
+  bool stopping_ = false;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> analyze_requests_{0};
+  std::atomic<std::uint64_t> batch_requests_{0};
+  std::atomic<std::uint64_t> sources_analyzed_{0};
+  std::atomic<std::uint64_t> cache_hits_{0};
+  std::atomic<std::uint64_t> computed_{0};
+  std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+} // namespace mira::server

@@ -282,6 +282,11 @@ void CacheStore::clear() {
   approx_bytes_ = 0;
 }
 
+CacheStoreStats CacheStore::statsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 std::size_t CacheStore::entryCount() const {
   std::size_t count = 0;
   std::error_code ec;
@@ -292,17 +297,25 @@ std::size_t CacheStore::entryCount() const {
 }
 
 std::uint64_t CacheStore::totalBytes() const {
+  std::size_t entries = 0;
   std::uint64_t total = 0;
+  usage(entries, total);
+  return total;
+}
+
+void CacheStore::usage(std::size_t &entries, std::uint64_t &bytes) const {
+  entries = 0;
+  bytes = 0;
   std::error_code ec;
   for (const auto &it : fs::directory_iterator(directory_, ec)) {
     if (!isEntryName(it.path().filename().string()))
       continue;
+    ++entries;
     std::error_code fec;
     const std::uint64_t size = it.file_size(fec);
     if (!fec)
-      total += size;
+      bytes += size;
   }
-  return total;
 }
 
 } // namespace mira

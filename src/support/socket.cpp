@@ -1,0 +1,212 @@
+#include "support/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace mira::net {
+
+namespace {
+
+std::string errnoString(const std::string &what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Fill a sockaddr_un; false when `path` does not fit sun_path (the
+/// kernel limit is ~108 bytes and silently truncating would bind a
+/// different path than the one the operator asked for).
+bool makeAddress(const std::string &path, sockaddr_un &addr,
+                 std::string &error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path '" + path + "' is empty or longer than " +
+            std::to_string(sizeof(addr.sun_path) - 1) + " bytes";
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket &Socket::operator=(Socket &&other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdownRead() {
+  if (fd_ >= 0)
+    ::shutdown(fd_, SHUT_RD);
+}
+
+Socket listenUnix(const std::string &path, std::string &error) {
+  sockaddr_un addr;
+  if (!makeAddress(path, addr, error))
+    return Socket();
+
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    error = errnoString("socket");
+    return Socket();
+  }
+  if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+             sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) {
+      error = errnoString("bind");
+      return Socket();
+    }
+    // The path exists. Only ever reclaim an actual socket: a typo'd
+    // --socket pointing at a regular file must fail loudly, not delete
+    // the user's data.
+    struct stat st;
+    if (::lstat(path.c_str(), &st) != 0 || !S_ISSOCK(st.st_mode)) {
+      error = "path '" + path + "' exists and is not a socket";
+      return Socket();
+    }
+    // A live daemon answers a connect; a stale socket left by a crashed
+    // daemon refuses it and is safe to reclaim.
+    std::string probeError;
+    Socket probe = connectUnix(path, probeError);
+    if (probe.valid()) {
+      error = "another daemon is already listening on '" + path + "'";
+      return Socket();
+    }
+    if (::unlink(path.c_str()) != 0) {
+      error = errnoString("unlink stale socket");
+      return Socket();
+    }
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+      error = errnoString("bind");
+      return Socket();
+    }
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    error = errnoString("listen");
+    ::unlink(path.c_str());
+    return Socket();
+  }
+  return sock;
+}
+
+Socket connectUnix(const std::string &path, std::string &error) {
+  sockaddr_un addr;
+  if (!makeAddress(path, addr, error))
+    return Socket();
+  Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    error = errnoString("socket");
+    return Socket();
+  }
+  if (::connect(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+    error = errnoString("connect to '" + path + "'");
+    return Socket();
+  }
+  return sock;
+}
+
+Socket acceptConnection(const Socket &listener) {
+  for (;;) {
+    int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0)
+      return Socket(fd);
+    if (errno == EINTR)
+      continue;
+    return Socket();
+  }
+}
+
+namespace {
+
+bool sendAll(int fd, const char *data, std::size_t size) {
+  while (size > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply must surface as a
+    // failed send, not a process-killing SIGPIPE.
+    ssize_t sent = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    data += sent;
+    size -= static_cast<std::size_t>(sent);
+  }
+  return true;
+}
+
+/// Read exactly `size` bytes. `sawAnyByte` distinguishes clean EOF (peer
+/// closed between frames) from truncation (closed mid-frame).
+FrameStatus recvAll(int fd, char *data, std::size_t size, bool &sawAnyByte) {
+  while (size > 0) {
+    ssize_t got = ::recv(fd, data, size, 0);
+    if (got < 0) {
+      if (errno == EINTR)
+        continue;
+      return FrameStatus::ioError;
+    }
+    if (got == 0)
+      return sawAnyByte ? FrameStatus::truncated : FrameStatus::closed;
+    sawAnyByte = true;
+    data += got;
+    size -= static_cast<std::size_t>(got);
+  }
+  return FrameStatus::ok;
+}
+
+} // namespace
+
+bool writeFrame(int fd, const std::string &payload) {
+  char header[4];
+  const auto size = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i)
+    header[i] = static_cast<char>((size >> (8 * i)) & 0xff);
+  return sendAll(fd, header, sizeof(header)) &&
+         sendAll(fd, payload.data(), payload.size());
+}
+
+FrameStatus readFrame(int fd, std::string &payload, std::uint32_t maxBytes) {
+  payload.clear();
+  char header[4];
+  bool sawAnyByte = false;
+  FrameStatus status = recvAll(fd, header, sizeof(header), sawAnyByte);
+  if (status != FrameStatus::ok)
+    return status;
+  std::uint32_t size = 0;
+  for (int i = 3; i >= 0; --i)
+    size = (size << 8) | static_cast<std::uint8_t>(header[i]);
+  if (size > maxBytes)
+    return FrameStatus::oversized;
+  std::string body(size, '\0');
+  if (size > 0) {
+    status = recvAll(fd, body.data(), size, sawAnyByte);
+    if (status == FrameStatus::closed)
+      status = FrameStatus::truncated; // header arrived, body did not
+    if (status != FrameStatus::ok)
+      return status;
+  }
+  payload = std::move(body);
+  return FrameStatus::ok;
+}
+
+} // namespace mira::net

@@ -84,6 +84,22 @@ std::string formatPercent(double fraction) {
   return buf;
 }
 
+std::string formatBytes(std::uint64_t bytes) {
+  static const char *const kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB",
+                                       "PiB", "EiB"};
+  if (bytes < 1024)
+    return std::to_string(bytes) + " B";
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < sizeof(kUnits) / sizeof(kUnits[0])) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit]);
+  return buf;
+}
+
 std::string padRight(std::string text, std::size_t width) {
   if (text.size() < width)
     text.append(width - text.size(), ' ');

@@ -27,6 +27,10 @@ std::string formatCount(double value);
 /// Format `value` as a percentage with two decimals, e.g. "3.08%".
 std::string formatPercent(double fraction);
 
+/// Format a byte count with a binary-unit suffix, one decimal:
+/// 512 -> "512 B", 18841 -> "18.4 KiB", 73400320 -> "70.0 MiB".
+std::string formatBytes(std::uint64_t bytes);
+
 /// Left/right pad `text` to `width` with spaces.
 std::string padRight(std::string text, std::size_t width);
 std::string padLeft(std::string text, std::size_t width);
