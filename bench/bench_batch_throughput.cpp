@@ -5,10 +5,14 @@
 // wall-clock speedup, (b) the cache-hit fast path for repeated
 // (source, options) pairs, (c) the persistent disk cache: a cold run
 // that stores every entry followed by a fresh-analyzer warm run that
-// must be pure disk hits, with hit/miss counts printed, and (d) the
+// must be pure disk hits, with hit/miss counts printed, (d) the
 // serving daemon: per-request latency of the one-shot path (a fresh
 // analyzer per request — the work every new CLI process repeats) vs.
-// round-trips to one warm in-process daemon over its Unix socket. On
+// round-trips to one warm in-process daemon over its Unix socket, and
+// (e) the coverage artifact ladder: a full cold compute vs. the
+// recompile-on-demand path (what a schema-v1 cache entry degrades to)
+// vs. the schema-v2 summary served from a warm disk cache vs. a warm
+// daemon answering over the wire (BM_CoverageWarmDaemon). On
 // multi-core hosts the 4-thread batch must beat serial by >1.5x; on
 // single-core containers the table still prints and flags the
 // configuration as unable to demonstrate parallelism.
@@ -217,6 +221,206 @@ void printSpeedupTable() {
   bench::printRule();
 }
 
+std::vector<core::AnalysisSpec> coverageSpecs() {
+  std::vector<core::AnalysisSpec> specs;
+  for (driver::AnalysisRequest &request : batchRequests()) {
+    core::AnalysisSpec spec;
+    spec.name = std::move(request.name);
+    spec.source = std::move(request.source);
+    spec.artifacts = core::kArtifactCoverage | core::kArtifactDiagnostics;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+/// The coverage-artifact ladder (ISSUE 4 headline): full compute vs.
+/// recompile-on-demand vs. cached summary vs. warm daemon.
+void printCoveragePhase() {
+  bench::printHeader(
+      "Coverage artifact ladder: where the answer comes from\n"
+      "(same sources; lower rungs skip progressively more pipeline)");
+  auto specs = coverageSpecs();
+  auto now = [] { return std::chrono::steady_clock::now(); };
+  auto elapsed = [](std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // Rung 1 — cold full compute: parse -> codegen -> model, per source.
+  double coldSeconds = 0;
+  {
+    driver::BatchOptions options;
+    options.threads = 1;
+    options.useCache = false;
+    driver::BatchAnalyzer analyzer(options);
+    auto start = now();
+    auto results = analyzer.runArtifacts(specs);
+    coldSeconds = elapsed(start);
+    for (const auto &artifacts : results)
+      if (!artifacts.ok)
+        std::abort();
+  }
+
+  // Rung 2 — recompile-on-demand: what a schema-v1 cache entry (model
+  // only, no summary) degrades to — parse -> codegen, no model stage.
+  double recompileSeconds = 0;
+  {
+    auto start = now();
+    for (const auto &spec : specs) {
+      auto handle = core::ProgramHandle::deferred(spec.source, spec.name,
+                                                  spec.options.compile);
+      auto program = handle->get();
+      if (!program)
+        std::abort();
+      benchmark::DoNotOptimize(
+          sema::computeLoopCoverage(*program->unit).loops);
+    }
+    recompileSeconds = elapsed(start);
+  }
+
+  // Rung 3 — schema-v2 summary from a warm disk cache: deserialization
+  // only, no compiler at all.
+  const std::string cacheDir =
+      (std::filesystem::temp_directory_path() / "mira_bench_coverage")
+          .string();
+  std::filesystem::remove_all(cacheDir);
+  driver::BatchOptions diskOptions;
+  diskOptions.threads = 1;
+  diskOptions.cacheDir = cacheDir;
+  {
+    driver::BatchAnalyzer seed(diskOptions);
+    seed.runArtifacts(specs); // populate the directory
+  }
+  double summarySeconds = 0;
+  std::size_t summaryHits = 0, summaryRecompiles = 0;
+  {
+    driver::BatchAnalyzer warm(diskOptions);
+    auto start = now();
+    auto results = warm.runArtifacts(specs);
+    summarySeconds = elapsed(start);
+    benchmark::DoNotOptimize(results.size());
+    summaryHits = warm.stats().coverageFromCache;
+    summaryRecompiles = warm.stats().recompiles;
+  }
+  std::filesystem::remove_all(cacheDir);
+
+  // Rung 4 — warm daemon over the Unix socket: summary + wire framing.
+  double daemonSeconds = -1;
+  const std::string socketPath =
+      (std::filesystem::temp_directory_path() /
+       ("mira_bench_coverage_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  server::ServerOptions serverOptions;
+  serverOptions.socketPath = socketPath;
+  serverOptions.threads = 2;
+  server::AnalysisServer daemon(serverOptions);
+  std::string error;
+  if (daemon.start(error)) {
+    std::thread serveThread([&daemon] { daemon.serve(); });
+    server::Client client;
+    if (client.connect(socketPath)) {
+      for (const auto &spec : specs) { // warm the daemon's memory cache
+        server::CoverageReply reply;
+        if (!client.coverage(spec.name, spec.source, spec.options, reply) ||
+            !reply.ok)
+          std::abort();
+      }
+      auto start = now();
+      for (const auto &spec : specs) {
+        server::CoverageReply reply;
+        if (!client.coverage(spec.name, spec.source, spec.options, reply) ||
+            !reply.cacheHit)
+          std::abort();
+      }
+      daemonSeconds = elapsed(start);
+    }
+    if (!client.shutdownServer())
+      daemon.requestStop();
+    serveThread.join();
+  } else {
+    std::printf("daemon rung skipped: %s\n", error.c_str());
+  }
+
+  const double perSource = 1e3 / static_cast<double>(specs.size());
+  std::printf("%zu sources, ms/source:\n", specs.size());
+  std::printf("  cold full compute       : %8.4f\n",
+              coldSeconds * perSource);
+  std::printf("  recompile-on-demand (v1): %8.4f (%.1fx vs cold)\n",
+              recompileSeconds * perSource,
+              recompileSeconds > 0 ? coldSeconds / recompileSeconds : 0.0);
+  std::printf("  warm v2 summary         : %8.4f (%.1fx vs cold, "
+              "%zu from summaries, %zu recompiles)\n",
+              summarySeconds * perSource,
+              summarySeconds > 0 ? coldSeconds / summarySeconds : 0.0,
+              summaryHits, summaryRecompiles);
+  if (daemonSeconds >= 0)
+    std::printf("  warm daemon (wire)      : %8.4f (%.1fx vs cold)\n",
+                daemonSeconds * perSource,
+                daemonSeconds > 0 ? coldSeconds / daemonSeconds : 0.0);
+  if (summaryRecompiles != 0)
+    std::printf("  WARNING: warm summary run recompiled %zu sources\n",
+                summaryRecompiles);
+  bench::printRule();
+}
+
+void BM_CoverageWarmDaemon(benchmark::State &state) {
+  // Steady-state coverage latency against a warm daemon: one wire
+  // round-trip answered from the cached schema-v2 summary — never the
+  // compiler (the reply's recompiled flag pins that).
+  const std::string socketPath =
+      (std::filesystem::temp_directory_path() /
+       ("mira_bench_cov_bm_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  server::ServerOptions options;
+  options.socketPath = socketPath;
+  server::AnalysisServer daemon(options);
+  std::string error;
+  if (!daemon.start(error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  std::thread serveThread([&daemon] { daemon.serve(); });
+  server::Client client;
+  server::CoverageReply reply;
+  if (!client.connect(socketPath) ||
+      !client.coverage("@fig5", workloads::fig5Source(), core::MiraOptions(),
+                       reply)) {
+    daemon.requestStop();
+    serveThread.join();
+    state.SkipWithError("daemon warmup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!client.coverage("@fig5", workloads::fig5Source(),
+                         core::MiraOptions(), reply) ||
+        reply.recompiled)
+      std::abort();
+    benchmark::DoNotOptimize(reply.coverage.loops);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (!client.shutdownServer())
+    daemon.requestStop();
+  serveThread.join();
+}
+BENCHMARK(BM_CoverageWarmDaemon)->Unit(benchmark::kMillisecond);
+
+void BM_CoverageRecompileOnDemand(benchmark::State &state) {
+  // The schema-v1 degradation path in isolation: parse -> sema ->
+  // codegen (no model generation) plus one AST walk, per iteration.
+  const std::string &source = workloads::fig5Source();
+  for (auto _ : state) {
+    auto handle = core::ProgramHandle::deferred(source, "@fig5",
+                                                core::CompileOptions{});
+    auto program = handle->get();
+    if (!program)
+      std::abort();
+    benchmark::DoNotOptimize(sema::computeLoopCoverage(*program->unit).loops);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoverageRecompileOnDemand)->Unit(benchmark::kMillisecond);
+
 void BM_DaemonWarmAnalyze(benchmark::State &state) {
   // Socket round-trip + cache hit: the daemon's steady-state serving
   // latency for one already-hot source.
@@ -319,6 +523,7 @@ BENCHMARK(BM_BatchAnalyzeWarmCache)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   printSpeedupTable();
+  printCoveragePhase();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -7,6 +7,15 @@
 
 #include "model/python_emitter.h"
 
+// This file deliberately exercises the deprecated v1 API surface
+// (core::analyzeSource and friends are compatibility shims whose
+// behavior these tests pin); silence the migration nudge here rather
+// than churn the seed suites. New code: see docs/MIGRATION.md.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+
 namespace {
 
 using namespace mira;

@@ -5,7 +5,7 @@
 // with user-supplied parameter values.
 #include <cstdio>
 
-#include "core/mira.h"
+#include "core/artifacts.h"
 
 int main() {
   using namespace mira;
@@ -23,19 +23,19 @@ double irregular(double* v, int* limits, int n) {
 }
 )MC";
 
-  DiagnosticEngine diags1;
-  core::MiraOptions options;
-  auto a1 = core::analyzeSource(unannotated, "unannotated.mc", options,
-                                diags1);
-  if (!a1)
+  core::AnalysisSpec spec1;
+  spec1.name = "unannotated.mc";
+  spec1.source = unannotated;
+  core::Artifacts a1 = core::analyze(spec1); // default mask: model + diags
+  if (!a1.ok)
     return 1;
   std::puts("=== Without annotation ===");
-  const auto *m1 = a1->model.find("irregular");
+  const auto *m1 = a1.model->find("irregular");
   std::printf("model exact: %s\n", m1->exact ? "yes" : "no");
   for (const auto &note : m1->notes)
     std::printf("  note: %s\n", note.c_str());
   std::puts("required parameters:");
-  for (const std::string &p : a1->model.requiredParameters("irregular"))
+  for (const std::string &p : a1.model->requiredParameters("irregular"))
     std::printf("  %s\n", p.c_str());
 
   // With annotation: the user asserts the average trip count.
@@ -65,21 +65,25 @@ double driver(int n, int lim) {
 }
 )MC";
 
-  DiagnosticEngine diags2;
-  auto a2 = core::analyzeSource(annotated, "annotated.mc", options, diags2);
-  if (!a2)
+  core::AnalysisSpec spec2;
+  spec2.name = "annotated.mc";
+  spec2.source = annotated;
+  spec2.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                    core::kArtifactProgram; // program: simulated below
+  core::Artifacts a2 = core::analyze(spec2);
+  if (!a2.ok)
     return 1;
   std::puts("\n=== With #pragma @Annotation {lp_iters:avg_limit} ===");
-  const auto *m2 = a2->model.find("irregular");
+  const auto *m2 = a2.model->find("irregular");
   for (const auto &note : m2->notes)
     std::printf("  note: %s\n", note.c_str());
 
   std::puts("\nmodel vs measured (uniform limits => annotation is exact):");
   for (std::int64_t lim : {4, 16, 64}) {
     std::int64_t n = 50;
-    auto counts = a2->model.evaluate("irregular",
+    auto counts = a2.model->evaluate("irregular",
                                      {{"n", n}, {"avg_limit", lim}});
-    auto r = core::simulate(*a2->program, "driver",
+    auto r = core::simulate(*a2.program->get(), "driver",
                             {sim::Value::ofInt(n), sim::Value::ofInt(lim)});
     if (!counts || !r.ok) {
       std::fprintf(stderr, "evaluation failed\n");

@@ -13,48 +13,50 @@
 int main() {
   using namespace mira;
 
-  // One request per fig-series workload, default options.
-  std::vector<driver::AnalysisRequest> requests;
+  // One spec per fig-series workload: model + diagnostics, the batch
+  // default. Other artifacts (coverage, simulation, the program) ride
+  // the same cache entries when asked for.
+  std::vector<core::AnalysisSpec> specs;
   for (const auto &workload : workloads::figSeriesWorkloads()) {
-    driver::AnalysisRequest request;
-    request.name = workload.name;
-    request.source = *workload.source;
-    requests.push_back(std::move(request));
+    core::AnalysisSpec spec;
+    spec.name = workload.name;
+    spec.source = *workload.source;
+    spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics;
+    specs.push_back(std::move(spec));
   }
 
   driver::BatchOptions options;
   options.threads = 4;
   driver::BatchAnalyzer analyzer(options);
-  auto outcomes = analyzer.run(requests);
+  auto results = analyzer.runArtifacts(specs);
 
   std::printf("%-10s | %-6s | %9s | functions\n", "workload", "status",
               "seconds");
-  for (const auto &outcome : outcomes) {
-    if (!outcome.ok) {
-      std::printf("%-10s | FAILED\n%s\n", outcome.name.c_str(),
-                  outcome.diagnostics.c_str());
+  for (const auto &artifacts : results) {
+    if (!artifacts.ok) {
+      std::printf("%-10s | FAILED\n%s\n", artifacts.name.c_str(),
+                  artifacts.diagnostics.c_str());
       continue;
     }
-    std::printf("%-10s | ok     | %9.4f | %zu\n", outcome.name.c_str(),
-                outcome.seconds, outcome.analysis->model.functions.size());
+    std::printf("%-10s | ok     | %9.4f | %zu\n", artifacts.name.c_str(),
+                artifacts.seconds, artifacts.model->functions.size());
   }
   const auto &stats = analyzer.stats();
   std::printf("\n%zu workloads in %.4f s on %zu threads\n", stats.requests,
               stats.wallSeconds, analyzer.threadCount());
 
   // Re-running the same batch is served entirely from the cache.
-  analyzer.run(requests);
+  analyzer.runArtifacts(specs);
   std::printf("warm rerun: %.4f s, %zu cache hits\n",
               analyzer.stats().wallSeconds, analyzer.stats().cacheHits);
 
   // The STREAM model, evaluated like the paper's Table III column.
-  for (const auto &outcome : outcomes) {
-    if (outcome.name != "stream" || !outcome.ok)
+  for (const auto &artifacts : results) {
+    if (artifacts.name != "stream" || !artifacts.ok)
       continue;
     model::Env env{{"n", 1000}, {"ntimes", 10}};
     std::string error;
-    auto counts = outcome.analysis->model.evaluate("stream_main", env,
-                                                   &error);
+    auto counts = artifacts.model->evaluate("stream_main", env, &error);
     if (counts)
       std::printf("stream_main(n=1000, ntimes=10): %.0f FP instructions\n",
                   counts->fpInstructions);

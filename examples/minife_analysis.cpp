@@ -4,20 +4,24 @@
 // arithmetic-intensity prediction.
 #include <cstdio>
 
-#include "core/mira.h"
+#include "core/artifacts.h"
 #include "workloads/workloads.h"
 
 int main() {
   using namespace mira;
 
-  DiagnosticEngine diags;
-  core::MiraOptions options;
-  auto analysis = core::analyzeSource(workloads::minifeSource(), "minife.mc",
-                                      options, diags);
-  if (!analysis) {
-    std::fprintf(stderr, "analysis failed:\n%s\n", diags.str().c_str());
+  core::AnalysisSpec spec;
+  spec.name = "minife.mc";
+  spec.source = workloads::minifeSource();
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                   core::kArtifactProgram;
+  core::Artifacts analysis = core::analyze(spec);
+  if (!analysis.ok) {
+    std::fprintf(stderr, "analysis failed:\n%s\n",
+                 analysis.diagnostics.c_str());
     return 1;
   }
+  auto program = analysis.program->get(); // live handle: no recompile
 
   int nx = 30, ny = 30, nz = 30, iters = 50;
   std::int64_t nrows = static_cast<std::int64_t>(nx) * ny * nz;
@@ -27,14 +31,14 @@ int main() {
 
   std::puts("=== Required model parameters of cg_solve ===");
   for (const std::string &p :
-       analysis->model.requiredParameters("cg_solve"))
+       analysis.model->requiredParameters("cg_solve"))
     std::printf("  %s%s\n", p.c_str(),
                 env.count(p) ? "" : "   <-- UNBOUND");
 
   std::puts("\n=== Per-function FPI: model vs simulator ===");
   sim::SimOptions simOptions;
   simOptions.fastForward = true;
-  auto r = core::simulate(*analysis->program, "cg_solve",
+  auto r = core::simulate(*program, "cg_solve",
                           {sim::Value::ofInt(nx), sim::Value::ofInt(ny),
                            sim::Value::ofInt(nz), sim::Value::ofInt(iters)},
                           simOptions);
@@ -49,7 +53,7 @@ int main() {
   for (const Row &row : {Row{"waxpby", true}, Row{"dot", true},
                          Row{"MatVec::operator()", true},
                          Row{"build_matrix", true}, Row{"cg_solve", false}}) {
-    auto counts = analysis->model.evaluate(row.fn, env);
+    auto counts = analysis.model->evaluate(row.fn, env);
     double dynamicFPI =
         row.perCall ? r.fpiPerCall(row.fn) : r.fpiOf(row.fn);
     if (!counts) {
@@ -63,13 +67,13 @@ int main() {
   }
 
   std::puts("\n=== Annotations the model relied on ===");
-  const auto *matvec = analysis->model.find("MatVec::operator()");
+  const auto *matvec = analysis.model->find("MatVec::operator()");
   if (matvec)
     for (const auto &note : matvec->notes)
       std::printf("  %s\n", note.c_str());
 
   std::puts("\n=== Prediction: arithmetic intensity of cg_solve ===");
-  auto counts = analysis->model.evaluate("cg_solve", env);
+  auto counts = analysis.model->evaluate("cg_solve", env);
   if (counts) {
     auto categories = counts->categories(arch::haswellDescription());
     double intensity =

@@ -6,7 +6,7 @@
 //   ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/mira.h"
+#include "core/artifacts.h"
 
 int main() {
   using namespace mira;
@@ -31,28 +31,34 @@ double driver(int n) {
 }
 )MC";
 
-  // 1. Static analysis: parse, compile, disassemble, bridge, model.
-  DiagnosticEngine diags;
-  core::MiraOptions options;
-  auto analysis = core::analyzeSource(source, "quickstart.mc", options, diags);
-  if (!analysis) {
-    std::fprintf(stderr, "analysis failed:\n%s\n", diags.str().c_str());
+  // 1. Static analysis through the artifact API: declare what you need
+  //    (the model and the compiled program) and run the pipeline once.
+  core::AnalysisSpec spec;
+  spec.name = "quickstart.mc";
+  spec.source = source;
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                   core::kArtifactProgram;
+  core::Artifacts analysis = core::analyze(spec);
+  if (!analysis.ok) {
+    std::fprintf(stderr, "analysis failed:\n%s\n",
+                 analysis.diagnostics.c_str());
     return 1;
   }
+  auto program = analysis.program->get(); // live handle: no recompile
 
   // 2. The generated Python model (the paper's Fig. 5 artifact).
   std::puts("=== Generated Python model ===");
-  std::puts(model::emitPython(analysis->model).c_str());
+  std::puts(model::emitPython(*analysis.model).c_str());
 
   // 3. Evaluate the parametric model for several inputs — no execution.
   std::puts("=== Static model evaluation vs simulated ground truth ===");
   std::printf("%8s | %14s | %14s | %8s\n", "n", "model FPI", "measured FPI",
               "error");
   for (std::int64_t n : {100, 1000, 10000, 1000000}) {
-    auto staticFPI = analysis->staticFPI("driver", {{"n", n}});
+    auto staticFPI = analysis.staticFPI("driver", {{"n", n}});
     sim::SimOptions simOptions;
     simOptions.fastForward = n > 10000; // exact at small n, FF at large
-    auto measured = core::simulate(*analysis->program, "driver",
+    auto measured = core::simulate(*program, "driver",
                                    {sim::Value::ofInt(n)}, simOptions);
     if (!staticFPI || !measured.ok) {
       std::fprintf(stderr, "evaluation failed\n");
@@ -66,7 +72,7 @@ double driver(int n) {
 
   // 4. What the binary-side analysis saw: the axpy loop was vectorized
   //    into a packed main loop and scalar remainder.
-  const auto *bridge = analysis->program->bridge->of("axpy");
+  const auto *bridge = program->bridge->of("axpy");
   auto binding = bridge->loopsAtLine(3);
   std::printf("\naxpy loop in the binary: %zu machine loop(s)%s\n",
               binding.loops.size(),

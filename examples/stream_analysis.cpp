@@ -4,25 +4,29 @@
 // the per-category breakdown an architecture description file provides.
 #include <cstdio>
 
-#include "core/mira.h"
+#include "core/artifacts.h"
 #include "workloads/workloads.h"
 
 int main() {
   using namespace mira;
 
-  DiagnosticEngine diags;
-  core::MiraOptions options;
-  auto analysis = core::analyzeSource(workloads::streamSource(), "stream.mc",
-                                      options, diags);
-  if (!analysis) {
-    std::fprintf(stderr, "analysis failed:\n%s\n", diags.str().c_str());
+  core::AnalysisSpec spec;
+  spec.name = "stream.mc";
+  spec.source = workloads::streamSource();
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                   core::kArtifactProgram;
+  core::Artifacts analysis = core::analyze(spec);
+  if (!analysis.ok) {
+    std::fprintf(stderr, "analysis failed:\n%s\n",
+                 analysis.diagnostics.c_str());
     return 1;
   }
+  auto program = analysis.program->get(); // live handle: no recompile
 
   std::puts("=== STREAM: parametric FPI sweep (model evaluated only) ===");
   std::printf("%12s | %14s\n", "N", "model FPI");
   for (std::int64_t n = 1'000'000; n <= 128'000'000; n *= 2) {
-    auto fpi = analysis->staticFPI("stream_main", {{"n", n}, {"ntimes", 10}});
+    auto fpi = analysis.staticFPI("stream_main", {{"n", n}, {"ntimes", 10}});
     std::printf("%12lld | %14.3e\n", static_cast<long long>(n),
                 fpi.value_or(-1));
   }
@@ -31,10 +35,10 @@ int main() {
   for (std::int64_t n : {100'000, 2'000'000}) {
     sim::SimOptions simOptions;
     simOptions.fastForward = true;
-    auto r = core::simulate(*analysis->program, "stream_main",
+    auto r = core::simulate(*program, "stream_main",
                             {sim::Value::ofInt(n), sim::Value::ofInt(10)},
                             simOptions);
-    auto fpi = analysis->staticFPI("stream_main", {{"n", n}, {"ntimes", 10}});
+    auto fpi = analysis.staticFPI("stream_main", {{"n", n}, {"ntimes", 10}});
     std::printf("N=%-10lld model %14.0f measured %14.0f error %.4f%%\n",
                 static_cast<long long>(n), fpi.value_or(-1),
                 r.fpiOf("stream_main"),
@@ -43,7 +47,7 @@ int main() {
   }
 
   std::puts("\n=== Per-category breakdown (haswell-arya.adf) at N=2M ===");
-  auto counts = analysis->model.evaluate("stream_main",
+  auto counts = analysis.model->evaluate("stream_main",
                                          {{"n", 2'000'000}, {"ntimes", 10}});
   if (counts) {
     auto categories = counts->categories(arch::haswellDescription());

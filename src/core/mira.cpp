@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/artifacts.h"
+
 namespace mira::core {
 
 std::optional<double> AnalysisResult::staticFPI(const std::string &function,
@@ -17,15 +19,20 @@ std::optional<AnalysisResult> analyzeSource(const std::string &source,
                                             const std::string &fileName,
                                             const MiraOptions &options,
                                             DiagnosticEngine &diags) {
+  // v1 shim: forward to the artifact API with the mask v1 implied. The
+  // model copy below is the shim's only overhead (Expr trees are shared
+  // nodes, so it is a shallow structural copy).
+  AnalysisSpec spec;
+  spec.name = fileName;
+  spec.source = source;
+  spec.options = options;
+  spec.artifacts = kArtifactModel | kArtifactDiagnostics | kArtifactProgram;
+  Artifacts artifacts = analyze(spec, diags);
+  if (!artifacts.ok)
+    return std::nullopt;
   AnalysisResult result;
-  result.program = compileProgram(source, fileName, options.compile, diags);
-  if (!result.program)
-    return std::nullopt;
-  result.model = metrics::generateModel(
-      *result.program->unit, result.program->sema.callGraph,
-      *result.program->bridge, options.metrics, diags, options.modelPool);
-  if (diags.hasErrors())
-    return std::nullopt;
+  result.program = artifacts.program->get();
+  result.model = *artifacts.model;
   return result;
 }
 

@@ -1,16 +1,23 @@
-// Mira public API: one entry point for the paper's whole workflow.
+// Mira public API: options, results, and the v1 compatibility surface.
 //
-//   MiraOptions options;
-//   DiagnosticEngine diags;
-//   auto analysis = analyzeSource(source, "app.mc", options, diags);
-//   auto counts   = analysis->model.evaluate("cg_solve", {{"n", 1000}});
-//   std::string py = emitPython(analysis->model);
-//   auto measured = simulate(*analysis->program, "main", {...});
+// The current entry point is the artifact-oriented v2 API in
+// core/artifacts.h — build an AnalysisSpec naming the artifacts you
+// need and call core::analyze (or, with caching, drive it through
+// driver::BatchAnalyzer):
 //
-// analyzeSource runs: parse -> sema -> compile (optimize/vectorize) ->
-// object emission -> disassembly -> bridge -> metric generation -> model.
-// simulate runs the same binary's semantics and returns the dynamic
-// ground-truth counters (the TAU/PAPI substitute).
+//   core::AnalysisSpec spec;
+//   spec.name = "app.mc";
+//   spec.source = source;
+//   spec.artifacts = core::kArtifactModel | core::kArtifactCoverage;
+//   core::Artifacts arts = core::analyze(spec);
+//   auto counts = arts.model->evaluate("cg_solve", {{"n", 1000}});
+//
+// analyzeSource below is the deprecated v1 shim over the same pipeline:
+// parse -> sema -> compile (optimize/vectorize) -> object emission ->
+// disassembly -> bridge -> metric generation -> model. simulate runs the
+// same binary's semantics and returns the dynamic ground-truth counters
+// (the TAU/PAPI substitute). docs/MIGRATION.md maps every v1 call to
+// its v2 replacement.
 //
 // Thread-safety contract: analyzeSource keeps no shared mutable state —
 // every request owns its DiagnosticEngine and all pipeline-internal
@@ -55,8 +62,15 @@ struct MiraOptions {
   ThreadPool *modelPool = nullptr;
 };
 
+/// v1 result shape: a model plus (when computed in-process) the live
+/// compiled program. Cache layers may restore the model without the
+/// program (`program == nullptr`); the v2 API's ProgramHandle
+/// (core/artifacts.h) is how such results regain a program on demand.
 struct AnalysisResult {
-  std::unique_ptr<CompiledProgram> program;
+  /// Shared const since the v2 redesign: the same compiled program backs
+  /// this result, the batch cache, and any ProgramHandle. Deref/null
+  /// checks work as before.
+  std::shared_ptr<const CompiledProgram> program;
   model::PerformanceModel model;
 
   /// Shorthand: evaluate FPI (the paper's headline metric) for a
@@ -66,7 +80,10 @@ struct AnalysisResult {
                                   std::string *error = nullptr) const;
 };
 
-/// Full static pipeline. Returns nullopt when diagnostics contain errors.
+/// Full static pipeline, v1 shape. Returns nullopt when diagnostics
+/// contain errors. Thin shim over core::analyze (core/artifacts.h) with
+/// kArtifactModel | kArtifactDiagnostics | kArtifactProgram.
+[[deprecated("use core::analyze(AnalysisSpec) — docs/MIGRATION.md")]]
 std::optional<AnalysisResult> analyzeSource(const std::string &source,
                                             const std::string &fileName,
                                             const MiraOptions &options,

@@ -19,18 +19,19 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 
 } // namespace
 
-std::uint64_t requestKey(const AnalysisRequest &request) {
+std::uint64_t requestKey(const core::AnalysisSpec &spec) {
   // Tripwire: adding a field to either options struct changes its size;
   // update the fingerprint below (and the driver_test key tests), then
   // adjust these expected sizes. Execution-strategy fields of
-  // MiraOptions (modelPool) and everything in BatchOptions must stay OUT
-  // of the key: they never change what is computed, and hashing them
-  // would make the on-disk cache miss across equivalent configurations.
+  // MiraOptions (modelPool), the artifact mask, simulation arguments,
+  // and everything in BatchOptions must stay OUT of the key: they never
+  // change what the pipeline computes, and hashing them would make the
+  // on-disk cache miss across equivalent configurations.
   static_assert(sizeof(mir::CompilerOptions) == 2 &&
                     sizeof(metrics::MetricOptions) == 1,
                 "options gained a field: requestKey must hash it too");
-  std::uint64_t key = fnv1a(request.source);
-  const core::MiraOptions &o = request.options;
+  std::uint64_t key = fnv1a(spec.source);
+  const core::MiraOptions &o = spec.options;
   std::uint8_t flags = 0;
   flags |= o.compile.compiler.optimize ? 1 : 0;
   flags |= o.compile.compiler.vectorize ? 2 : 0;
@@ -41,34 +42,21 @@ std::uint64_t requestKey(const AnalysisRequest &request) {
   return key;
 }
 
-BatchAnalyzer::BatchAnalyzer(BatchOptions options)
-    : options_(std::move(options)), pool_(options_.threads) {
-  if (options_.modelThreads > 1)
-    model_pool_ = std::make_unique<ThreadPool>(options_.modelThreads);
-  if (options_.useCache && !options_.cacheDir.empty())
-    disk_ = std::make_unique<CacheStore>(options_.cacheDir,
-                                         options_.cacheBytesLimit);
+std::uint64_t requestKey(const AnalysisRequest &request) {
+  core::AnalysisSpec spec;
+  spec.source = request.source;
+  spec.options = request.options;
+  return requestKey(spec);
 }
 
-std::size_t BatchAnalyzer::cacheSize() const {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  return cache_.size();
-}
+// ------------------------------------------------------ payload codecs
 
-void BatchAnalyzer::clearCache() {
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  cache_.clear();
-}
-
-// Payload layout (versioned as a whole by the CacheStore header — bump
-// kCacheSchemaVersion when changing this):
+// v1 payload layout (schema 1, still read from old disk entries and
+// written to v1 wire clients):
 //   [ok u8][producerName str][diagnostics str][model bytes when ok]
-// Shared by the disk cache and the serving protocol (docs/PROTOCOL.md),
-// which is what makes a daemon-served model byte-identical to a
-// disk-cached one by construction.
-std::string serializeOutcomePayload(const core::AnalysisResult *analysis,
-                                    const std::string &diagnostics,
-                                    const std::string &producerName) {
+std::string serializeOutcomePayloadV1(const core::AnalysisResult *analysis,
+                                      const std::string &diagnostics,
+                                      const std::string &producerName) {
   std::string out;
   bio::putU8(out, analysis ? 1 : 0);
   bio::putString(out, producerName);
@@ -78,7 +66,7 @@ std::string serializeOutcomePayload(const core::AnalysisResult *analysis,
   return out;
 }
 
-bool deserializeOutcomePayload(
+bool deserializeOutcomePayloadV1(
     const std::string &payload,
     std::shared_ptr<const core::AnalysisResult> &analysis,
     std::string &diagnostics, std::string &producerName) {
@@ -102,40 +90,197 @@ bool deserializeOutcomePayload(
   return true;
 }
 
+// v2 payload layout (schema 2 — bump kCacheSchemaVersion when changing
+// this): [ok u8][producerName str][diagnostics str] then, when ok,
+// [hasCoverage u8][loops u64][statements u64][inLoop u64]?[model bytes].
+// Shared by the disk cache and the v2 wire protocol (docs/PROTOCOL.md),
+// which is what makes a daemon-served result byte-identical to a
+// disk-cached one by construction. hasCoverage is 0 only for values that
+// round-tripped through a v1 entry (the summary was never stored).
+std::string serializeArtifactPayload(const model::PerformanceModel *model,
+                                     const sema::LoopCoverage *coverage,
+                                     const std::string &diagnostics,
+                                     const std::string &producerName) {
+  std::string out;
+  bio::putU8(out, model ? 1 : 0);
+  bio::putString(out, producerName);
+  bio::putString(out, diagnostics);
+  if (!model)
+    return out;
+  bio::putU8(out, coverage ? 1 : 0);
+  if (coverage) {
+    bio::putU64(out, coverage->loops);
+    bio::putU64(out, coverage->statements);
+    bio::putU64(out, coverage->inLoopStatements);
+  }
+  model::serializeModel(*model, out);
+  return out;
+}
+
+bool deserializeArtifactPayload(
+    const std::string &payload,
+    std::shared_ptr<const core::AnalysisResult> &analysis,
+    std::optional<sema::LoopCoverage> &coverage, std::string &diagnostics,
+    std::string &producerName) {
+  coverage.reset();
+  bio::Reader r{payload, 0};
+  std::uint8_t ok = 0;
+  if (!r.u8(ok) || ok > 1)
+    return false;
+  if (!r.str(producerName) || !r.str(diagnostics))
+    return false;
+  if (!ok) {
+    analysis = nullptr;
+    return r.remaining() == 0;
+  }
+  std::uint8_t hasCoverage = 0;
+  if (!r.u8(hasCoverage) || hasCoverage > 1)
+    return false;
+  if (hasCoverage) {
+    std::uint64_t loops = 0, statements = 0, inLoop = 0;
+    if (!r.u64(loops) || !r.u64(statements) || !r.u64(inLoop))
+      return false;
+    sema::LoopCoverage summary;
+    summary.loops = static_cast<std::size_t>(loops);
+    summary.statements = static_cast<std::size_t>(statements);
+    summary.inLoopStatements = static_cast<std::size_t>(inLoop);
+    coverage = summary;
+  }
+  auto result = std::make_shared<core::AnalysisResult>();
+  std::size_t offset = r.offset;
+  if (!model::deserializeModel(payload, offset, result->model))
+    return false;
+  if (offset != payload.size())
+    return false; // trailing garbage: treat as corrupt
+  analysis = std::move(result);
+  return true;
+}
+
+std::string serializeOutcomePayload(const core::AnalysisResult *analysis,
+                                    const std::string &diagnostics,
+                                    const std::string &producerName) {
+  return serializeOutcomePayloadV1(analysis, diagnostics, producerName);
+}
+
+bool deserializeOutcomePayload(
+    const std::string &payload,
+    std::shared_ptr<const core::AnalysisResult> &analysis,
+    std::string &diagnostics, std::string &producerName) {
+  return deserializeOutcomePayloadV1(payload, analysis, diagnostics,
+                                     producerName);
+}
+
+// -------------------------------------------------------- BatchAnalyzer
+
+BatchAnalyzer::BatchAnalyzer(BatchOptions options)
+    : options_(std::move(options)), pool_(options_.threads) {
+  if (options_.modelThreads > 1)
+    model_pool_ = std::make_unique<ThreadPool>(options_.modelThreads);
+  if (options_.useCache && !options_.cacheDir.empty())
+    disk_ = std::make_unique<CacheStore>(options_.cacheDir,
+                                         options_.cacheBytesLimit);
+}
+
+std::size_t BatchAnalyzer::cacheSize() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_.size();
+}
+
+void BatchAnalyzer::clearCache() {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  cache_.clear();
+}
+
+core::AnalysisSpec BatchAnalyzer::toSpec(const AnalysisRequest &request) {
+  core::AnalysisSpec spec;
+  spec.name = request.name;
+  spec.source = request.source;
+  spec.options = request.options;
+  spec.artifacts = core::kArtifactDefault;
+  return spec;
+}
+
+AnalysisOutcome BatchAnalyzer::toOutcome(core::Artifacts &&artifacts) {
+  AnalysisOutcome outcome;
+  outcome.name = std::move(artifacts.name);
+  outcome.ok = artifacts.ok;
+  outcome.cacheHit = artifacts.cacheHit;
+  outcome.analysis = std::move(artifacts.resultV1);
+  outcome.diagnostics = std::move(artifacts.diagnostics);
+  outcome.seconds = artifacts.seconds;
+  return outcome;
+}
+
 BatchAnalyzer::CacheValue
-BatchAnalyzer::computeValue(const AnalysisRequest &request) {
+BatchAnalyzer::computeValue(const core::AnalysisSpec &spec) {
   CacheValue value;
-  value.producerName = request.name;
+  value.producerName = spec.name;
   // The pipeline reports through diagnostics, but an escaping exception
   // (e.g. bad_alloc) must fail one request, not terminate the pool.
   try {
-    DiagnosticEngine diags;
-    core::MiraOptions options = request.options;
+    core::AnalysisSpec full = spec;
+    if (options_.useCache) {
+      // Full compute populates every cache layer regardless of the
+      // requesting mask: the model (the expensive stage), the coverage
+      // summary (one cheap AST walk), and the live program — later
+      // requests for any mask are then free. Simulation is per-call
+      // and deliberately excluded (fulfill() runs it on the handle).
+      full.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                       core::kArtifactProgram | core::kArtifactCoverage;
+    } else {
+      // No cache to populate: run only what this request asked for
+      // (minus simulation, which fulfill() executes), so a no-cache
+      // coverage or simulate request never pays for model generation.
+      full.artifacts = (spec.artifacts & ~core::kArtifactSimulation) |
+                       core::kArtifactDiagnostics;
+    }
     if (model_pool_)
-      options.modelPool = model_pool_.get();
-    auto result =
-        core::analyzeSource(request.source, request.name, options, diags);
-    value.diagnostics = diags.str();
-    if (result)
-      value.analysis = std::make_shared<const core::AnalysisResult>(
-          std::move(*result));
+      full.options.modelPool = model_pool_.get();
+    DiagnosticEngine diags;
+    core::Artifacts artifacts = core::analyze(full, diags);
+    value.diagnostics = std::move(artifacts.diagnostics);
+    if (artifacts.ok) {
+      value.ok = true;
+      value.analysis = std::move(artifacts.resultV1);
+      value.model = std::move(artifacts.model);
+      value.coverage = artifacts.coverage;
+      value.program = std::move(artifacts.program);
+    }
   } catch (const std::exception &e) {
-    value.analysis = nullptr;
-    value.diagnostics = request.name + ": internal error: " + e.what();
+    value = CacheValue{};
+    value.producerName = spec.name;
+    value.diagnostics = spec.name + ": internal error: " + e.what();
     value.transientFailure = true;
   }
   return value;
 }
 
 BatchAnalyzer::CacheValue
-BatchAnalyzer::produceValue(const AnalysisRequest &request,
+BatchAnalyzer::produceValue(const core::AnalysisSpec &spec,
                             std::uint64_t key) {
   if (disk_) {
-    if (auto payload = disk_->load(key)) {
+    std::uint32_t version = 0;
+    if (auto payload = disk_->load(key, version)) {
       CacheValue value;
       value.fromDisk = true;
-      if (deserializeOutcomePayload(*payload, value.analysis,
-                                    value.diagnostics, value.producerName)) {
+      const bool parsed =
+          version >= 2
+              ? deserializeArtifactPayload(*payload, value.analysis,
+                                           value.coverage, value.diagnostics,
+                                           value.producerName)
+              : deserializeOutcomePayloadV1(*payload, value.analysis,
+                                            value.diagnostics,
+                                            value.producerName);
+      if (parsed) {
+        value.ok = value.analysis != nullptr;
+        if (value.analysis) {
+          value.model = std::shared_ptr<const model::PerformanceModel>(
+              value.analysis, &value.analysis->model);
+          // The entry restores without the compiled program; program-
+          // needing artifacts reattach it lazily at recompile cost.
+          value.program = core::ProgramHandle::deferred(
+              spec.source, spec.name, spec.options.compile);
+        }
         disk_hits_.fetch_add(1, std::memory_order_relaxed);
         return value;
       }
@@ -146,67 +291,104 @@ BatchAnalyzer::produceValue(const AnalysisRequest &request,
     }
     disk_misses_.fetch_add(1, std::memory_order_relaxed);
   }
-  CacheValue value = computeValue(request);
+  CacheValue value = computeValue(spec);
   // Deterministic results (models and compile errors alike) persist;
   // exception-path failures do not — caching a one-off bad_alloc would
   // replay it on every future run of this source.
   if (disk_ && !value.transientFailure) {
-    const std::string payload = serializeOutcomePayload(
-        value.analysis.get(), value.diagnostics, value.producerName);
+    const std::string payload = serializeArtifactPayload(
+        value.model.get(), value.coverage ? &*value.coverage : nullptr,
+        value.diagnostics, value.producerName);
     if (disk_->store(key, payload))
       disk_stores_.fetch_add(1, std::memory_order_relaxed);
   }
   return value;
 }
 
-AnalysisOutcome BatchAnalyzer::analyzeSingle(const AnalysisRequest &request) {
-  return analyzeOne(request);
-}
+core::Artifacts BatchAnalyzer::fulfill(const core::AnalysisSpec &spec,
+                                       const CacheValue &value, bool cacheHit,
+                                       FulfillmentCounters *counters) {
+  core::Artifacts artifacts;
+  artifacts.name = spec.name;
+  artifacts.requested = spec.artifacts;
+  artifacts.cacheHit = cacheHit;
+  artifacts.ok = value.ok;
+  artifacts.diagnostics = value.diagnostics;
+  // Cached diagnostics cite the producing request's file name; when an
+  // identically-sourced request under a different name hits the entry,
+  // say where the text came from instead of misattributing it.
+  if (cacheHit && !artifacts.diagnostics.empty() &&
+      value.producerName != spec.name)
+    artifacts.diagnostics = "(diagnostics from identical source '" +
+                            value.producerName + "')\n" +
+                            artifacts.diagnostics;
+  artifacts.resultV1 = value.analysis;
+  if (!artifacts.ok)
+    return artifacts;
 
-std::vector<AnalysisOutcome>
-BatchAnalyzer::analyzeMany(const std::vector<AnalysisRequest> &requests) {
-  std::vector<AnalysisOutcome> outcomes(requests.size());
-  if (requests.empty())
-    return outcomes;
-  // A per-call latch instead of pool_.waitIdle(): concurrent callers
-  // must each wait for exactly their own tasks. Workers hold shared
-  // ownership so the state outlives this frame even if a worker is
-  // descheduled between its decrement and its return.
-  struct Latch {
-    std::mutex mutex;
-    std::condition_variable done;
-    std::size_t remaining;
+  if (spec.artifacts & core::kArtifactModel)
+    artifacts.model = value.model;
+  if (spec.artifacts & core::kArtifactProgram)
+    artifacts.program = value.program;
+
+  // A program-needing artifact materializes the handle exactly once per
+  // cache value, no matter how many requests want it concurrently; only
+  // the request that actually recompiled counts toward `recompiles`.
+  const auto materialize = [&]() -> std::shared_ptr<const core::CompiledProgram> {
+    if (!value.program)
+      return nullptr;
+    bool compiledNow = false;
+    auto program = value.program->get(&compiledNow);
+    if (compiledNow) {
+      artifacts.recompiled = true;
+      if (counters)
+        counters->recompiles.fetch_add(1, std::memory_order_relaxed);
+    }
+    return program;
   };
-  auto latch = std::make_shared<Latch>();
-  latch->remaining = requests.size();
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    pool_.submit([this, &requests, &outcomes, latch, i] {
-      outcomes[i] = analyzeOne(requests[i]);
-      std::lock_guard<std::mutex> lock(latch->mutex);
-      if (--latch->remaining == 0)
-        latch->done.notify_all();
-    });
+
+  if (spec.artifacts & core::kArtifactCoverage) {
+    if (value.coverage) {
+      artifacts.coverage = *value.coverage;
+      if (cacheHit && counters)
+        counters->coverageFromCache.fetch_add(1, std::memory_order_relaxed);
+    } else if (auto program = materialize()) {
+      // v1 disk entry: no stored summary — recompile-on-demand.
+      artifacts.coverage = sema::computeLoopCoverage(*program->unit);
+    }
+  } else if (value.coverage) {
+    // Free to attach: the serving layers forward it to v2 payloads.
+    artifacts.coverage = *value.coverage;
   }
-  std::unique_lock<std::mutex> lock(latch->mutex);
-  latch->done.wait(lock, [&] { return latch->remaining == 0; });
-  return outcomes;
+
+  if (spec.artifacts & core::kArtifactSimulation) {
+    if (auto program = materialize()) {
+      artifacts.simulation = std::make_shared<const sim::SimResult>(
+          core::simulate(*program, spec.simulation.function,
+                         spec.simulation.args, spec.simulation.options));
+    } else {
+      sim::SimResult failed;
+      failed.ok = false;
+      failed.error = "compiled program unavailable (recompile failed)";
+      artifacts.simulation =
+          std::make_shared<const sim::SimResult>(std::move(failed));
+    }
+  }
+  return artifacts;
 }
 
-AnalysisOutcome BatchAnalyzer::analyzeOne(const AnalysisRequest &request) {
-  AnalysisOutcome outcome;
-  outcome.name = request.name;
+core::Artifacts BatchAnalyzer::analyzeSpec(const core::AnalysisSpec &spec,
+                                           FulfillmentCounters *counters) {
   auto start = std::chrono::steady_clock::now();
 
   if (!options_.useCache) {
-    CacheValue value = computeValue(request);
-    outcome.ok = value.analysis != nullptr;
-    outcome.analysis = value.analysis;
-    outcome.diagnostics = std::move(value.diagnostics);
-    outcome.seconds = secondsSince(start);
-    return outcome;
+    CacheValue value = computeValue(spec);
+    core::Artifacts artifacts = fulfill(spec, value, false, counters);
+    artifacts.seconds = secondsSince(start);
+    return artifacts;
   }
 
-  const std::uint64_t key = requestKey(request);
+  const std::uint64_t key = requestKey(spec);
   std::promise<std::shared_ptr<const CacheValue>> promise;
   CacheFuture future;
   bool producer = false;
@@ -226,7 +408,7 @@ AnalysisOutcome BatchAnalyzer::analyzeOne(const AnalysisRequest &request) {
     bool dropEntry = false;
     try {
       auto value = std::make_shared<const CacheValue>(
-          produceValue(request, key));
+          produceValue(spec, key));
       dropEntry = value->transientFailure;
       promise.set_value(std::move(value));
     } catch (...) {
@@ -238,7 +420,7 @@ AnalysisOutcome BatchAnalyzer::analyzeOne(const AnalysisRequest &request) {
     if (dropEntry) {
       // Transient failures must not outlive this batch: duplicates
       // already in flight share the failure (they were concurrent with
-      // it), but later run()s and future duplicates must recompute
+      // it), but later runs and future duplicates must recompute
       // rather than replay a one-off bad_alloc forever.
       std::lock_guard<std::mutex> lock(cache_mutex_);
       cache_.erase(key);
@@ -251,58 +433,129 @@ AnalysisOutcome BatchAnalyzer::analyzeOne(const AnalysisRequest &request) {
   try {
     value = future.get();
   } catch (const std::exception &e) {
-    outcome.ok = false;
-    outcome.diagnostics = request.name + ": internal error: " + e.what();
-    outcome.seconds = secondsSince(start);
-    return outcome;
+    core::Artifacts artifacts;
+    artifacts.name = spec.name;
+    artifacts.requested = spec.artifacts;
+    artifacts.ok = false;
+    artifacts.diagnostics = spec.name + ": internal error: " + e.what();
+    artifacts.seconds = secondsSince(start);
+    return artifacts;
   }
-  outcome.cacheHit = !producer || value->fromDisk;
-  outcome.ok = value->analysis != nullptr;
-  outcome.analysis = value->analysis;
-  outcome.diagnostics = value->diagnostics;
-  // Cached diagnostics cite the producing request's file name; when an
-  // identically-sourced request under a different name hits the entry,
-  // say where the text came from instead of misattributing it.
-  if (outcome.cacheHit && !outcome.diagnostics.empty() &&
-      value->producerName != request.name)
-    outcome.diagnostics = "(diagnostics from identical source '" +
-                          value->producerName + "')\n" +
-                          outcome.diagnostics;
-  outcome.seconds = secondsSince(start);
-  return outcome;
+  const bool cacheHit = !producer || value->fromDisk;
+  core::Artifacts artifacts = fulfill(spec, *value, cacheHit, counters);
+  artifacts.seconds = secondsSince(start);
+  return artifacts;
 }
 
-std::vector<AnalysisOutcome>
-BatchAnalyzer::run(const std::vector<AnalysisRequest> &requests) {
+core::Artifacts
+BatchAnalyzer::analyzeArtifacts(const core::AnalysisSpec &spec) {
+  return analyzeSpec(spec, nullptr);
+}
+
+std::vector<core::Artifacts> BatchAnalyzer::analyzeArtifactsMany(
+    const std::vector<core::AnalysisSpec> &specs) {
+  std::vector<core::Artifacts> results(specs.size());
+  if (specs.empty())
+    return results;
+  // A per-call latch instead of pool_.waitIdle(): concurrent callers
+  // must each wait for exactly their own tasks. Workers hold shared
+  // ownership so the state outlives this frame even if a worker is
+  // descheduled between its decrement and its return.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = specs.size();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pool_.submit([this, &specs, &results, latch, i] {
+      results[i] = analyzeSpec(specs[i], nullptr);
+      std::lock_guard<std::mutex> lock(latch->mutex);
+      if (--latch->remaining == 0)
+        latch->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch->mutex);
+  latch->done.wait(lock, [&] { return latch->remaining == 0; });
+  return results;
+}
+
+std::vector<core::Artifacts>
+BatchAnalyzer::runArtifacts(const std::vector<core::AnalysisSpec> &specs) {
   auto start = std::chrono::steady_clock::now();
-  std::vector<AnalysisOutcome> outcomes(requests.size());
+  std::vector<core::Artifacts> results(specs.size());
   disk_hits_.store(0, std::memory_order_relaxed);
   disk_misses_.store(0, std::memory_order_relaxed);
   disk_stores_.store(0, std::memory_order_relaxed);
+  FulfillmentCounters counters;
 
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    pool_.submit([this, &requests, &outcomes, i] {
-      outcomes[i] = analyzeOne(requests[i]);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    pool_.submit([this, &specs, &results, &counters, i] {
+      results[i] = analyzeSpec(specs[i], &counters);
     });
   }
   pool_.waitIdle();
 
   stats_ = BatchStats{};
-  stats_.requests = requests.size();
-  for (const AnalysisOutcome &outcome : outcomes) {
-    if (!outcome.ok)
+  stats_.requests = specs.size();
+  for (const core::Artifacts &artifacts : results) {
+    if (!artifacts.ok)
       ++stats_.failures;
     if (options_.useCache) {
-      if (outcome.cacheHit)
+      if (artifacts.cacheHit)
         ++stats_.cacheHits;
       else
         ++stats_.cacheMisses;
     }
+    if ((artifacts.requested & core::kArtifactModel) && artifacts.model)
+      ++stats_.modelArtifacts;
+    if ((artifacts.requested & core::kArtifactProgram) && artifacts.program)
+      ++stats_.programArtifacts;
+    if ((artifacts.requested & core::kArtifactCoverage) && artifacts.coverage)
+      ++stats_.coverageArtifacts;
+    if (artifacts.simulation)
+      ++stats_.simulationArtifacts;
   }
+  stats_.coverageFromCache =
+      counters.coverageFromCache.load(std::memory_order_relaxed);
+  stats_.recompiles = counters.recompiles.load(std::memory_order_relaxed);
   stats_.diskHits = disk_hits_.load(std::memory_order_relaxed);
   stats_.diskMisses = disk_misses_.load(std::memory_order_relaxed);
   stats_.diskStores = disk_stores_.load(std::memory_order_relaxed);
   stats_.wallSeconds = secondsSince(start);
+  return results;
+}
+
+AnalysisOutcome BatchAnalyzer::analyzeSingle(const AnalysisRequest &request) {
+  return toOutcome(analyzeSpec(toSpec(request), nullptr));
+}
+
+std::vector<AnalysisOutcome>
+BatchAnalyzer::analyzeMany(const std::vector<AnalysisRequest> &requests) {
+  std::vector<core::AnalysisSpec> specs;
+  specs.reserve(requests.size());
+  for (const AnalysisRequest &request : requests)
+    specs.push_back(toSpec(request));
+  std::vector<core::Artifacts> results = analyzeArtifactsMany(specs);
+  std::vector<AnalysisOutcome> outcomes;
+  outcomes.reserve(results.size());
+  for (core::Artifacts &artifacts : results)
+    outcomes.push_back(toOutcome(std::move(artifacts)));
+  return outcomes;
+}
+
+std::vector<AnalysisOutcome>
+BatchAnalyzer::run(const std::vector<AnalysisRequest> &requests) {
+  std::vector<core::AnalysisSpec> specs;
+  specs.reserve(requests.size());
+  for (const AnalysisRequest &request : requests)
+    specs.push_back(toSpec(request));
+  std::vector<core::Artifacts> results = runArtifacts(specs);
+  std::vector<AnalysisOutcome> outcomes;
+  outcomes.reserve(results.size());
+  for (core::Artifacts &artifacts : results)
+    outcomes.push_back(toOutcome(std::move(artifacts)));
   return outcomes;
 }
 

@@ -1,21 +1,34 @@
 /// \file
-/// Parallel batch analysis: many MiniC sources through the full pipeline.
+/// Parallel batch analysis: many MiniC sources through the full
+/// pipeline, with per-request artifact fulfillment.
 ///
-/// BatchAnalyzer fans AnalysisRequests across a fixed ThreadPool,
-/// collects per-request outcomes deterministically in input order, and
-/// de-duplicates work through a two-level cache keyed by (source hash,
-/// options): an in-memory future map that persists across run() calls on
-/// the same analyzer, and an optional on-disk CacheStore
-/// (support/cache_store.h) that persists across processes. Sweeps that
-/// revisit a workload (bench series, repeated CLI batches) pay for each
-/// distinct (source, options) pair exactly once per machine, not once
-/// per process.
+/// BatchAnalyzer fans core::AnalysisSpecs across a fixed ThreadPool,
+/// collects per-request core::Artifacts deterministically in input
+/// order, and de-duplicates work through a two-level cache keyed by
+/// (source hash, options): an in-memory future map that persists across
+/// run calls on the same analyzer, and an optional on-disk CacheStore
+/// (support/cache_store.h) that persists across processes.
 ///
-/// Thread-safety contract with core::analyzeSource: the pipeline keeps
-/// no shared mutable state (each request gets its own DiagnosticEngine,
+/// Fulfillment planning (the v2 redesign): each requested artifact is
+/// served from the cheapest layer that has it —
+///   1. memory   — a live or previously restored entry in-process;
+///   2. disk     — model + diagnostics + coverage summary (schema v2;
+///                 v1 entries restore without the coverage summary);
+///   3. recompile — a ProgramHandle re-runs parse→sema→codegen (never
+///                 model generation) when a cache hit must answer a
+///                 program-needing artifact (simulation, v1-entry
+///                 coverage);
+///   4. full compute — a miss runs the whole pipeline once and
+///                 populates every layer for future callers.
+/// BatchStats counts each plan step so tests and the CLI can prove a
+/// warm run recomputed nothing.
+///
+/// Thread-safety contract with core::analyze: the pipeline keeps no
+/// shared mutable state (each request gets its own DiagnosticEngine,
 /// and all function-local statics in the pipeline are immutable tables),
-/// so concurrent analyses of different requests are safe. run() itself
-/// must not be called concurrently on one BatchAnalyzer.
+/// so concurrent analyses of different requests are safe. run() and
+/// runArtifacts() themselves must not be called concurrently on one
+/// BatchAnalyzer; analyzeArtifacts()/analyzeSingle()/analyzeMany() may.
 #pragma once
 
 #include <atomic>
@@ -27,20 +40,25 @@
 #include <string>
 #include <vector>
 
+#include "core/artifacts.h"
 #include "core/mira.h"
 #include "support/cache_store.h"
 #include "support/thread_pool.h"
 
 namespace mira::driver {
 
-/// One unit of batch work: a named MiniC source plus pipeline options.
+/// One unit of v1 batch work: a named MiniC source plus pipeline
+/// options. Equivalent to a core::AnalysisSpec asking for model +
+/// diagnostics; new callers should build specs directly.
 struct AnalysisRequest {
   std::string name;   ///< display / file name (not part of the cache key)
   std::string source; ///< MiniC source text
   core::MiraOptions options; ///< pipeline options (part of the cache key)
 };
 
-/// Per-request result, at the request's input position.
+/// Per-request v1 result, at the request's input position. The v2
+/// equivalent is core::Artifacts (richer: coverage, simulation, and a
+/// recompile-on-demand program handle).
 struct AnalysisOutcome {
   std::string name; ///< echoed AnalysisRequest::name
   bool ok = false;  ///< analysis produced a model (no errors)
@@ -50,16 +68,17 @@ struct AnalysisOutcome {
   bool cacheHit = false;
   /// Shared with the cache and any duplicate requests; null when !ok.
   /// Disk-cache hits restore the model and diagnostics but NOT the
-  /// compiled program (AnalysisResult::program is null): consumers that
-  /// need the AST or binary (coverage stats, simulation) must analyze
-  /// without the disk layer.
+  /// compiled program (AnalysisResult::program is null): v1 consumers
+  /// that need the AST or binary must analyze without the disk layer,
+  /// or migrate to the artifact API whose ProgramHandle recompiles on
+  /// demand (core/artifacts.h).
   std::shared_ptr<const core::AnalysisResult> analysis;
   /// Rendered diagnostics (warnings on success, errors on failure).
   std::string diagnostics;
   double seconds = 0; ///< analysis wall time; ~0 for pure cache hits
 };
 
-/// Knobs for one BatchAnalyzer. Only AnalysisRequest::options influence
+/// Knobs for one BatchAnalyzer. Only AnalysisSpec::options influence
 /// cache keys — everything here is execution strategy and storage
 /// placement, deliberately excluded from requestKey().
 struct BatchOptions {
@@ -78,7 +97,9 @@ struct BatchOptions {
   std::size_t modelThreads = 1;
 };
 
-/// Counters describing the last BatchAnalyzer::run().
+/// Counters describing the last run()/runArtifacts(). The per-artifact
+/// block proves where each answer came from: a warm coverage sweep
+/// should show coverageFromCache == requests and recompiles == 0.
 struct BatchStats {
   std::size_t requests = 0;    ///< size of the request vector
   std::size_t failures = 0;    ///< outcomes with ok == false
@@ -87,60 +108,119 @@ struct BatchStats {
   std::size_t diskHits = 0;    ///< entries restored from the disk cache
   std::size_t diskMisses = 0;  ///< disk lookups that fell through
   std::size_t diskStores = 0;  ///< entries written to the disk cache
-  double wallSeconds = 0; ///< whole-batch wall clock of the last run()
+  // Per-artifact fulfillment (v2): what was served, and from where.
+  std::size_t modelArtifacts = 0;      ///< requests served a model
+  std::size_t programArtifacts = 0;    ///< requests served a ProgramHandle
+  std::size_t coverageArtifacts = 0;   ///< requests served loop coverage
+  std::size_t simulationArtifacts = 0; ///< simulations executed
+  std::size_t coverageFromCache = 0;   ///< coverage answered from a cached
+                                       ///< summary (no AST needed)
+  std::size_t recompiles = 0;          ///< deferred handles materialized
+                                       ///< (parse→codegen re-runs)
+  double wallSeconds = 0; ///< whole-batch wall clock of the last run
 };
 
 /// Cache key: FNV-1a fingerprint of the source bytes and every
 /// model-affecting option (compiler toggles, metric options, arch).
 /// Stable across processes and runs by construction — it is the on-disk
-/// cache's file name (support/cache_store.h).
+/// cache's file name (support/cache_store.h). The artifact mask and
+/// simulation arguments are deliberately NOT keyed: every mask reuses
+/// one entry.
+std::uint64_t requestKey(const core::AnalysisSpec &spec);
 std::uint64_t requestKey(const AnalysisRequest &request);
 
-/// Serialize one analysis value into the canonical payload format shared
-/// by the disk cache and the serving protocol:
-/// `[ok u8][producerName str][diagnostics str][model bytes when ok]`
-/// (docs/CACHING.md "Entry format"). `analysis` may be null (a cached
-/// failure). Versioned as a whole by kCacheSchemaVersion.
+/// Serialize one analysis value into the schema-v2 artifact payload
+/// shared by the disk cache and the v2 wire protocol:
+/// `[ok u8][producerName str][diagnostics str]` then, when ok:
+/// `[hasCoverage u8][loops u64 stmts u64 inLoop u64]?[model bytes]`
+/// (docs/CACHING.md "Entry format"). `model` null = a cached failure
+/// (`coverage` is then ignored). Versioned by kCacheSchemaVersion == 2.
+std::string serializeArtifactPayload(const model::PerformanceModel *model,
+                                     const sema::LoopCoverage *coverage,
+                                     const std::string &diagnostics,
+                                     const std::string &producerName);
+
+/// Parse a serializeArtifactPayload buffer. Returns false on any
+/// structural problem (bounds, trailing garbage) — callers treat that
+/// as corruption and recompute. On success `analysis` is null iff the
+/// payload recorded a failed analysis; `coverage` is empty when the
+/// payload carried no summary.
+bool deserializeArtifactPayload(
+    const std::string &payload,
+    std::shared_ptr<const core::AnalysisResult> &analysis,
+    std::optional<sema::LoopCoverage> &coverage, std::string &diagnostics,
+    std::string &producerName);
+
+/// The schema-v1 payload codec (`[ok][producerName][diagnostics][model]`)
+/// — still written to v1 wire clients and still read from v1 disk
+/// entries, which degrade to recompile-on-demand for program-needing
+/// artifacts.
+std::string serializeOutcomePayloadV1(const core::AnalysisResult *analysis,
+                                      const std::string &diagnostics,
+                                      const std::string &producerName);
+bool deserializeOutcomePayloadV1(
+    const std::string &payload,
+    std::shared_ptr<const core::AnalysisResult> &analysis,
+    std::string &diagnostics, std::string &producerName);
+
+/// Deprecated v1 names for the v1 codec.
+[[deprecated("use serializeArtifactPayload (v2) or "
+             "serializeOutcomePayloadV1 — docs/MIGRATION.md")]]
 std::string serializeOutcomePayload(const core::AnalysisResult *analysis,
                                     const std::string &diagnostics,
                                     const std::string &producerName);
-
-/// Parse a serializeOutcomePayload buffer. Returns false on any
-/// structural problem (bounds, trailing garbage) — callers treat that as
-/// corruption and recompute. On success `analysis` is null iff the
-/// payload recorded a failed analysis.
+[[deprecated("use deserializeArtifactPayload (v2) or "
+             "deserializeOutcomePayloadV1 — docs/MIGRATION.md")]]
 bool deserializeOutcomePayload(
     const std::string &payload,
     std::shared_ptr<const core::AnalysisResult> &analysis,
     std::string &diagnostics, std::string &producerName);
 
-/// Analyzes batches of sources in parallel with two-level caching.
+/// Analyzes batches of sources in parallel with two-level caching and
+/// per-artifact fulfillment planning.
 class BatchAnalyzer {
 public:
   explicit BatchAnalyzer(BatchOptions options = {});
 
+  // ----------------------------------------------------- v2 entries
+
+  /// Fulfill one spec on the calling thread, sharing the in-memory and
+  /// disk cache levels with every other caller. Safe to call
+  /// concurrently (the serving daemon fans sessions across its own pool
+  /// and calls this per request); does not touch stats().
+  core::Artifacts analyzeArtifacts(const core::AnalysisSpec &spec);
+
+  /// Fan `specs` across the batch pool and block until all artifacts
+  /// are in (input order). Safe to call concurrently; does not touch
+  /// stats(). Must not be called from a task running on this analyzer's
+  /// own pool (nested-pool rule, support/thread_pool.h).
+  std::vector<core::Artifacts>
+  analyzeArtifactsMany(const std::vector<core::AnalysisSpec> &specs);
+
+  /// Fulfill every spec and update stats(); outcome[i] corresponds to
+  /// specs[i] regardless of thread count or completion order. Not
+  /// concurrency-safe with itself (use analyzeArtifactsMany for that).
+  std::vector<core::Artifacts>
+  runArtifacts(const std::vector<core::AnalysisSpec> &specs);
+
+  // ------------------------------------------ v1 compatibility entries
+
   /// Analyze every request; outcome[i] corresponds to requests[i]
-  /// regardless of thread count or completion order.
+  /// regardless of thread count or completion order. Equivalent to
+  /// runArtifacts over model+diagnostics specs.
   std::vector<AnalysisOutcome> run(const std::vector<AnalysisRequest> &requests);
 
-  /// Analyze one request on the calling thread, sharing the in-memory
-  /// and disk cache levels with every other caller. Unlike run(), this
-  /// IS safe to call concurrently (the serving daemon fans sessions
-  /// across its own pool and calls this per request); it does not use
-  /// the analyzer's batch pool and does not touch stats().
+  /// Analyze one request on the calling thread (see analyzeArtifacts
+  /// for the concurrency contract).
   AnalysisOutcome analyzeSingle(const AnalysisRequest &request);
 
-  /// Fan `requests` across the batch pool and block until all outcomes
-  /// are in (input order). Like analyzeSingle — and unlike run() — this
-  /// is safe to call concurrently and does not touch stats(): the
-  /// daemon serves each batch request through one call, so concurrent
-  /// sessions share the pool fairly. Must not be called from a task
-  /// running on this analyzer's own pool (nested-pool rule,
-  /// support/thread_pool.h).
+  /// Fan `requests` across the batch pool (see analyzeArtifactsMany for
+  /// the concurrency contract).
   std::vector<AnalysisOutcome>
   analyzeMany(const std::vector<AnalysisRequest> &requests);
 
-  /// Stats of the last run() (cache hit/miss, failures, wall clock).
+  /// Stats of the last run()/runArtifacts() (cache hit/miss, failures,
+  /// per-artifact fulfillment, wall clock).
   const BatchStats &stats() const { return stats_; }
 
   std::size_t threadCount() const { return pool_.threadCount(); }
@@ -157,8 +237,27 @@ public:
   CacheStore *diskCache() { return disk_.get(); }
 
 private:
+  /// One cached analysis value, shared by every mask that asks for the
+  /// same (source, options): the legacy result view, the artifact
+  /// views, and the live-or-deferred program handle.
   struct CacheValue {
-    std::shared_ptr<const core::AnalysisResult> analysis; // null on failure
+    /// The analysis succeeded. With caching on this implies `analysis`
+    /// is set (full compute produces the model); on the no-cache path a
+    /// mask without kArtifactModel yields ok values with no model.
+    bool ok = false;
+    /// Legacy owner: model (+ program when computed live); null on
+    /// failure or when the model was not requested (no-cache path).
+    /// Disk restores leave analysis->program null — the handle below is
+    /// how programs come back.
+    std::shared_ptr<const core::AnalysisResult> analysis;
+    /// Aliases analysis->model; null on failure.
+    std::shared_ptr<const model::PerformanceModel> model;
+    /// Loop-coverage summary; absent for entries restored from v1 disk
+    /// payloads (those degrade to recompile-on-demand).
+    std::optional<sema::LoopCoverage> coverage;
+    /// Live for computed values, deferred for disk restores; null on
+    /// failure.
+    std::shared_ptr<core::ProgramHandle> program;
     std::string diagnostics;
     std::string producerName; // request whose analysis populated the entry
     bool fromDisk = false;    // restored from the disk level, not computed
@@ -169,15 +268,30 @@ private:
   };
   using CacheFuture = std::shared_future<std::shared_ptr<const CacheValue>>;
 
-  /// Run one request and cache-share the result. Returns the outcome for
-  /// this position; duplicates of an in-flight request block on its
-  /// future (the producer is already running, so this cannot deadlock).
-  AnalysisOutcome analyzeOne(const AnalysisRequest &request);
+  /// Fulfillment bookkeeping one spec's artifacts produce, folded into
+  /// stats_ by runArtifacts().
+  struct FulfillmentCounters {
+    std::atomic<std::size_t> coverageFromCache{0};
+    std::atomic<std::size_t> recompiles{0};
+  };
+
+  /// Resolve one spec through the plan (memory → disk → recompile →
+  /// full compute) and fulfill its artifact mask.
+  core::Artifacts analyzeSpec(const core::AnalysisSpec &spec,
+                              FulfillmentCounters *counters);
+
+  /// Serve `spec`'s artifacts out of a resolved cache value.
+  core::Artifacts fulfill(const core::AnalysisSpec &spec,
+                          const CacheValue &value, bool cacheHit,
+                          FulfillmentCounters *counters);
 
   /// The producer path: disk lookup, then compute + disk store.
-  CacheValue produceValue(const AnalysisRequest &request, std::uint64_t key);
+  CacheValue produceValue(const core::AnalysisSpec &spec, std::uint64_t key);
 
-  CacheValue computeValue(const AnalysisRequest &request);
+  CacheValue computeValue(const core::AnalysisSpec &spec);
+
+  static AnalysisOutcome toOutcome(core::Artifacts &&artifacts);
+  static core::AnalysisSpec toSpec(const AnalysisRequest &request);
 
   BatchOptions options_;
   ThreadPool pool_;

@@ -12,14 +12,27 @@
 //       speedup against a 1-thread run. With --cache-dir, results persist
 //       on disk and a rerun over an unchanged corpus recomputes nothing.
 //
-//   mira-cli coverage [--threads N] [--compare-serial]
+//   mira-cli coverage [--threads N] [--compare-serial] [--cache-dir DIR]
+//            [--via-daemon --socket PATH]
 //       Drive the ten Table I kernels plus the fig-series workloads
-//       through the batch engine; print loop-coverage numbers next to the
-//       paper's and the parallel speedup. (Needs the compiled program, so
-//       it ignores --cache-dir: disk hits restore only the model.)
+//       through the artifact engine; print loop-coverage numbers next to
+//       the paper's. With --cache-dir a warm run answers entirely from
+//       the schema-v2 coverage summaries (zero recompiles, shown in the
+//       stats line); --via-daemon asks a running daemon instead.
 //
-//   mira-cli cache <stats|clear> --cache-dir DIR
-//       Inspect or empty a persistent analysis cache directory.
+//   mira-cli simulate <file.mc|@workload> --function NAME [--sim-arg V]...
+//            [--fast-forward] [--max-instructions N] [--cache-dir DIR]
+//            [--via-daemon --socket PATH]
+//       Run the dynamic simulator (the TAU/PAPI stand-in) on one source.
+//       With a warm cache or daemon the model is never regenerated: the
+//       binary comes back through a recompile-on-demand handle
+//       (parse->codegen only), flagged in the output.
+//
+//   mira-cli cache <stats|clear> --cache-dir DIR [--schema vN]
+//       Inspect or empty a persistent analysis cache directory. stats
+//       breaks bytes down per artifact (model vs coverage vs
+//       diagnostics); clear --schema v1 purges only pre-migration
+//       entries.
 //
 //   mira-cli serve --socket PATH [--threads N] [--model-threads N]
 //            [--cache-dir DIR] [--cache-limit BYTES]
@@ -28,11 +41,12 @@
 //       cost one socket round-trip instead of a process start plus a
 //       cold pipeline. Stops on SIGINT/SIGTERM or a client shutdown.
 //
-//   mira-cli client <analyze|batch|cache-stats|ping|shutdown>
-//            --socket PATH [sources...] [--no-optimize] [--no-vectorize]
-//            [--emit-python]
+//   mira-cli client <analyze|batch|coverage|simulate|cache-stats|ping|
+//            shutdown> --socket PATH [sources...] [--no-optimize]
+//            [--no-vectorize] [--emit-python] [--wire-version N]
 //       Talk to a running daemon over the wire protocol
-//       (docs/PROTOCOL.md).
+//       (docs/PROTOCOL.md). --wire-version 1 speaks the v1 dialect
+//       (compatibility checks); coverage/simulate need v2.
 //
 // '@name' pulls an embedded workload (stream, dgemm, minife, fig5,
 // listings) instead of reading a file. See docs/CLI.md for a full tour,
@@ -54,6 +68,7 @@
 
 #include "driver/batch.h"
 #include "model/python_emitter.h"
+#include "support/binary_io.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "support/cache_store.h"
@@ -69,21 +84,28 @@ using namespace mira;
 int usage(const char *argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <analyze|batch|coverage|cache|serve|client> [args]\n"
+      "usage: %s <analyze|batch|coverage|simulate|cache|serve|client> "
+      "[args]\n"
       "  analyze <file.mc|@workload> [--no-optimize] [--no-vectorize]\n"
       "          [--emit-python] [--model-threads N] [--cache-dir DIR]\n"
       "  batch <files/@workloads...> [--threads N] [--no-cache]\n"
       "          [--compare-serial] [--model-threads N]\n"
       "          [--cache-dir DIR] [--cache-limit BYTES]\n"
-      "  coverage [--threads N] [--compare-serial]\n"
-      "  cache <stats|clear> --cache-dir DIR\n"
+      "  coverage [--threads N] [--compare-serial] [--cache-dir DIR]\n"
+      "          [--via-daemon --socket PATH]\n"
+      "  simulate <file.mc|@workload> --function NAME [--sim-arg V]...\n"
+      "          [--fast-forward] [--max-instructions N] [--cache-dir DIR]\n"
+      "          [--via-daemon --socket PATH]\n"
+      "  cache <stats|clear> --cache-dir DIR [--schema vN]\n"
       "  serve --socket PATH [--threads N] [--model-threads N]\n"
       "          [--cache-dir DIR] [--cache-limit BYTES]\n"
-      "  client <analyze|batch|cache-stats|ping|shutdown> --socket PATH\n"
-      "          [sources...] [--no-optimize] [--no-vectorize]\n"
-      "          [--emit-python]\n"
+      "  client <analyze|batch|coverage|simulate|cache-stats|ping|shutdown>\n"
+      "          --socket PATH [sources...] [--no-optimize]\n"
+      "          [--no-vectorize] [--emit-python] [--wire-version N]\n"
+      "          [--function NAME] [--sim-arg V] [--fast-forward]\n"
       "workloads: @stream @dgemm @minife @fig5 @listings\n"
-      "--cache-limit accepts plain bytes or a K/M/G suffix (e.g. 64M)\n",
+      "--cache-limit accepts plain bytes or a K/M/G suffix (e.g. 64M)\n"
+      "--sim-arg parses integers (8) and doubles (2.5) positionally\n",
       argv0);
   return 2;
 }
@@ -147,6 +169,10 @@ struct CommonFlags {
   std::string cacheDir;
   std::uint64_t cacheBytesLimit = 0;
   std::string socketPath;
+  bool viaDaemon = false;       ///< serve coverage/simulate over the wire
+  std::uint32_t wireVersion = server::kProtocolVersion;
+  std::string schema;           ///< `cache clear --schema vN` selector
+  core::SimulationArgs sim;     ///< --function / --sim-arg / --fast-forward
 };
 
 /// Parse "1048576", "64K", "64M", "2G" into bytes; false on junk or on
@@ -227,6 +253,46 @@ bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
         return false;
       }
       ++i;
+    } else if (a == "--schema") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--schema requires a value (e.g. v1)\n");
+        return false;
+      }
+      flags.schema = args[++i];
+    } else if (a == "--wire-version") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--wire-version requires a value\n");
+        return false;
+      }
+      flags.wireVersion = static_cast<std::uint32_t>(
+          std::max(1L, std::atol(args[++i].c_str())));
+    } else if (a == "--function") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--function requires a name\n");
+        return false;
+      }
+      flags.sim.function = args[++i];
+    } else if (a == "--sim-arg") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--sim-arg requires a value\n");
+        return false;
+      }
+      const std::string &value = args[++i];
+      if (value.find_first_of(".eE") != std::string::npos)
+        flags.sim.args.push_back(sim::Value::ofDouble(std::atof(value.c_str())));
+      else
+        flags.sim.args.push_back(sim::Value::ofInt(std::atoll(value.c_str())));
+    } else if (a == "--max-instructions") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--max-instructions requires a value\n");
+        return false;
+      }
+      flags.sim.options.maxInstructions = static_cast<std::uint64_t>(
+          std::max(1LL, std::atoll(args[++i].c_str())));
+    } else if (a == "--fast-forward") {
+      flags.sim.options.fastForward = true;
+    } else if (a == "--via-daemon") {
+      flags.viaDaemon = true;
     } else if (a == "--no-cache") {
       flags.useCache = false;
     } else if (a == "--compare-serial") {
@@ -396,35 +462,33 @@ std::vector<driver::AnalysisRequest> coverageRequests() {
   return requests;
 }
 
-int cmdCoverage(std::vector<std::string> args) {
-  CommonFlags flags;
-  if (!parseFlags(args, flags) || !args.empty())
-    return 2;
+std::vector<core::AnalysisSpec> coverageSpecs(const CommonFlags &flags) {
+  std::vector<core::AnalysisSpec> specs;
+  for (driver::AnalysisRequest &request : coverageRequests()) {
+    core::AnalysisSpec spec;
+    spec.name = std::move(request.name);
+    spec.source = std::move(request.source);
+    spec.options = optionsFor(flags); // same options (and cache keys) as
+                                      // the --via-daemon path
+    spec.artifacts = core::kArtifactCoverage | core::kArtifactDiagnostics;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
 
-  if (!flags.cacheDir.empty())
-    std::fprintf(stderr, "note: coverage needs the compiled program and "
-                         "ignores --cache-dir\n");
-
-  // One batch analysis serves both the Table I numbers and the status
-  // table below.
-  auto requests = coverageRequests();
-  driver::BatchOptions batchOptions =
-      batchOptionsFor(flags, flags.threads, false);
-  driver::BatchAnalyzer analyzer(batchOptions);
-  auto outcomes = analyzer.run(requests);
-
-  // Table I numbers from the analyzed ASTs (paper columns alongside).
-  std::printf("%-10s | %14s | %14s | %14s | %9s\n", "app",
-              "loops p/o", "stmts p/o", "in-loop p/o", "pct p/o");
+/// Print the Table I comparison for the first suite.size() artifacts.
+void printCoverageTable(
+    const std::vector<std::optional<sema::LoopCoverage>> &coverages) {
+  std::printf("%-10s | %14s | %14s | %14s | %9s\n", "app", "loops p/o",
+              "stmts p/o", "in-loop p/o", "pct p/o");
   const auto &suite = workloads::coverageSuite();
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const auto &kernel = suite[i];
-    if (!outcomes[i].ok) {
+    if (!coverages[i]) {
       std::printf("%-10s | analysis FAILED\n", kernel.name.c_str());
       continue;
     }
-    auto coverage = sema::computeLoopCoverage(
-        *outcomes[i].analysis->program->unit);
+    const sema::LoopCoverage &coverage = *coverages[i];
     std::printf("%-10s | %6zu/%-7zu | %6zu/%-7zu | %6zu/%-7zu | %3d/%-5.0f\n",
                 kernel.name.c_str(), kernel.paperLoops, coverage.loops,
                 kernel.paperStatements, coverage.statements,
@@ -432,15 +496,211 @@ int cmdCoverage(std::vector<std::string> args) {
                 kernel.paperPercent, coverage.percent());
   }
   std::printf("\n");
+}
+
+/// Per-spec status table for artifact runs (coverage/simulate sweeps);
+/// returns the batch wall time (negative on any failure).
+double printArtifacts(const std::vector<core::Artifacts> &results,
+                      const driver::BatchStats &stats, std::size_t threads,
+                      bool quiet) {
+  bool allOk = true;
+  if (!quiet)
+    std::printf("%-24s | %-6s | %-5s | %-9s | %9s\n", "source", "status",
+                "cache", "recompile", "seconds");
+  for (const auto &artifacts : results) {
+    allOk = allOk && artifacts.ok;
+    if (quiet)
+      continue;
+    std::printf("%-24s | %-6s | %-5s | %-9s | %9.4f\n",
+                artifacts.name.c_str(), artifacts.ok ? "ok" : "FAILED",
+                artifacts.cacheHit ? "hit" : "miss",
+                artifacts.recompiled ? "yes" : "no", artifacts.seconds);
+    if (!artifacts.ok)
+      std::fprintf(stderr, "%s\n", artifacts.diagnostics.c_str());
+  }
+  if (!quiet) {
+    std::printf("%zu sources, %zu failures, cache %zu hit / %zu miss, "
+                "%.4f s on %zu threads\n",
+                stats.requests, stats.failures, stats.cacheHits,
+                stats.cacheMisses, stats.wallSeconds, threads);
+    std::printf("artifacts: %zu coverage (%zu from cached summaries), "
+                "%zu simulations, %zu recompiles\n",
+                stats.coverageArtifacts, stats.coverageFromCache,
+                stats.simulationArtifacts, stats.recompiles);
+    if (stats.diskHits + stats.diskMisses + stats.diskStores > 0)
+      std::printf("disk cache: %zu hit / %zu miss, %zu stored\n",
+                  stats.diskHits, stats.diskMisses, stats.diskStores);
+  }
+  return allOk ? stats.wallSeconds : -1.0;
+}
+
+int coverageViaDaemon(const CommonFlags &flags) {
+  server::Client client;
+  if (flags.socketPath.empty()) {
+    std::fprintf(stderr, "--via-daemon requires --socket PATH\n");
+    return 2;
+  }
+  if (!client.connect(flags.socketPath)) {
+    std::fprintf(stderr, "%s\n", client.lastError().c_str());
+    return 1;
+  }
+  auto specs = coverageSpecs(flags);
+  std::vector<std::optional<sema::LoopCoverage>> coverages;
+  bool allOk = true;
+  std::size_t hits = 0, recompiles = 0;
+  for (const auto &spec : specs) {
+    server::CoverageReply reply;
+    if (!client.coverage(spec.name, spec.source, optionsFor(flags), reply)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    allOk = allOk && reply.ok;
+    if (reply.ok)
+      coverages.push_back(reply.coverage);
+    else
+      coverages.push_back(std::nullopt);
+    hits += reply.cacheHit ? 1 : 0;
+    recompiles += reply.recompiled ? 1 : 0;
+  }
+  printCoverageTable(coverages);
+  std::printf("%zu sources via daemon at %s: %zu cache hits, "
+              "%zu recompiles\n",
+              specs.size(), flags.socketPath.c_str(), hits, recompiles);
+  return allOk ? 0 : 1;
+}
+
+int cmdCoverage(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || !args.empty())
+    return 2;
+
+  if (flags.viaDaemon)
+    return coverageViaDaemon(flags);
+
+  // One artifact run serves both the Table I numbers and the status
+  // table below. With --cache-dir, a warm rerun answers every summary
+  // from the schema-v2 cache: zero recompiles, zero model generation.
+  auto specs = coverageSpecs(flags);
+  driver::BatchAnalyzer analyzer(batchOptionsFor(flags, flags.threads));
+  auto results = analyzer.runArtifacts(specs);
+
+  std::vector<std::optional<sema::LoopCoverage>> coverages;
+  coverages.reserve(results.size());
+  for (const auto &artifacts : results)
+    coverages.push_back(artifacts.coverage);
+  printCoverageTable(coverages);
 
   double parallelSeconds =
-      printOutcomes(outcomes, analyzer.stats(), flags.threads, false);
+      printArtifacts(results, analyzer.stats(), flags.threads, false);
   if (flags.compareSerial) {
-    double serialSeconds =
-        runBatch(requests, batchOptionsFor(flags, 1, false), true);
-    printSpeedup(serialSeconds, parallelSeconds, flags.threads);
+    driver::BatchAnalyzer serial(batchOptionsFor(flags, 1, false));
+    serial.runArtifacts(specs);
+    printSpeedup(serial.stats().wallSeconds, parallelSeconds, flags.threads);
   }
   return parallelSeconds < 0 ? 1 : 0;
+}
+
+// ----------------------------------------------------------- simulate
+
+/// Counter block shared verbatim by the one-shot and daemon paths, so
+/// CI can diff the two outputs line for line.
+void printSimResult(const sim::SimResult &result) {
+  if (!result.ok) {
+    std::printf("simulation FAILED: %s\n", result.error.c_str());
+    return;
+  }
+  std::printf("return value        : int %lld, double %g\n",
+              static_cast<long long>(result.returnValue.i),
+              result.returnValue.f);
+  std::printf("total instructions  : %llu\n",
+              static_cast<unsigned long long>(result.total.totalInstructions));
+  std::printf("fp instructions     : %llu\n",
+              static_cast<unsigned long long>(result.total.fpInstructions));
+  std::printf("flops               : %llu\n",
+              static_cast<unsigned long long>(result.total.flops));
+  std::printf("%-24s | %8s | %12s | %10s\n", "function", "calls",
+              "instructions", "fp");
+  for (const auto &entry : result.functions)
+    std::printf("%-24s | %8llu | %12llu | %10llu\n", entry.first.c_str(),
+                static_cast<unsigned long long>(entry.second.calls),
+                static_cast<unsigned long long>(
+                    entry.second.inclusive.totalInstructions),
+                static_cast<unsigned long long>(
+                    entry.second.inclusive.fpInstructions));
+  if (!result.printed.empty()) {
+    std::printf("printed             :");
+    for (double value : result.printed)
+      std::printf(" %g", value);
+    std::printf("\n");
+  }
+}
+
+int cmdSimulate(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || args.size() != 1)
+    return 2;
+  if (flags.sim.function.empty()) {
+    std::fprintf(stderr, "simulate requires --function NAME\n");
+    return 2;
+  }
+  driver::AnalysisRequest request;
+  if (!loadSource(args[0], request))
+    return 1;
+
+  if (flags.viaDaemon) {
+    if (flags.socketPath.empty()) {
+      std::fprintf(stderr, "--via-daemon requires --socket PATH\n");
+      return 2;
+    }
+    server::Client client;
+    if (!client.connect(flags.socketPath)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    server::SimulateReply reply;
+    if (!client.simulate(request.name, request.source, optionsFor(flags),
+                         flags.sim, reply)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    if (!reply.ok) {
+      std::fprintf(stderr, "simulate of %s failed:\n%s\n",
+                   request.name.c_str(), reply.diagnostics.c_str());
+      return 1;
+    }
+    std::printf("simulated %s:%s via daemon in %.4f s (%s%s)\n",
+                request.name.c_str(), flags.sim.function.c_str(),
+                static_cast<double>(reply.micros) / 1e6,
+                reply.cacheHit ? "cache hit" : "computed",
+                reply.recompiled ? ", recompiled" : "");
+    printSimResult(reply.result);
+    return reply.result.ok ? 0 : 1;
+  }
+
+  core::AnalysisSpec spec;
+  spec.name = request.name;
+  spec.source = request.source;
+  spec.options = optionsFor(flags);
+  spec.artifacts = core::kArtifactSimulation | core::kArtifactDiagnostics;
+  spec.simulation = flags.sim;
+
+  driver::BatchOptions batchOptions = batchOptionsFor(flags, 1);
+  batchOptions.useCache = flags.useCache && !flags.cacheDir.empty();
+  driver::BatchAnalyzer analyzer(batchOptions);
+  core::Artifacts artifacts = analyzer.analyzeArtifacts(spec);
+  if (!artifacts.ok || !artifacts.simulation) {
+    std::fprintf(stderr, "simulate of %s failed:\n%s\n",
+                 artifacts.name.c_str(), artifacts.diagnostics.c_str());
+    return 1;
+  }
+  if (!artifacts.diagnostics.empty())
+    std::fprintf(stderr, "%s\n", artifacts.diagnostics.c_str());
+  std::printf("simulated %s:%s in %.4f s (%s%s)\n", artifacts.name.c_str(),
+              flags.sim.function.c_str(), artifacts.seconds,
+              artifacts.cacheHit ? "cache hit" : "computed",
+              artifacts.recompiled ? ", recompiled" : "");
+  printSimResult(*artifacts.simulation);
+  return artifacts.simulation->ok ? 0 : 1;
 }
 
 int cmdCache(std::vector<std::string> args) {
@@ -484,10 +744,80 @@ int cmdCache(std::vector<std::string> args) {
                   formatBytes(store.bytesLimit()).c_str());
     else
       std::printf("byte limit      : unlimited\n");
-    std::printf("schema version  : %u\n", kCacheSchemaVersion);
+    std::printf("schema version  : %u (reads back to v%u)\n",
+                kCacheSchemaVersion, kCacheSchemaVersionMin);
+
+    // Per-artifact byte breakdown: walk every entry (peek: no LRU
+    // bump) and split its payload into the sections of the schema-v2
+    // layout (docs/CACHING.md, "Entry format"). Programs are never
+    // stored — they come back through recompile-on-demand handles —
+    // so their column is identically zero by design.
+    std::size_t v1Entries = 0, v2Entries = 0, failureEntries = 0;
+    std::uint64_t modelBytes = 0, coverageBytes = 0, diagnosticsBytes = 0;
+    for (std::uint64_t key : store.keys()) {
+      std::uint32_t version = 0;
+      auto payload = store.peek(key, version);
+      if (!payload)
+        continue; // unsupported schema or raced with a writer
+      (version >= 2 ? v2Entries : v1Entries) += 1;
+      bio::Reader r{*payload, 0};
+      std::uint8_t ok = 0;
+      std::string producer, diagnostics;
+      if (!r.u8(ok) || !r.str(producer) || !r.str(diagnostics))
+        continue;
+      diagnosticsBytes += diagnostics.size();
+      if (!ok) {
+        ++failureEntries;
+        continue;
+      }
+      if (version >= 2) {
+        std::uint8_t hasCoverage = 0;
+        const std::size_t beforeCoverage = r.offset;
+        std::uint64_t scratch = 0;
+        if (!r.u8(hasCoverage))
+          continue;
+        if (hasCoverage &&
+            (!r.u64(scratch) || !r.u64(scratch) || !r.u64(scratch)))
+          continue;
+        coverageBytes += r.offset - beforeCoverage;
+      }
+      modelBytes += r.remaining();
+    }
+    std::printf("entries by schema : v1 %zu, v2 %zu (%zu cached "
+                "failures)\n",
+                v1Entries, v2Entries, failureEntries);
+    std::printf("model bytes       : %llu (%s)\n",
+                static_cast<unsigned long long>(modelBytes),
+                formatBytes(modelBytes).c_str());
+    std::printf("coverage bytes    : %llu (%s)\n",
+                static_cast<unsigned long long>(coverageBytes),
+                formatBytes(coverageBytes).c_str());
+    std::printf("program bytes     : 0 (recompile-on-demand; never "
+                "stored)\n");
+    std::printf("diagnostics bytes : %llu (%s)\n",
+                static_cast<unsigned long long>(diagnosticsBytes),
+                formatBytes(diagnosticsBytes).c_str());
     return 0;
   }
   if (args[0] == "clear") {
+    if (!flags.schema.empty()) {
+      // `--schema vN` (or plain N): purge only that schema's entries —
+      // the post-migration cleanup path for pre-v2 blobs.
+      std::string digits = flags.schema;
+      if (!digits.empty() && (digits[0] == 'v' || digits[0] == 'V'))
+        digits.erase(0, 1);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        std::fprintf(stderr, "--schema expects v<N> (e.g. v1)\n");
+        return 2;
+      }
+      const auto version =
+          static_cast<std::uint32_t>(std::atol(digits.c_str()));
+      const std::size_t removed = store.clearVersion(version);
+      std::printf("removed %zu schema-v%u cache entries from %s\n", removed,
+                  version, store.directory().c_str());
+      return 0;
+    }
     const std::size_t before = store.entryCount();
     store.clear();
     std::printf("removed %zu cache entries from %s\n", before,
@@ -590,6 +920,13 @@ int cmdClient(std::vector<std::string> args) {
   args.erase(args.begin());
 
   server::Client client;
+  if (flags.wireVersion < server::kProtocolVersionMin ||
+      flags.wireVersion > server::kProtocolVersion) {
+    std::fprintf(stderr, "--wire-version must be %u..%u\n",
+                 server::kProtocolVersionMin, server::kProtocolVersion);
+    return 2;
+  }
+  client.setProtocolVersion(flags.wireVersion);
 
   if (action == "ping") {
     if (int rc = requireClientConnection(client, flags))
@@ -632,6 +969,11 @@ int cmdClient(std::vector<std::string> args) {
     std::printf("analyze / batch : %llu / %llu\n",
                 static_cast<unsigned long long>(stats.analyzeRequests),
                 static_cast<unsigned long long>(stats.batchRequests));
+    if (flags.wireVersion >= 2)
+      std::printf("coverage / sim  : %llu / %llu (%llu recompiles)\n",
+                  static_cast<unsigned long long>(stats.coverageRequests),
+                  static_cast<unsigned long long>(stats.simulateRequests),
+                  static_cast<unsigned long long>(stats.recompiles));
     std::printf("sources analyzed: %llu (%llu cache hits, %llu computed, "
                 "%llu failed)\n",
                 static_cast<unsigned long long>(stats.sourcesAnalyzed),
@@ -719,6 +1061,76 @@ int cmdClient(std::vector<std::string> args) {
     return allOk ? 0 : 1;
   }
 
+  if (action == "coverage") {
+    if (args.empty()) {
+      std::fprintf(stderr, "client coverage needs at least one source\n");
+      return 2;
+    }
+    if (int rc = requireClientConnection(client, flags))
+      return rc;
+    bool allOk = true;
+    std::printf("%-24s | %6s | %6s | %8s | %4s | %-5s | %-9s\n", "source",
+                "loops", "stmts", "in-loop", "pct", "cache", "recompile");
+    for (const auto &arg : args) {
+      driver::AnalysisRequest request;
+      if (!loadSource(arg, request))
+        return 1;
+      server::CoverageReply reply;
+      if (!client.coverage(request.name, request.source, optionsFor(flags),
+                           reply)) {
+        std::fprintf(stderr, "%s\n", client.lastError().c_str());
+        return 1;
+      }
+      if (!reply.ok) {
+        allOk = false;
+        std::printf("%-24s | analysis FAILED\n", request.name.c_str());
+        std::fprintf(stderr, "%s\n", reply.diagnostics.c_str());
+        continue;
+      }
+      std::printf("%-24s | %6zu | %6zu | %8zu | %3.0f%% | %-5s | %-9s\n",
+                  request.name.c_str(), reply.coverage.loops,
+                  reply.coverage.statements, reply.coverage.inLoopStatements,
+                  reply.coverage.percent(),
+                  reply.cacheHit ? "hit" : "miss",
+                  reply.recompiled ? "yes" : "no");
+    }
+    return allOk ? 0 : 1;
+  }
+
+  if (action == "simulate") {
+    if (args.size() != 1) {
+      std::fprintf(stderr, "client simulate takes exactly one source\n");
+      return 2;
+    }
+    if (flags.sim.function.empty()) {
+      std::fprintf(stderr, "client simulate requires --function NAME\n");
+      return 2;
+    }
+    driver::AnalysisRequest request;
+    if (!loadSource(args[0], request))
+      return 1;
+    if (int rc = requireClientConnection(client, flags))
+      return rc;
+    server::SimulateReply reply;
+    if (!client.simulate(request.name, request.source, optionsFor(flags),
+                         flags.sim, reply)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    if (!reply.ok) {
+      std::fprintf(stderr, "simulate of %s failed:\n%s\n",
+                   request.name.c_str(), reply.diagnostics.c_str());
+      return 1;
+    }
+    std::printf("simulated %s:%s via daemon in %.4f s (%s%s)\n",
+                request.name.c_str(), flags.sim.function.c_str(),
+                static_cast<double>(reply.micros) / 1e6,
+                reply.cacheHit ? "cache hit" : "computed",
+                reply.recompiled ? ", recompiled" : "");
+    printSimResult(reply.result);
+    return reply.result.ok ? 0 : 1;
+  }
+
   std::fprintf(stderr, "unknown client action '%s'\n", action.c_str());
   return 2;
 }
@@ -737,6 +1149,8 @@ int main(int argc, char **argv) {
     result = cmdBatch(std::move(args));
   else if (command == "coverage")
     result = cmdCoverage(std::move(args));
+  else if (command == "simulate")
+    result = cmdSimulate(std::move(args));
   else if (command == "cache")
     result = cmdCache(std::move(args));
   else if (command == "serve")

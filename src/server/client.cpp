@@ -77,8 +77,8 @@ bool Client::roundTrip(const std::string &request, MessageType expected,
 
 bool Client::ping() {
   std::string reply;
-  return roundTrip(encodeEmptyMessage(MessageType::ping), MessageType::pong,
-                   reply);
+  return roundTrip(encodeEmptyMessage(MessageType::ping, version_),
+                   MessageType::pong, reply);
 }
 
 bool Client::decodeOutcome(const AnalyzeReply &wire, ClientOutcome &outcome) {
@@ -87,9 +87,19 @@ bool Client::decodeOutcome(const AnalyzeReply &wire, ClientOutcome &outcome) {
   outcome.micros = wire.micros;
   outcome.payload = wire.payload;
   std::shared_ptr<const core::AnalysisResult> analysis;
-  if (!driver::deserializeOutcomePayload(wire.payload, analysis,
-                                         outcome.diagnostics, outcome.name))
-    return fail("malformed outcome payload in reply");
+  // The payload dialect follows the protocol version this client spoke
+  // (the daemon replies in kind).
+  const bool parsed =
+      version_ >= 2
+          ? driver::deserializeArtifactPayload(wire.payload, analysis,
+                                               outcome.coverage,
+                                               outcome.diagnostics,
+                                               outcome.name)
+          : driver::deserializeOutcomePayloadV1(wire.payload, analysis,
+                                                outcome.diagnostics,
+                                                outcome.name);
+  if (!parsed)
+    return fail("malformed result payload in reply");
   outcome.analysis = std::move(analysis);
   outcome.ok = outcome.analysis != nullptr;
   return true;
@@ -100,7 +110,7 @@ bool Client::analyze(const std::string &name, const std::string &source,
                      ClientOutcome &outcome) {
   SourceItem item{name, source};
   std::string reply;
-  if (!roundTrip(encodeAnalyzeRequest(item, packOptions(options)),
+  if (!roundTrip(encodeAnalyzeRequest(item, packOptions(options), version_),
                  MessageType::analyzeReply, reply))
     return false;
   bio::Reader r{reply, 0};
@@ -116,7 +126,7 @@ bool Client::analyzeBatch(const std::vector<SourceItem> &items,
                           const core::MiraOptions &options,
                           std::vector<ClientOutcome> &outcomes) {
   std::string reply;
-  if (!roundTrip(encodeBatchRequest(items, packOptions(options)),
+  if (!roundTrip(encodeBatchRequest(items, packOptions(options), version_),
                  MessageType::batchReply, reply))
     return false;
   bio::Reader r{reply, 0};
@@ -142,13 +152,49 @@ bool Client::analyzeBatch(const std::vector<SourceItem> &items,
   return true;
 }
 
+bool Client::coverage(const std::string &name, const std::string &source,
+                      const core::MiraOptions &options,
+                      CoverageReply &reply) {
+  if (version_ < 2)
+    return fail("coverage requires protocol version 2");
+  SourceItem item{name, source};
+  std::string wire;
+  if (!roundTrip(encodeCoverageRequest(item, packOptions(options)),
+                 MessageType::coverageReply, wire))
+    return false;
+  bio::Reader r{wire, 0};
+  if (!decodeCoverageReply(r, reply)) {
+    disconnect();
+    return fail("malformed coverage reply");
+  }
+  return true;
+}
+
+bool Client::simulate(const std::string &name, const std::string &source,
+                      const core::MiraOptions &options,
+                      const core::SimulationArgs &sim, SimulateReply &reply) {
+  if (version_ < 2)
+    return fail("simulate requires protocol version 2");
+  SourceItem item{name, source};
+  std::string wire;
+  if (!roundTrip(encodeSimulateRequest(item, packOptions(options), sim),
+                 MessageType::simulateReply, wire))
+    return false;
+  bio::Reader r{wire, 0};
+  if (!decodeSimulateReply(r, reply)) {
+    disconnect();
+    return fail("malformed simulate reply");
+  }
+  return true;
+}
+
 bool Client::cacheStats(ServerStats &stats) {
   std::string reply;
-  if (!roundTrip(encodeEmptyMessage(MessageType::cacheStats),
+  if (!roundTrip(encodeEmptyMessage(MessageType::cacheStats, version_),
                  MessageType::cacheStatsReply, reply))
     return false;
   bio::Reader r{reply, 0};
-  if (!decodeCacheStatsReply(r, stats)) {
+  if (!decodeCacheStatsReply(r, stats, version_)) {
     disconnect();
     return fail("malformed cache-stats reply");
   }
@@ -157,7 +203,7 @@ bool Client::cacheStats(ServerStats &stats) {
 
 bool Client::shutdownServer() {
   std::string reply;
-  if (!roundTrip(encodeEmptyMessage(MessageType::shutdown),
+  if (!roundTrip(encodeEmptyMessage(MessageType::shutdown, version_),
                  MessageType::shutdownReply, reply))
     return false;
   // The daemon stops reading afterwards; this connection is done.

@@ -24,22 +24,32 @@
 namespace mira::server {
 
 /// A decoded analysis result from the daemon: the wire AnalyzeReply with
-/// its outcome payload unpacked into usable parts.
+/// its result payload unpacked into usable parts.
 struct ClientOutcome {
   std::string name;        ///< producer name from the payload
   bool ok = false;         ///< analysis produced a model
   bool cacheHit = false;   ///< daemon served it without recomputation
   std::uint64_t micros = 0;    ///< server-side wall time
   std::string diagnostics;     ///< rendered warnings/errors
-  std::string payload;         ///< raw outcome payload (byte-comparable)
+  std::string payload;         ///< raw result payload (byte-comparable)
   /// Deserialized model; null when !ok. Shares no state with the daemon.
   std::shared_ptr<const core::AnalysisResult> analysis;
+  /// Loop-coverage summary riding along in v2 payloads (absent over
+  /// protocol v1 and for entries restored from v1 disk blobs).
+  std::optional<sema::LoopCoverage> coverage;
 };
 
 /// One blocking connection to an AnalysisServer socket.
 class Client {
 public:
   Client() = default;
+
+  /// Wire dialect to speak: kProtocolVersion (default) or, for
+  /// compatibility testing against older daemons and the v1-client CI
+  /// check, kProtocolVersionMin. Version 1 cannot issue coverage() or
+  /// simulate(). Must be set before the first request.
+  void setProtocolVersion(std::uint32_t version) { version_ = version; }
+  std::uint32_t protocolVersion() const { return version_; }
 
   /// Connect to the daemon socket at `path`. False (see lastError()) if
   /// no daemon is listening.
@@ -65,6 +75,18 @@ public:
                     const core::MiraOptions &options,
                     std::vector<ClientOutcome> &outcomes);
 
+  /// Loop-coverage summary of one source (protocol v2). Served from the
+  /// daemon's cached coverage summary when warm — no recompilation.
+  bool coverage(const std::string &name, const std::string &source,
+                const core::MiraOptions &options, CoverageReply &reply);
+
+  /// Run the simulator on one source (protocol v2). A warm daemon
+  /// reuses the cached analysis and at most recompiles the binary
+  /// (reply.recompiled); the model stage never re-runs.
+  bool simulate(const std::string &name, const std::string &source,
+                const core::MiraOptions &options,
+                const core::SimulationArgs &sim, SimulateReply &reply);
+
   /// Fetch the daemon's counter block.
   bool cacheStats(ServerStats &stats);
 
@@ -87,6 +109,7 @@ private:
 
   net::Socket socket_;
   std::string error_;
+  std::uint32_t version_ = kProtocolVersion;
 };
 
 } // namespace mira::server

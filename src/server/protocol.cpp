@@ -1,6 +1,128 @@
 #include "server/protocol.h"
 
+#include <cstring>
+
 namespace mira::server {
+
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern in the usual
+// little-endian u64 slot; bit-exact round trip by construction.
+void putF64(std::string &out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  bio::putU64(out, bits);
+}
+
+bool readF64(bio::Reader &r, double &v) {
+  std::uint64_t bits = 0;
+  if (!r.u64(bits))
+    return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+void putValue(std::string &out, const sim::Value &value) {
+  bio::putI64(out, value.i);
+  putF64(out, value.f);
+  putF64(out, value.f2);
+}
+
+bool readValue(bio::Reader &r, sim::Value &value) {
+  return r.i64(value.i) && readF64(r, value.f) && readF64(r, value.f2);
+}
+
+// Category counts are sparse in practice (a kernel touches a handful of
+// the 64 categories), so they travel as [count u32][(index u8, count
+// u64) x count] with indices strictly increasing — a canonical form, so
+// equal counters encode to equal bytes.
+void putCounters(std::string &out, const sim::Counters &counters) {
+  std::uint32_t nonZero = 0;
+  for (std::size_t i = 0; i < isa::kNumCategories; ++i)
+    if (counters.categories[i] != 0)
+      ++nonZero;
+  bio::putU32(out, nonZero);
+  for (std::size_t i = 0; i < isa::kNumCategories; ++i) {
+    if (counters.categories[i] == 0)
+      continue;
+    bio::putU8(out, static_cast<std::uint8_t>(i));
+    bio::putU64(out, counters.categories[i]);
+  }
+  bio::putU64(out, counters.totalInstructions);
+  bio::putU64(out, counters.fpInstructions);
+  bio::putU64(out, counters.flops);
+}
+
+bool readCounters(bio::Reader &r, sim::Counters &counters) {
+  counters = sim::Counters{};
+  std::uint32_t nonZero = 0;
+  if (!r.u32(nonZero))
+    return false;
+  int lastIndex = -1;
+  for (std::uint32_t i = 0; i < nonZero; ++i) {
+    std::uint8_t index = 0;
+    std::uint64_t count = 0;
+    if (!r.u8(index) || !r.u64(count))
+      return false;
+    if (index >= isa::kNumCategories || static_cast<int>(index) <= lastIndex ||
+        count == 0)
+      return false; // non-canonical or out-of-range: treat as corrupt
+    lastIndex = index;
+    counters.categories[index] = count;
+  }
+  return r.u64(counters.totalInstructions) &&
+         r.u64(counters.fpInstructions) && r.u64(counters.flops);
+}
+
+} // namespace
+
+void putSimResult(std::string &out, const sim::SimResult &result) {
+  bio::putU8(out, result.ok ? 1 : 0);
+  bio::putString(out, result.error);
+  putValue(out, result.returnValue);
+  putCounters(out, result.total);
+  bio::putU32(out, static_cast<std::uint32_t>(result.functions.size()));
+  for (const auto &entry : result.functions) { // std::map: sorted, canonical
+    bio::putString(out, entry.first);
+    bio::putU64(out, entry.second.calls);
+    putCounters(out, entry.second.inclusive);
+  }
+  bio::putU32(out, static_cast<std::uint32_t>(result.printed.size()));
+  for (double value : result.printed)
+    putF64(out, value);
+}
+
+bool readSimResult(bio::Reader &r, sim::SimResult &result) {
+  result = sim::SimResult{};
+  std::uint8_t ok = 0;
+  if (!r.u8(ok) || ok > 1)
+    return false;
+  result.ok = ok == 1;
+  if (!r.str(result.error) || !readValue(r, result.returnValue) ||
+      !readCounters(r, result.total))
+    return false;
+  std::uint32_t functionCount = 0;
+  if (!r.u32(functionCount))
+    return false;
+  for (std::uint32_t i = 0; i < functionCount; ++i) {
+    std::string name;
+    sim::FunctionProfile profile;
+    if (!r.str(name) || !r.u64(profile.calls) ||
+        !readCounters(r, profile.inclusive))
+      return false;
+    result.functions.emplace(std::move(name), std::move(profile));
+  }
+  std::uint32_t printedCount = 0;
+  if (!r.u32(printedCount))
+    return false;
+  for (std::uint32_t i = 0; i < printedCount; ++i) {
+    double value = 0;
+    if (!readF64(r, value))
+      return false;
+    result.printed.push_back(value);
+  }
+  return true;
+}
 
 std::uint8_t packOptions(const core::MiraOptions &options) {
   std::uint8_t flags = 0;
@@ -22,14 +144,15 @@ core::MiraOptions unpackOptions(std::uint8_t flags) {
   return options;
 }
 
-void beginMessage(std::string &out, MessageType type) {
+void beginMessage(std::string &out, MessageType type, std::uint32_t version) {
   bio::putU32(out, kProtocolMagic);
-  bio::putU32(out, kProtocolVersion);
+  bio::putU32(out, version);
   bio::putU8(out, static_cast<std::uint8_t>(type));
 }
 
-bool readHeader(bio::Reader &r, MessageType &type, std::string &error) {
-  std::uint32_t magic = 0, version = 0;
+bool readHeader(bio::Reader &r, MessageType &type, std::uint32_t &version,
+                std::string &error) {
+  std::uint32_t magic = 0;
   std::uint8_t rawType = 0;
   if (!r.u32(magic) || !r.u32(version) || !r.u8(rawType)) {
     error = "short message header";
@@ -39,34 +162,55 @@ bool readHeader(bio::Reader &r, MessageType &type, std::string &error) {
     error = "bad magic (not a Mira protocol message)";
     return false;
   }
-  if (version != kProtocolVersion) {
+  if (version < kProtocolVersionMin || version > kProtocolVersion) {
     error = "unsupported protocol version " + std::to_string(version) +
-            " (this peer speaks " + std::to_string(kProtocolVersion) + ")";
+            " (this peer speaks " + std::to_string(kProtocolVersionMin) +
+            ".." + std::to_string(kProtocolVersion) + ")";
     return false;
   }
   type = static_cast<MessageType>(rawType);
   return true;
 }
 
-std::string encodeEmptyMessage(MessageType type) {
+bool readHeader(bio::Reader &r, MessageType &type, std::string &error) {
+  std::uint32_t version = 0;
+  return readHeader(r, type, version, error);
+}
+
+std::string encodeEmptyMessage(MessageType type, std::uint32_t version) {
   std::string out;
-  beginMessage(out, type);
+  beginMessage(out, type, version);
   return out;
 }
 
-std::string encodeAnalyzeRequest(const SourceItem &item, std::uint8_t flags) {
+namespace {
+
+std::string encodeSourceRequest(MessageType type, const SourceItem &item,
+                                std::uint8_t flags, std::uint32_t version) {
   std::string out;
-  beginMessage(out, MessageType::analyze);
+  beginMessage(out, type, version);
   bio::putU8(out, flags);
   bio::putString(out, item.name);
   bio::putString(out, item.source);
   return out;
 }
 
+bool decodeSourceRequestBody(bio::Reader &r, SourceItem &item,
+                             std::uint8_t &flags) {
+  return r.u8(flags) && r.str(item.name) && r.str(item.source);
+}
+
+} // namespace
+
+std::string encodeAnalyzeRequest(const SourceItem &item, std::uint8_t flags,
+                                 std::uint32_t version) {
+  return encodeSourceRequest(MessageType::analyze, item, flags, version);
+}
+
 std::string encodeBatchRequest(const std::vector<SourceItem> &items,
-                               std::uint8_t flags) {
+                               std::uint8_t flags, std::uint32_t version) {
   std::string out;
-  beginMessage(out, MessageType::batch);
+  beginMessage(out, MessageType::batch, version);
   bio::putU8(out, flags);
   bio::putU32(out, static_cast<std::uint32_t>(items.size()));
   for (const SourceItem &item : items) {
@@ -76,9 +220,28 @@ std::string encodeBatchRequest(const std::vector<SourceItem> &items,
   return out;
 }
 
-std::string encodeErrorReply(const std::string &message) {
+std::string encodeCoverageRequest(const SourceItem &item, std::uint8_t flags) {
+  return encodeSourceRequest(MessageType::coverage, item, flags,
+                             kProtocolVersion);
+}
+
+std::string encodeSimulateRequest(const SourceItem &item, std::uint8_t flags,
+                                  const core::SimulationArgs &sim) {
+  std::string out = encodeSourceRequest(MessageType::simulate, item, flags,
+                                        kProtocolVersion);
+  bio::putString(out, sim.function);
+  bio::putU8(out, sim.options.fastForward ? 1 : 0);
+  bio::putU64(out, sim.options.maxInstructions);
+  bio::putU32(out, static_cast<std::uint32_t>(sim.args.size()));
+  for (const sim::Value &value : sim.args)
+    putValue(out, value);
+  return out;
+}
+
+std::string encodeErrorReply(const std::string &message,
+                             std::uint32_t version) {
   std::string out;
-  beginMessage(out, MessageType::error);
+  beginMessage(out, MessageType::error, version);
   bio::putString(out, message);
   return out;
 }
@@ -99,27 +262,78 @@ bool readAnalyzeReplyBody(bio::Reader &r, AnalyzeReply &reply) {
   return r.u64(reply.micros) && r.str(reply.payload);
 }
 
+/// Shared [cacheHit u8][recompiled u8][micros u64][ok u8][diagnostics]
+/// prefix of the coverage and simulate replies.
+void putServedReplyPrefix(std::string &out, bool cacheHit, bool recompiled,
+                          std::uint64_t micros, bool ok,
+                          const std::string &diagnostics) {
+  bio::putU8(out, cacheHit ? 1 : 0);
+  bio::putU8(out, recompiled ? 1 : 0);
+  bio::putU64(out, micros);
+  bio::putU8(out, ok ? 1 : 0);
+  bio::putString(out, diagnostics);
+}
+
+bool readServedReplyPrefix(bio::Reader &r, bool &cacheHit, bool &recompiled,
+                           std::uint64_t &micros, bool &ok,
+                           std::string &diagnostics) {
+  std::uint8_t hit = 0, rec = 0, okByte = 0;
+  if (!r.u8(hit) || hit > 1 || !r.u8(rec) || rec > 1 || !r.u64(micros) ||
+      !r.u8(okByte) || okByte > 1 || !r.str(diagnostics))
+    return false;
+  cacheHit = hit == 1;
+  recompiled = rec == 1;
+  ok = okByte == 1;
+  return true;
+}
+
 } // namespace
 
-std::string encodeAnalyzeReply(const AnalyzeReply &reply) {
+std::string encodeAnalyzeReply(const AnalyzeReply &reply,
+                               std::uint32_t version) {
   std::string out;
-  beginMessage(out, MessageType::analyzeReply);
+  beginMessage(out, MessageType::analyzeReply, version);
   putAnalyzeReplyBody(out, reply);
   return out;
 }
 
-std::string encodeBatchReply(const std::vector<AnalyzeReply> &replies) {
+std::string encodeBatchReply(const std::vector<AnalyzeReply> &replies,
+                             std::uint32_t version) {
   std::string out;
-  beginMessage(out, MessageType::batchReply);
+  beginMessage(out, MessageType::batchReply, version);
   bio::putU32(out, static_cast<std::uint32_t>(replies.size()));
   for (const AnalyzeReply &reply : replies)
     putAnalyzeReplyBody(out, reply);
   return out;
 }
 
-std::string encodeCacheStatsReply(const ServerStats &stats) {
+std::string encodeCoverageReply(const CoverageReply &reply) {
   std::string out;
-  beginMessage(out, MessageType::cacheStatsReply);
+  beginMessage(out, MessageType::coverageReply, kProtocolVersion);
+  putServedReplyPrefix(out, reply.cacheHit, reply.recompiled, reply.micros,
+                       reply.ok, reply.diagnostics);
+  if (reply.ok) {
+    bio::putU64(out, reply.coverage.loops);
+    bio::putU64(out, reply.coverage.statements);
+    bio::putU64(out, reply.coverage.inLoopStatements);
+  }
+  return out;
+}
+
+std::string encodeSimulateReply(const SimulateReply &reply) {
+  std::string out;
+  beginMessage(out, MessageType::simulateReply, kProtocolVersion);
+  putServedReplyPrefix(out, reply.cacheHit, reply.recompiled, reply.micros,
+                       reply.ok, reply.diagnostics);
+  if (reply.ok)
+    putSimResult(out, reply.result);
+  return out;
+}
+
+std::string encodeCacheStatsReply(const ServerStats &stats,
+                                  std::uint32_t version) {
+  std::string out;
+  beginMessage(out, MessageType::cacheStatsReply, version);
   bio::putU64(out, stats.uptimeMicros);
   bio::putU64(out, stats.connectionsAccepted);
   bio::putU64(out, stats.requestsServed);
@@ -137,13 +351,17 @@ std::string encodeCacheStatsReply(const ServerStats &stats) {
   bio::putU64(out, stats.diskEntries);
   bio::putU64(out, stats.diskBytes);
   bio::putU64(out, stats.threads);
+  if (version >= 2) {
+    bio::putU64(out, stats.coverageRequests);
+    bio::putU64(out, stats.simulateRequests);
+    bio::putU64(out, stats.recompiles);
+  }
   return out;
 }
 
 bool decodeAnalyzeRequest(bio::Reader &r, SourceItem &item,
                           std::uint8_t &flags) {
-  return r.u8(flags) && r.str(item.name) && r.str(item.source) &&
-         r.remaining() == 0;
+  return decodeSourceRequestBody(r, item, flags) && r.remaining() == 0;
 }
 
 bool decodeBatchRequest(bio::Reader &r, std::vector<SourceItem> &items,
@@ -159,6 +377,31 @@ bool decodeBatchRequest(bio::Reader &r, std::vector<SourceItem> &items,
     if (!r.str(item.name) || !r.str(item.source))
       return false;
     items.push_back(std::move(item));
+  }
+  return r.remaining() == 0;
+}
+
+bool decodeCoverageRequest(bio::Reader &r, SourceItem &item,
+                           std::uint8_t &flags) {
+  return decodeSourceRequestBody(r, item, flags) && r.remaining() == 0;
+}
+
+bool decodeSimulateRequest(bio::Reader &r, SourceItem &item,
+                           std::uint8_t &flags, core::SimulationArgs &sim) {
+  sim = core::SimulationArgs{};
+  if (!decodeSourceRequestBody(r, item, flags))
+    return false;
+  std::uint8_t fastForward = 0;
+  std::uint32_t argCount = 0;
+  if (!r.str(sim.function) || !r.u8(fastForward) || fastForward > 1 ||
+      !r.u64(sim.options.maxInstructions) || !r.u32(argCount))
+    return false;
+  sim.options.fastForward = fastForward == 1;
+  for (std::uint32_t i = 0; i < argCount; ++i) {
+    sim::Value value;
+    if (!readValue(r, value))
+      return false;
+    sim.args.push_back(value);
   }
   return r.remaining() == 0;
 }
@@ -185,16 +428,53 @@ bool decodeBatchReply(bio::Reader &r, std::vector<AnalyzeReply> &replies) {
   return r.remaining() == 0;
 }
 
+bool decodeCoverageReply(bio::Reader &r, CoverageReply &reply) {
+  reply = CoverageReply{};
+  if (!readServedReplyPrefix(r, reply.cacheHit, reply.recompiled,
+                             reply.micros, reply.ok, reply.diagnostics))
+    return false;
+  if (!reply.ok)
+    return r.remaining() == 0;
+  std::uint64_t loops = 0, statements = 0, inLoop = 0;
+  if (!r.u64(loops) || !r.u64(statements) || !r.u64(inLoop))
+    return false;
+  reply.coverage.loops = static_cast<std::size_t>(loops);
+  reply.coverage.statements = static_cast<std::size_t>(statements);
+  reply.coverage.inLoopStatements = static_cast<std::size_t>(inLoop);
+  return r.remaining() == 0;
+}
+
+bool decodeSimulateReply(bio::Reader &r, SimulateReply &reply) {
+  reply = SimulateReply{};
+  if (!readServedReplyPrefix(r, reply.cacheHit, reply.recompiled,
+                             reply.micros, reply.ok, reply.diagnostics))
+    return false;
+  if (!reply.ok)
+    return r.remaining() == 0;
+  return readSimResult(r, reply.result) && r.remaining() == 0;
+}
+
+bool decodeCacheStatsReply(bio::Reader &r, ServerStats &stats,
+                           std::uint32_t version) {
+  if (!(r.u64(stats.uptimeMicros) && r.u64(stats.connectionsAccepted) &&
+        r.u64(stats.requestsServed) && r.u64(stats.analyzeRequests) &&
+        r.u64(stats.batchRequests) && r.u64(stats.sourcesAnalyzed) &&
+        r.u64(stats.cacheHits) && r.u64(stats.computed) &&
+        r.u64(stats.failures) && r.u64(stats.protocolErrors) &&
+        r.u64(stats.memoryEntries) && r.u64(stats.diskHits) &&
+        r.u64(stats.diskMisses) && r.u64(stats.diskStores) &&
+        r.u64(stats.diskEntries) && r.u64(stats.diskBytes) &&
+        r.u64(stats.threads)))
+    return false;
+  if (version >= 2 &&
+      !(r.u64(stats.coverageRequests) && r.u64(stats.simulateRequests) &&
+        r.u64(stats.recompiles)))
+    return false;
+  return r.remaining() == 0;
+}
+
 bool decodeCacheStatsReply(bio::Reader &r, ServerStats &stats) {
-  return r.u64(stats.uptimeMicros) && r.u64(stats.connectionsAccepted) &&
-         r.u64(stats.requestsServed) && r.u64(stats.analyzeRequests) &&
-         r.u64(stats.batchRequests) && r.u64(stats.sourcesAnalyzed) &&
-         r.u64(stats.cacheHits) && r.u64(stats.computed) &&
-         r.u64(stats.failures) && r.u64(stats.protocolErrors) &&
-         r.u64(stats.memoryEntries) && r.u64(stats.diskHits) &&
-         r.u64(stats.diskMisses) && r.u64(stats.diskStores) &&
-         r.u64(stats.diskEntries) && r.u64(stats.diskBytes) &&
-         r.u64(stats.threads) && r.remaining() == 0;
+  return decodeCacheStatsReply(r, stats, kProtocolVersion);
 }
 
 } // namespace mira::server

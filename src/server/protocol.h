@@ -12,8 +12,18 @@
 /// docs/PROTOCOL.md specifies the byte layout normatively so non-C++
 /// clients can speak it too.
 ///
-/// Analysis results travel as the canonical outcome payload of
-/// driver::serializeOutcomePayload — the same bytes the disk cache
+/// Versioning: the current protocol is version 2, which adds the
+/// Coverage and Simulate requests of the artifact API
+/// (core/artifacts.h) and embeds the schema-v2 artifact payload in
+/// analyze replies. The daemon still serves version-1 peers: every
+/// message carries its version, requests are accepted from
+/// kProtocolVersionMin up, and replies are encoded in the requester's
+/// version (v1 clients get v1 payload bytes, and never see v2-only
+/// message types or stats fields). See docs/PROTOCOL.md,
+/// "Compatibility".
+///
+/// Analysis results travel as the canonical artifact payload of
+/// driver::serializeArtifactPayload — the same bytes the disk cache
 /// stores — so a daemon-served model is byte-identical to a one-shot
 /// `mira-cli analyze` of the same (source, options) by construction.
 /// Decoders never trust the wire: every read is bounds-checked and any
@@ -25,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "core/artifacts.h"
 #include "core/mira.h"
 #include "support/binary_io.h"
 
@@ -34,10 +45,14 @@ namespace mira::server {
 /// little-endian u32. First field of every message.
 inline constexpr std::uint32_t kProtocolMagic = 0x5072694du;
 
-/// Protocol version; peers reject any other value. Bump on any change
-/// to the message layouts below or to the outcome payload they embed
-/// (i.e. whenever kCacheSchemaVersion bumps, bump this too).
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Current protocol version, sent by default. Bump on any change to the
+/// message layouts below or to the artifact payload they embed (i.e.
+/// whenever kCacheSchemaVersion bumps, bump this too).
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Oldest version peers still accept. v1 lacks coverage/simulate and
+/// embeds the v1 outcome payload in analyze replies.
+inline constexpr std::uint32_t kProtocolVersionMin = 1;
 
 /// Default cap on one frame's payload, enforced by both sides. A
 /// declared length beyond the cap is answered with Error and the
@@ -45,6 +60,7 @@ inline constexpr std::uint32_t kProtocolVersion = 1;
 inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
 
 /// One-byte message type. Requests are < 100; replies are >= 100.
+/// Types marked (v2) are rejected in version-1 messages.
 enum class MessageType : std::uint8_t {
   // Requests (client -> server).
   ping = 1,       ///< liveness probe; empty body
@@ -52,6 +68,8 @@ enum class MessageType : std::uint8_t {
   batch = 3,      ///< many sources: [flags u8][count u32][count x item]
   cacheStats = 4, ///< server/cache counters; empty body
   shutdown = 5,   ///< stop accepting, drain, exit; empty body
+  coverage = 6,   ///< (v2) loop coverage: same body as analyze
+  simulate = 7,   ///< (v2) run the simulator: analyze body + sim args
 
   // Replies (server -> client).
   error = 100,           ///< [message str]; connection closes after
@@ -60,6 +78,8 @@ enum class MessageType : std::uint8_t {
   batchReply = 103,      ///< [count u32][count x result]
   cacheStatsReply = 104, ///< fixed u64 counter block (see ServerStats)
   shutdownReply = 105,   ///< empty body; sent before the daemon drains
+  coverageReply = 106,   ///< (v2) one coverage summary (see CoverageReply)
+  simulateReply = 107,   ///< (v2) one simulation result (see SimulateReply)
 };
 
 /// Model-affecting option bits carried by analyze/batch requests —
@@ -77,7 +97,8 @@ std::uint8_t packOptions(const core::MiraOptions &options);
 /// Expand OptionFlags into a MiraOptions (all other fields default).
 core::MiraOptions unpackOptions(std::uint8_t flags);
 
-/// One named source, the unit of analyze/batch requests.
+/// One named source, the unit of analyze/batch/coverage/simulate
+/// requests.
 struct SourceItem {
   std::string name;   ///< display name; echoed as the payload's producer
   std::string source; ///< MiniC source text
@@ -89,20 +110,48 @@ struct AnalyzeReply {
   bool cacheHit = false;
   /// Server-side wall time of this request, microseconds.
   std::uint64_t micros = 0;
-  /// driver::serializeOutcomePayload bytes:
-  /// `[ok u8][producerName str][diagnostics str][model bytes when ok]`.
+  /// The canonical result payload, in the requester's schema:
+  /// driver::serializeArtifactPayload bytes for v2 peers,
+  /// driver::serializeOutcomePayloadV1 bytes for v1 peers.
   std::string payload;
 };
 
+/// One loop-coverage summary as served to a client (v2).
+/// Body: [cacheHit u8][recompiled u8][micros u64][ok u8]
+/// [diagnostics str] then, when ok, [loops u64][stmts u64][inLoop u64].
+struct CoverageReply {
+  bool cacheHit = false;   ///< served without running the full pipeline
+  bool recompiled = false; ///< a recompile-on-demand materialized for this
+  std::uint64_t micros = 0;
+  bool ok = false;
+  std::string diagnostics;
+  sema::LoopCoverage coverage; ///< meaningful when ok
+};
+
+/// One simulation result as served to a client (v2).
+/// Body: [cacheHit u8][recompiled u8][micros u64][ok u8]
+/// [diagnostics str] then, when ok, the SimResult block (putSimResult).
+struct SimulateReply {
+  bool cacheHit = false;
+  bool recompiled = false; ///< program came back via recompile-on-demand
+  std::uint64_t micros = 0;
+  bool ok = false;         ///< analysis ok and the simulator ran
+  std::string diagnostics;
+  sim::SimResult result;   ///< meaningful when ok (its own ok/error
+                           ///< report simulator-level failures)
+};
+
 /// Counter block answered to cacheStats, all u64, in this wire order.
-/// Lifetime counters cover everything since the daemon started.
+/// Lifetime counters cover everything since the daemon started. The
+/// last three fields are v2-only: v1 peers receive the block truncated
+/// after `threads` (the v1 layout, unchanged).
 struct ServerStats {
   std::uint64_t uptimeMicros = 0;        ///< since the daemon started
   std::uint64_t connectionsAccepted = 0; ///< client sessions opened
   std::uint64_t requestsServed = 0;      ///< frames answered (errors too)
   std::uint64_t analyzeRequests = 0;     ///< analyze messages
   std::uint64_t batchRequests = 0;       ///< batch messages
-  std::uint64_t sourcesAnalyzed = 0;     ///< items across both kinds
+  std::uint64_t sourcesAnalyzed = 0;     ///< items across request kinds
   std::uint64_t cacheHits = 0;           ///< items served without recompute
   std::uint64_t computed = 0;            ///< items that ran the pipeline
   std::uint64_t failures = 0;            ///< items whose analysis failed
@@ -114,31 +163,63 @@ struct ServerStats {
   std::uint64_t diskEntries = 0;         ///< disk entries on disk now
   std::uint64_t diskBytes = 0;           ///< disk bytes on disk now
   std::uint64_t threads = 0;             ///< concurrent session workers
+  std::uint64_t coverageRequests = 0;    ///< (v2) coverage messages
+  std::uint64_t simulateRequests = 0;    ///< (v2) simulate messages
+  std::uint64_t recompiles = 0;          ///< (v2) recompile-on-demand runs
 };
 
-/// Append the message header (magic, version, type) to `out`.
-void beginMessage(std::string &out, MessageType type);
+/// Append the message header (magic, `version`, type) to `out`.
+void beginMessage(std::string &out, MessageType type,
+                  std::uint32_t version = kProtocolVersion);
 
-/// Read and validate a message header. On failure sets `error` and
-/// returns false; `type` is only meaningful on success.
+/// Read and validate a message header, accepting any supported version
+/// (kProtocolVersionMin..kProtocolVersion) and reporting which one the
+/// peer spoke. On failure sets `error` and returns false; `type` and
+/// `version` are only meaningful on success.
+bool readHeader(bio::Reader &r, MessageType &type, std::uint32_t &version,
+                std::string &error);
+
+/// Convenience overload for callers that do not branch on the version.
 bool readHeader(bio::Reader &r, MessageType &type, std::string &error);
+
+// Encoders. `version` selects the wire dialect; v2-only messages
+// (coverage, simulate and their replies) ignore it and always stamp v2.
 
 /// Build a complete header-only message (ping, pong, cacheStats,
 /// shutdown, shutdownReply).
-std::string encodeEmptyMessage(MessageType type);
+std::string encodeEmptyMessage(MessageType type,
+                               std::uint32_t version = kProtocolVersion);
 /// Build an analyze request for one source under OptionFlags `flags`.
-std::string encodeAnalyzeRequest(const SourceItem &item, std::uint8_t flags);
+std::string encodeAnalyzeRequest(const SourceItem &item, std::uint8_t flags,
+                                 std::uint32_t version = kProtocolVersion);
 /// Build a batch request; every item shares one OptionFlags byte.
 std::string encodeBatchRequest(const std::vector<SourceItem> &items,
-                               std::uint8_t flags);
+                               std::uint8_t flags,
+                               std::uint32_t version = kProtocolVersion);
+/// Build a coverage request (v2): same body as analyze.
+std::string encodeCoverageRequest(const SourceItem &item, std::uint8_t flags);
+/// Build a simulate request (v2): analyze body + the per-call
+/// simulation arguments ([function str][fastForward u8]
+/// [maxInstructions u64][argc u32][argc x (i i64, f f64, f2 f64)]).
+std::string encodeSimulateRequest(const SourceItem &item, std::uint8_t flags,
+                                  const core::SimulationArgs &sim);
 /// Build an Error reply carrying a human-readable description.
-std::string encodeErrorReply(const std::string &message);
+std::string encodeErrorReply(const std::string &message,
+                             std::uint32_t version = kProtocolVersion);
 /// Build an analyzeReply carrying one result.
-std::string encodeAnalyzeReply(const AnalyzeReply &reply);
+std::string encodeAnalyzeReply(const AnalyzeReply &reply,
+                               std::uint32_t version = kProtocolVersion);
 /// Build a batchReply carrying results in request order.
-std::string encodeBatchReply(const std::vector<AnalyzeReply> &replies);
-/// Build a cacheStatsReply from a counter snapshot.
-std::string encodeCacheStatsReply(const ServerStats &stats);
+std::string encodeBatchReply(const std::vector<AnalyzeReply> &replies,
+                             std::uint32_t version = kProtocolVersion);
+/// Build a coverageReply (v2).
+std::string encodeCoverageReply(const CoverageReply &reply);
+/// Build a simulateReply (v2).
+std::string encodeSimulateReply(const SimulateReply &reply);
+/// Build a cacheStatsReply from a counter snapshot; v1 peers get the
+/// 17-field v1 block, v2 peers the full 20-field block.
+std::string encodeCacheStatsReply(const ServerStats &stats,
+                                  std::uint32_t version = kProtocolVersion);
 
 // Body decoders take a Reader positioned just past the header. Each
 // returns false on any structural problem, including a body that does
@@ -150,13 +231,34 @@ bool decodeAnalyzeRequest(bio::Reader &r, SourceItem &item,
 /// Decode a batch request body.
 bool decodeBatchRequest(bio::Reader &r, std::vector<SourceItem> &items,
                         std::uint8_t &flags);
+/// Decode a coverage request body (identical layout to analyze).
+bool decodeCoverageRequest(bio::Reader &r, SourceItem &item,
+                           std::uint8_t &flags);
+/// Decode a simulate request body.
+bool decodeSimulateRequest(bio::Reader &r, SourceItem &item,
+                           std::uint8_t &flags, core::SimulationArgs &sim);
 /// Decode an Error reply body.
 bool decodeErrorReply(bio::Reader &r, std::string &message);
 /// Decode an analyzeReply body.
 bool decodeAnalyzeReply(bio::Reader &r, AnalyzeReply &reply);
 /// Decode a batchReply body.
 bool decodeBatchReply(bio::Reader &r, std::vector<AnalyzeReply> &replies);
-/// Decode a cacheStatsReply body.
+/// Decode a coverageReply body.
+bool decodeCoverageReply(bio::Reader &r, CoverageReply &reply);
+/// Decode a simulateReply body.
+bool decodeSimulateReply(bio::Reader &r, SimulateReply &reply);
+/// Decode a cacheStatsReply body of the given dialect (v1 bodies leave
+/// the v2-only fields zero).
+bool decodeCacheStatsReply(bio::Reader &r, ServerStats &stats,
+                           std::uint32_t version);
 bool decodeCacheStatsReply(bio::Reader &r, ServerStats &stats);
+
+/// Canonical byte encoding of a full sim::SimResult (ok, error, return
+/// value, total counters with a sparse category block, per-function
+/// inclusive profiles, printed values). Used by simulateReply and by
+/// tests comparing daemon-served counters against one-shot runs
+/// byte-for-byte.
+void putSimResult(std::string &out, const sim::SimResult &result);
+bool readSimResult(bio::Reader &r, sim::SimResult &result);
 
 } // namespace mira::server

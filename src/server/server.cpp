@@ -130,8 +130,11 @@ void AnalysisServer::handleConnection(net::Socket sock) {
     if (status == net::FrameStatus::closed)
       break; // client finished cleanly
     if (status == net::FrameStatus::oversized) {
+      // The frame was never parsed, so the peer's dialect is unknown:
+      // answer in v1, which every client version decodes.
       sendError(fd, "frame exceeds " + std::to_string(options_.maxFrameBytes) +
-                        " bytes");
+                        " bytes",
+                kProtocolVersionMin);
       break;
     }
     if (status != net::FrameStatus::ok) { // truncated or I/O error
@@ -153,64 +156,104 @@ void AnalysisServer::handleConnection(net::Socket sock) {
 bool AnalysisServer::handleMessage(int fd, const std::string &message) {
   bio::Reader r{message, 0};
   MessageType type{};
+  std::uint32_t version = 0;
   std::string headerError;
-  if (!readHeader(r, type, headerError)) {
-    sendError(fd, headerError);
+  if (!readHeader(r, type, version, headerError)) {
+    // The peer's dialect is unknown; v1 error frames are the common
+    // denominator every client version can decode.
+    sendError(fd, headerError, kProtocolVersionMin);
     return false;
   }
 
   switch (type) {
   case MessageType::ping:
-    return sendReply(fd, encodeEmptyMessage(MessageType::pong));
+    return sendReply(fd, encodeEmptyMessage(MessageType::pong, version),
+                     version);
 
   case MessageType::analyze: {
     SourceItem item;
     std::uint8_t flags = 0;
     if (!decodeAnalyzeRequest(r, item, flags)) {
-      sendError(fd, "malformed analyze request");
+      sendError(fd, "malformed analyze request", version);
       return false;
     }
     analyze_requests_.fetch_add(1, std::memory_order_relaxed);
-    AnalyzeReply reply = analyzeItem(item, flags);
-    return sendReply(fd, encodeAnalyzeReply(reply));
+    AnalyzeReply reply = analyzeItem(item, flags, version);
+    return sendReply(fd, encodeAnalyzeReply(reply, version), version);
   }
 
   case MessageType::batch: {
     std::vector<SourceItem> items;
     std::uint8_t flags = 0;
     if (!decodeBatchRequest(r, items, flags)) {
-      sendError(fd, "malformed batch request");
+      sendError(fd, "malformed batch request", version);
       return false;
     }
     batch_requests_.fetch_add(1, std::memory_order_relaxed);
     // Items fan across the analyzer's pool: a cold batch gets the same
     // intra-request parallelism as `mira-cli batch --threads N`.
-    std::vector<driver::AnalysisRequest> requests;
-    requests.reserve(items.size());
+    std::vector<core::AnalysisSpec> specs;
+    specs.reserve(items.size());
     const core::MiraOptions options = unpackOptions(flags);
     for (SourceItem &item : items) {
-      driver::AnalysisRequest request;
-      request.name = std::move(item.name);
-      request.source = std::move(item.source);
-      request.options = options;
-      requests.push_back(std::move(request));
+      core::AnalysisSpec spec;
+      spec.name = std::move(item.name);
+      spec.source = std::move(item.source);
+      spec.options = options;
+      spec.artifacts = core::kArtifactDefault;
+      specs.push_back(std::move(spec));
     }
-    std::vector<driver::AnalysisOutcome> outcomes =
-        analyzer_->analyzeMany(requests);
+    std::vector<core::Artifacts> results =
+        analyzer_->analyzeArtifactsMany(specs);
     std::vector<AnalyzeReply> replies;
-    replies.reserve(outcomes.size());
-    for (const driver::AnalysisOutcome &outcome : outcomes)
-      replies.push_back(replyFor(outcome));
-    return sendReply(fd, encodeBatchReply(replies));
+    replies.reserve(results.size());
+    for (const core::Artifacts &artifacts : results)
+      replies.push_back(replyFor(artifacts, version));
+    return sendReply(fd, encodeBatchReply(replies, version), version);
+  }
+
+  case MessageType::coverage: {
+    SourceItem item;
+    std::uint8_t flags = 0;
+    if (version < 2) {
+      sendError(fd, "coverage requires protocol version 2", version);
+      return false;
+    }
+    if (!decodeCoverageRequest(r, item, flags)) {
+      sendError(fd, "malformed coverage request", version);
+      return false;
+    }
+    coverage_requests_.fetch_add(1, std::memory_order_relaxed);
+    return sendReply(fd, encodeCoverageReply(coverageItem(item, flags)),
+                     version);
+  }
+
+  case MessageType::simulate: {
+    SourceItem item;
+    std::uint8_t flags = 0;
+    core::SimulationArgs sim;
+    if (version < 2) {
+      sendError(fd, "simulate requires protocol version 2", version);
+      return false;
+    }
+    if (!decodeSimulateRequest(r, item, flags, sim)) {
+      sendError(fd, "malformed simulate request", version);
+      return false;
+    }
+    simulate_requests_.fetch_add(1, std::memory_order_relaxed);
+    return sendReply(fd, encodeSimulateReply(simulateItem(item, flags, sim)),
+                     version);
   }
 
   case MessageType::cacheStats:
-    return sendReply(fd, encodeCacheStatsReply(snapshotStats()));
+    return sendReply(fd, encodeCacheStatsReply(snapshotStats(), version),
+                     version);
 
   case MessageType::shutdown: {
     // Acknowledge first: the requester must learn the shutdown was
     // accepted even though the daemon stops reading from everyone next.
-    bool sent = net::writeFrame(fd, encodeEmptyMessage(MessageType::shutdownReply));
+    bool sent = net::writeFrame(
+        fd, encodeEmptyMessage(MessageType::shutdownReply, version));
     requests_served_.fetch_add(1, std::memory_order_relaxed);
     requestStop();
     (void)sent;
@@ -219,42 +262,105 @@ bool AnalysisServer::handleMessage(int fd, const std::string &message) {
 
   default:
     sendError(fd, "unexpected message type " +
-                      std::to_string(static_cast<unsigned>(type)));
+                      std::to_string(static_cast<unsigned>(type)),
+              version);
     return false;
   }
 }
 
-AnalyzeReply AnalysisServer::analyzeItem(const SourceItem &item,
-                                         std::uint8_t flags) {
-  driver::AnalysisRequest request;
-  request.name = item.name;
-  request.source = item.source;
-  request.options = unpackOptions(flags);
-  return replyFor(analyzer_->analyzeSingle(request));
-}
-
-AnalyzeReply
-AnalysisServer::replyFor(const driver::AnalysisOutcome &outcome) {
+void AnalysisServer::recordServed(const core::Artifacts &artifacts) {
   sources_analyzed_.fetch_add(1, std::memory_order_relaxed);
-  if (outcome.cacheHit)
+  if (artifacts.cacheHit)
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
   else
     computed_.fetch_add(1, std::memory_order_relaxed);
-  if (!outcome.ok)
+  if (!artifacts.ok)
     failures_.fetch_add(1, std::memory_order_relaxed);
+  if (artifacts.recompiled)
+    recompiles_.fetch_add(1, std::memory_order_relaxed);
+}
+
+AnalyzeReply AnalysisServer::analyzeItem(const SourceItem &item,
+                                         std::uint8_t flags,
+                                         std::uint32_t version) {
+  core::AnalysisSpec spec;
+  spec.name = item.name;
+  spec.source = item.source;
+  spec.options = unpackOptions(flags);
+  spec.artifacts = core::kArtifactDefault;
+  return replyFor(analyzer_->analyzeArtifacts(spec), version);
+}
+
+AnalyzeReply AnalysisServer::replyFor(const core::Artifacts &artifacts,
+                                      std::uint32_t version) {
+  recordServed(artifacts);
 
   AnalyzeReply reply;
-  reply.cacheHit = outcome.cacheHit;
-  reply.micros = static_cast<std::uint64_t>(outcome.seconds * 1e6);
-  // The canonical outcome payload (docs/CACHING.md format), named after
-  // this request: byte-identical to a one-shot analyze of the same
-  // (source, options), whether served cold, from memory, or from disk.
-  reply.payload = driver::serializeOutcomePayload(
-      outcome.analysis.get(), outcome.diagnostics, outcome.name);
+  reply.cacheHit = artifacts.cacheHit;
+  reply.micros = static_cast<std::uint64_t>(artifacts.seconds * 1e6);
+  // The canonical result payload (docs/CACHING.md format) in the peer's
+  // dialect, named after this request: byte-identical to a one-shot
+  // analyze of the same (source, options), whether served cold, from
+  // memory, or from disk. v2 payloads carry the coverage summary when
+  // the cache has one (always, except entries restored from v1 disk
+  // blobs).
+  if (version >= 2)
+    reply.payload = driver::serializeArtifactPayload(
+        artifacts.model.get(),
+        artifacts.coverage ? &*artifacts.coverage : nullptr,
+        artifacts.diagnostics, artifacts.name);
+  else
+    reply.payload = driver::serializeOutcomePayloadV1(
+        artifacts.resultV1.get(), artifacts.diagnostics, artifacts.name);
   return reply;
 }
 
-bool AnalysisServer::sendReply(int fd, const std::string &message) {
+CoverageReply AnalysisServer::coverageItem(const SourceItem &item,
+                                           std::uint8_t flags) {
+  core::AnalysisSpec spec;
+  spec.name = item.name;
+  spec.source = item.source;
+  spec.options = unpackOptions(flags);
+  spec.artifacts = core::kArtifactCoverage | core::kArtifactDiagnostics;
+  core::Artifacts artifacts = analyzer_->analyzeArtifacts(spec);
+  recordServed(artifacts);
+
+  CoverageReply reply;
+  reply.cacheHit = artifacts.cacheHit;
+  reply.recompiled = artifacts.recompiled;
+  reply.micros = static_cast<std::uint64_t>(artifacts.seconds * 1e6);
+  reply.ok = artifacts.ok && artifacts.coverage.has_value();
+  reply.diagnostics = artifacts.diagnostics;
+  if (reply.ok)
+    reply.coverage = *artifacts.coverage;
+  return reply;
+}
+
+SimulateReply AnalysisServer::simulateItem(const SourceItem &item,
+                                           std::uint8_t flags,
+                                           const core::SimulationArgs &sim) {
+  core::AnalysisSpec spec;
+  spec.name = item.name;
+  spec.source = item.source;
+  spec.options = unpackOptions(flags);
+  spec.artifacts = core::kArtifactSimulation | core::kArtifactDiagnostics;
+  spec.simulation = sim;
+  core::Artifacts artifacts = analyzer_->analyzeArtifacts(spec);
+  recordServed(artifacts);
+
+  SimulateReply reply;
+  reply.cacheHit = artifacts.cacheHit;
+  reply.recompiled = artifacts.recompiled;
+  reply.micros = static_cast<std::uint64_t>(artifacts.seconds * 1e6);
+  reply.ok = artifacts.ok && artifacts.simulation != nullptr;
+  reply.diagnostics = artifacts.diagnostics;
+  if (reply.ok)
+    reply.result = *artifacts.simulation;
+  return reply;
+}
+
+bool AnalysisServer::sendReply(int fd, const std::string &message,
+                               std::uint32_t version) {
   // The frame cap binds both directions: a reply the daemon itself
   // cannot legally frame (a huge batch's aggregated payloads) becomes
   // an Error, not a protocol violation the client chokes on.
@@ -262,16 +368,18 @@ bool AnalysisServer::sendReply(int fd, const std::string &message) {
     sendError(fd, "reply of " + std::to_string(message.size()) +
                       " bytes exceeds the " +
                       std::to_string(options_.maxFrameBytes) +
-                      "-byte frame cap; split the request");
+                      "-byte frame cap; split the request",
+              version);
     return false;
   }
   return net::writeFrame(fd, message);
 }
 
-void AnalysisServer::sendError(int fd, const std::string &text) {
+void AnalysisServer::sendError(int fd, const std::string &text,
+                               std::uint32_t version) {
   protocol_errors_.fetch_add(1, std::memory_order_relaxed);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
-  net::writeFrame(fd, encodeErrorReply(text));
+  net::writeFrame(fd, encodeErrorReply(text, version));
 }
 
 ServerStats AnalysisServer::snapshotStats() const {
@@ -287,6 +395,9 @@ ServerStats AnalysisServer::snapshotStats() const {
   stats.computed = computed_.load(std::memory_order_relaxed);
   stats.failures = failures_.load(std::memory_order_relaxed);
   stats.protocolErrors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.coverageRequests = coverage_requests_.load(std::memory_order_relaxed);
+  stats.simulateRequests = simulate_requests_.load(std::memory_order_relaxed);
+  stats.recompiles = recompiles_.load(std::memory_order_relaxed);
   stats.memoryEntries = analyzer_->cacheSize();
   if (CacheStore *disk = analyzer_->diskCache()) {
     const CacheStoreStats diskStats = disk->statsSnapshot();

@@ -91,17 +91,28 @@ public:
 private:
   void handleConnection(net::Socket sock);
   /// Serve one decoded message; returns false when the connection must
-  /// close (shutdown request, protocol error, unexpected type).
+  /// close (shutdown request, protocol error, unexpected type). Replies
+  /// are encoded in the dialect the message's header declared, so v1
+  /// peers keep receiving v1 frames from a v2 daemon.
   bool handleMessage(int fd, const std::string &message);
-  AnalyzeReply analyzeItem(const SourceItem &item, std::uint8_t flags);
-  /// Record an outcome in the counters and wrap it as a wire reply.
-  AnalyzeReply replyFor(const driver::AnalysisOutcome &outcome);
+  /// Record a served result in the counters (cache hit vs computed,
+  /// failures, recompiles).
+  void recordServed(const core::Artifacts &artifacts);
+  AnalyzeReply analyzeItem(const SourceItem &item, std::uint8_t flags,
+                           std::uint32_t version);
+  /// Record artifacts in the counters and wrap them as a wire reply in
+  /// the peer's payload dialect.
+  AnalyzeReply replyFor(const core::Artifacts &artifacts,
+                        std::uint32_t version);
+  CoverageReply coverageItem(const SourceItem &item, std::uint8_t flags);
+  SimulateReply simulateItem(const SourceItem &item, std::uint8_t flags,
+                             const core::SimulationArgs &sim);
   /// Send a reply frame, enforcing the frame cap on the daemon's own
   /// output (an over-cap reply degrades to an Error). False when the
   /// connection must close.
-  bool sendReply(int fd, const std::string &message);
+  bool sendReply(int fd, const std::string &message, std::uint32_t version);
   /// Send an Error reply and count it; the caller closes the connection.
-  void sendError(int fd, const std::string &text);
+  void sendError(int fd, const std::string &text, std::uint32_t version);
 
   ServerOptions options_;
   std::unique_ptr<driver::BatchAnalyzer> analyzer_;
@@ -121,10 +132,13 @@ private:
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> analyze_requests_{0};
   std::atomic<std::uint64_t> batch_requests_{0};
+  std::atomic<std::uint64_t> coverage_requests_{0};
+  std::atomic<std::uint64_t> simulate_requests_{0};
   std::atomic<std::uint64_t> sources_analyzed_{0};
   std::atomic<std::uint64_t> cache_hits_{0};
   std::atomic<std::uint64_t> computed_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> recompiles_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
 };
 

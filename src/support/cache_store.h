@@ -17,13 +17,24 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace mira {
 
-/// On-disk format version. Bump whenever the serialized payload layout
-/// (model/serialize.h) or the header itself changes; readers treat any
-/// other version as a miss, so stale caches age out instead of breaking.
-inline constexpr std::uint32_t kCacheSchemaVersion = 1;
+/// On-disk format version written by store(). Bump whenever the
+/// serialized payload layout (driver/batch.h artifact payload,
+/// model/serialize.h) or the header itself changes.
+///
+/// Version history:
+///   1 — PR 2: `[ok][producerName][diagnostics][model]` outcome payload.
+///   2 — artifact payload: a loop-coverage summary rides alongside the
+///       model so coverage can be served without the compiled program.
+inline constexpr std::uint32_t kCacheSchemaVersion = 2;
+
+/// Oldest schema version load(key, version) still accepts. v1 payloads
+/// lack the coverage summary; the driver degrades them to
+/// recompile-on-demand (docs/CACHING.md, "Schema migration").
+inline constexpr std::uint32_t kCacheSchemaVersionMin = 1;
 
 /// Process-lifetime counters of one CacheStore (all operations since
 /// construction; not persisted).
@@ -58,8 +69,38 @@ public:
   explicit CacheStore(std::string directory, std::uint64_t bytesLimit = 0);
 
   /// Fetch the payload stored under `key`; nullopt when absent or when
-  /// the entry fails validation (which also deletes the bad file).
+  /// the entry fails validation (which also deletes the bad file). Only
+  /// current-schema entries are served; older (still-supported) versions
+  /// go through the two-argument overload.
   std::optional<std::string> load(std::uint64_t key);
+
+  /// Like load(), but also accepts entries of any supported schema
+  /// version (`kCacheSchemaVersionMin`..`kCacheSchemaVersion`) and
+  /// reports which version the payload was written under, so the caller
+  /// can pick the matching payload codec. Entries outside the supported
+  /// range miss without being deleted (another binary's valid cache).
+  std::optional<std::string> load(std::uint64_t key, std::uint32_t &version);
+
+  /// Validated read without side effects: like the two-argument load()
+  /// but bumps neither the LRU recency nor any counter, and never
+  /// unlinks a corrupt entry (that is left to the next real load), so
+  /// inspection commands (`cache stats`) cannot perturb the store.
+  std::optional<std::string> peek(std::uint64_t key, std::uint32_t &version);
+
+  /// Header schema version of the entry stored under `key`, or nullopt
+  /// when there is no well-formed entry. Does not validate the payload
+  /// checksum and does not bump LRU recency.
+  std::optional<std::uint32_t> entryVersion(std::uint64_t key) const;
+
+  /// Every key with a well-formed entry file name, in no particular
+  /// order. `mira-cli cache stats` walks this to break byte totals down
+  /// per artifact.
+  std::vector<std::uint64_t> keys() const;
+
+  /// Remove every entry written under schema `version` (the
+  /// `cache clear --schema vN` migration path); returns how many were
+  /// removed. Temp files and other versions are untouched.
+  std::size_t clearVersion(std::uint32_t version);
 
   /// Persist `payload` under `key`, replacing any existing entry, then
   /// enforce the byte cap. Returns false on I/O failure (disk full,
@@ -101,6 +142,9 @@ public:
 
 private:
   std::string pathForKey(std::uint64_t key) const;
+  std::optional<std::string> loadRange(std::uint64_t key,
+                                       std::uint32_t minVersion,
+                                       std::uint32_t &version, bool touch);
   void evictToFit(std::uint64_t protectedKey);
 
   std::string directory_;

@@ -24,6 +24,15 @@
 #include "workloads/coverage_suite.h"
 #include "workloads/workloads.h"
 
+// This file deliberately exercises the deprecated v1 API surface
+// (core::analyzeSource and friends are compatibility shims whose
+// behavior these tests pin); silence the migration nudge here rather
+// than churn the seed suites. New code: see docs/MIGRATION.md.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
+
 namespace mira {
 namespace {
 
@@ -151,6 +160,100 @@ TEST(CacheStoreTest, WrongSchemaVersionIsAMissButNotDestroyed) {
   auto reloaded = store.load(6);
   ASSERT_TRUE(reloaded.has_value());
   EXPECT_EQ(*reloaded, "current version");
+}
+
+TEST(CacheStoreTest, VersionedLoadAcceptsSupportedOldSchemas) {
+  TempDir dir("oldschema");
+  CacheStore store(dir.str());
+  ASSERT_TRUE(store.store(6, "schema payload"));
+  fs::path file = onlyEntry(dir.path);
+
+  // Rewrite the header's version field (bytes [4, 8)) to v1.
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    const char v1 = 1;
+    f.write(&v1, 1);
+  }
+
+  // The current-schema load() misses; the versioned overload serves the
+  // entry and reports which schema wrote it.
+  EXPECT_FALSE(store.load(6).has_value());
+  std::uint32_t version = 0;
+  auto loaded = store.load(6, version);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(version, 1u);
+  EXPECT_EQ(*loaded, "schema payload");
+  EXPECT_EQ(store.entryVersion(6), 1u);
+  EXPECT_TRUE(fs::exists(file)); // readable compat entries are kept
+
+  // Below the supported floor (version 0): a miss, but not corruption.
+  {
+    std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    const char v0 = 0;
+    f.write(&v0, 1);
+  }
+  EXPECT_FALSE(store.load(6, version).has_value());
+  EXPECT_TRUE(fs::exists(file));
+}
+
+TEST(CacheStoreTest, PeekDoesNotBumpRecencyOrCounters) {
+  TempDir dir("peek");
+  CacheStore store(dir.str());
+  ASSERT_TRUE(store.store(9, "peeked payload"));
+  fs::path file = onlyEntry(dir.path);
+  const auto mtimeBefore = fs::last_write_time(file);
+  const CacheStoreStats before = store.stats();
+
+  std::uint32_t version = 0;
+  auto peeked = store.peek(9, version);
+  ASSERT_TRUE(peeked.has_value());
+  EXPECT_EQ(*peeked, "peeked payload");
+  EXPECT_EQ(version, kCacheSchemaVersion);
+  EXPECT_EQ(store.stats().hits, before.hits);
+  EXPECT_EQ(store.stats().misses, before.misses);
+  EXPECT_EQ(fs::last_write_time(file), mtimeBefore)
+      << "peek must not perturb LRU recency";
+
+  // Even a corrupt entry is left for the next real load to reap: an
+  // inspection pass must not delete files or move counters.
+  fs::resize_file(file, fs::file_size(file) / 2);
+  EXPECT_FALSE(store.peek(9, version).has_value());
+  EXPECT_TRUE(fs::exists(file)) << "peek must not unlink corrupt entries";
+  EXPECT_EQ(store.stats().corrupt, before.corrupt);
+  EXPECT_FALSE(store.load(9).has_value()); // the real load reaps it
+  EXPECT_FALSE(fs::exists(file));
+  EXPECT_EQ(store.stats().corrupt, before.corrupt + 1);
+}
+
+TEST(CacheStoreTest, KeysAndClearVersionTargetOneSchema) {
+  TempDir dir("clearversion");
+  CacheStore store(dir.str());
+  ASSERT_TRUE(store.store(0x11, "current"));
+  ASSERT_TRUE(store.store(0x22, "current too"));
+  ASSERT_TRUE(store.store(0x33, "will become v1"));
+  {
+    std::fstream f(dir.path / "0000000000000033.mira",
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    const char v1 = 1;
+    f.write(&v1, 1);
+  }
+
+  auto keys = store.keys();
+  EXPECT_EQ(keys.size(), 3u);
+
+  // Only the v1 entry goes; the current-schema entries survive.
+  EXPECT_EQ(store.clearVersion(1), 1u);
+  EXPECT_EQ(store.entryCount(), 2u);
+  EXPECT_TRUE(store.load(0x11).has_value());
+  EXPECT_TRUE(store.load(0x22).has_value());
+  std::uint32_t version = 0;
+  EXPECT_FALSE(store.load(0x33, version).has_value());
+
+  // Clearing a schema with no entries is a no-op.
+  EXPECT_EQ(store.clearVersion(1), 0u);
 }
 
 TEST(CacheStoreTest, ClearReclaimsOrphanedTempFiles) {

@@ -15,7 +15,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "core/artifacts.h"
 #include "driver/batch.h"
+#include "model/python_emitter.h"
 #include "server/client.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -203,15 +205,21 @@ TEST(AnalysisServerTest, ColdAndWarmPayloadsAreByteIdenticalToOneShot) {
   ASSERT_TRUE(daemon.started());
 
   // One-shot reference: what `mira-cli analyze` computes and what the
-  // disk cache would store for this (source, options, name).
+  // schema-v2 disk cache would store for this (source, options, name).
   const std::string name = "@fig5";
   const std::string &source = workloads::fig5Source();
   core::MiraOptions options;
-  DiagnosticEngine diags;
-  auto direct = core::analyzeSource(source, name, options, diags);
-  ASSERT_TRUE(direct.has_value()) << diags.str();
-  const std::string expected =
-      driver::serializeOutcomePayload(&*direct, diags.str(), name);
+  core::AnalysisSpec spec;
+  spec.name = name;
+  spec.source = source;
+  spec.options = options;
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                   core::kArtifactCoverage;
+  core::Artifacts direct = core::analyze(spec);
+  ASSERT_TRUE(direct.ok) << direct.diagnostics;
+  ASSERT_TRUE(direct.coverage.has_value());
+  const std::string expected = driver::serializeArtifactPayload(
+      direct.model.get(), &*direct.coverage, direct.diagnostics, name);
 
   Client client;
   ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
@@ -540,6 +548,296 @@ TEST(AnalysisServerTest, OverCapReplyDegradesToError) {
   std::string message;
   ASSERT_TRUE(decodeErrorReply(r, message));
   EXPECT_NE(message.find("frame cap"), std::string::npos) << message;
+}
+
+TEST(AnalysisServerTest, CoverageRoundTripMatchesOneShotCounters) {
+  DaemonFixture daemon;
+  ASSERT_TRUE(daemon.started());
+
+  // One-shot reference coverage for the same (source, options).
+  core::AnalysisSpec spec;
+  spec.name = "@fig5";
+  spec.source = workloads::fig5Source();
+  spec.artifacts = core::kArtifactCoverage;
+  core::Artifacts direct = core::analyze(spec);
+  ASSERT_TRUE(direct.ok);
+
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
+
+  CoverageReply cold;
+  ASSERT_TRUE(client.coverage("@fig5", workloads::fig5Source(),
+                              core::MiraOptions(), cold))
+      << client.lastError();
+  EXPECT_TRUE(cold.ok);
+  EXPECT_FALSE(cold.cacheHit);
+  EXPECT_FALSE(cold.recompiled);
+  EXPECT_EQ(cold.coverage.loops, direct.coverage->loops);
+  EXPECT_EQ(cold.coverage.statements, direct.coverage->statements);
+  EXPECT_EQ(cold.coverage.inLoopStatements,
+            direct.coverage->inLoopStatements);
+
+  // Warm: served from the daemon's cached summary — a hit, and still
+  // no recompile because the memory entry holds the live program.
+  CoverageReply warm;
+  ASSERT_TRUE(client.coverage("@fig5", workloads::fig5Source(),
+                              core::MiraOptions(), warm))
+      << client.lastError();
+  EXPECT_TRUE(warm.ok);
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_FALSE(warm.recompiled);
+  EXPECT_EQ(warm.coverage.loops, cold.coverage.loops);
+
+  ServerStats stats;
+  ASSERT_TRUE(client.cacheStats(stats)) << client.lastError();
+  EXPECT_EQ(stats.coverageRequests, 2u);
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.cacheHits, 1u);
+  EXPECT_EQ(stats.recompiles, 0u);
+}
+
+TEST(AnalysisServerTest, SimulateRoundTripMatchesOneShotCounters) {
+  DaemonFixture daemon;
+  ASSERT_TRUE(daemon.started());
+
+  core::AnalysisSpec spec;
+  spec.name = "@fig5";
+  spec.source = workloads::fig5Source();
+  spec.artifacts = core::kArtifactSimulation;
+  spec.simulation.function = "fig5_main";
+  spec.simulation.args = {sim::Value::ofInt(64)};
+  core::Artifacts direct = core::analyze(spec);
+  ASSERT_TRUE(direct.ok);
+  std::string reference;
+  putSimResult(reference, *direct.simulation);
+
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
+
+  SimulateReply reply;
+  ASSERT_TRUE(client.simulate("@fig5", workloads::fig5Source(),
+                              core::MiraOptions(), spec.simulation, reply))
+      << client.lastError();
+  ASSERT_TRUE(reply.ok);
+  ASSERT_TRUE(reply.result.ok) << reply.result.error;
+  std::string served;
+  putSimResult(served, reply.result);
+  EXPECT_EQ(served, reference) << "daemon-served simulation counters "
+                                  "diverge from a one-shot run";
+
+  // Different arguments re-simulate on the same cached analysis.
+  core::SimulationArgs smaller = spec.simulation;
+  smaller.args = {sim::Value::ofInt(8)};
+  SimulateReply small;
+  ASSERT_TRUE(client.simulate("@fig5", workloads::fig5Source(),
+                              core::MiraOptions(), smaller, small))
+      << client.lastError();
+  ASSERT_TRUE(small.ok);
+  EXPECT_TRUE(small.cacheHit);
+  EXPECT_LT(small.result.total.totalInstructions,
+            reply.result.total.totalInstructions);
+
+  ServerStats stats;
+  ASSERT_TRUE(client.cacheStats(stats)) << client.lastError();
+  EXPECT_EQ(stats.simulateRequests, 2u);
+  EXPECT_EQ(stats.computed, 1u);
+  EXPECT_EQ(stats.recompiles, 0u); // live program in the memory cache
+}
+
+TEST(AnalysisServerTest, WarmDiskSimulateRecompilesWithoutRecomputing) {
+  // The acceptance headline: against a warm daemon whose memory cache
+  // is cold but whose disk cache is hot, coverage and simulation are
+  // served without a full re-analysis — coverage from the stored
+  // summary, simulation through one recompile-on-demand.
+  const std::string cacheDir =
+      (std::filesystem::temp_directory_path() / "mira_server_test_artifact")
+          .string();
+  std::filesystem::remove_all(cacheDir);
+  ServerOptions options;
+  options.cacheDir = cacheDir;
+
+  core::SimulationArgs simArgs;
+  simArgs.function = "fig5_main";
+  simArgs.args = {sim::Value::ofInt(64)};
+
+  std::string coldSim;
+  {
+    DaemonFixture daemon(options);
+    ASSERT_TRUE(daemon.started());
+    Client client;
+    ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
+    SimulateReply reply;
+    ASSERT_TRUE(client.simulate("@fig5", workloads::fig5Source(),
+                                core::MiraOptions(), simArgs, reply))
+        << client.lastError();
+    ASSERT_TRUE(reply.ok);
+    EXPECT_FALSE(reply.cacheHit);
+    putSimResult(coldSim, reply.result);
+  }
+  {
+    DaemonFixture daemon(options);
+    ASSERT_TRUE(daemon.started());
+    Client client;
+    ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
+
+    CoverageReply coverage;
+    ASSERT_TRUE(client.coverage("@fig5", workloads::fig5Source(),
+                                core::MiraOptions(), coverage))
+        << client.lastError();
+    EXPECT_TRUE(coverage.ok);
+    EXPECT_TRUE(coverage.cacheHit);
+    EXPECT_FALSE(coverage.recompiled) << "summary should come from the "
+                                         "schema-v2 entry, not a recompile";
+
+    SimulateReply reply;
+    ASSERT_TRUE(client.simulate("@fig5", workloads::fig5Source(),
+                                core::MiraOptions(), simArgs, reply))
+        << client.lastError();
+    ASSERT_TRUE(reply.ok);
+    EXPECT_TRUE(reply.cacheHit);
+    EXPECT_TRUE(reply.recompiled);
+    std::string warmSim;
+    putSimResult(warmSim, reply.result);
+    EXPECT_EQ(warmSim, coldSim);
+
+    ServerStats stats;
+    ASSERT_TRUE(client.cacheStats(stats)) << client.lastError();
+    EXPECT_EQ(stats.computed, 0u) << "warm daemon must not re-run the "
+                                     "full pipeline";
+    EXPECT_EQ(stats.recompiles, 1u);
+    EXPECT_EQ(stats.diskHits, 1u);
+  }
+  std::filesystem::remove_all(cacheDir);
+}
+
+TEST(AnalysisServerTest, V1ClientIsServedV1PayloadsByTheV2Daemon) {
+  DaemonFixture daemon;
+  ASSERT_TRUE(daemon.started());
+
+  // The v1 reference payload for this (source, options, name).
+  DiagnosticEngine diags;
+  core::MiraOptions options;
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  auto direct = core::analyzeSource(workloads::fig5Source(), "@fig5",
+                                    options, diags);
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+  ASSERT_TRUE(direct.has_value()) << diags.str();
+  const std::string expected = driver::serializeOutcomePayloadV1(
+      &*direct, diags.str(), "@fig5");
+
+  Client v1;
+  v1.setProtocolVersion(1);
+  ASSERT_TRUE(v1.connect(daemon.socketPath())) << v1.lastError();
+  EXPECT_TRUE(v1.ping()) << v1.lastError();
+
+  ClientOutcome outcome;
+  ASSERT_TRUE(v1.analyze("@fig5", workloads::fig5Source(), options, outcome))
+      << v1.lastError();
+  EXPECT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.payload, expected)
+      << "v1 peers must keep receiving v1 payload bytes";
+  EXPECT_FALSE(outcome.coverage.has_value());
+
+  // The 17-field v1 stats block still decodes for v1 peers.
+  ServerStats stats;
+  ASSERT_TRUE(v1.cacheStats(stats)) << v1.lastError();
+  EXPECT_EQ(stats.sourcesAnalyzed, 1u);
+
+  // v2-only requests are refused client-side under v1...
+  CoverageReply coverage;
+  EXPECT_FALSE(v1.coverage("@fig5", workloads::fig5Source(), options,
+                           coverage));
+  EXPECT_NE(v1.lastError().find("protocol version 2"), std::string::npos);
+
+  // ...and server-side if a peer forges a v1 frame with a v2 type.
+  std::string error;
+  net::Socket raw = net::connectUnix(daemon.socketPath(), error);
+  ASSERT_TRUE(raw.valid()) << error;
+  SourceItem item{"@fig5", workloads::fig5Source()};
+  std::string forged;
+  beginMessage(forged, MessageType::coverage, 1);
+  bio::putU8(forged, 0);
+  bio::putString(forged, item.name);
+  bio::putString(forged, item.source);
+  ASSERT_TRUE(net::writeFrame(raw.fd(), forged));
+  std::string reply;
+  ASSERT_EQ(net::readFrame(raw.fd(), reply, kMaxFrameBytes),
+            net::FrameStatus::ok);
+  bio::Reader r{reply, 0};
+  MessageType type{};
+  std::string headerError;
+  ASSERT_TRUE(readHeader(r, type, headerError)) << headerError;
+  EXPECT_EQ(type, MessageType::error);
+  std::string message;
+  ASSERT_TRUE(decodeErrorReply(r, message));
+  EXPECT_NE(message.find("protocol version 2"), std::string::npos);
+
+  // A v2 client on the same daemon sees the coverage summary inside
+  // its analyze payload — same model bytes, richer envelope.
+  Client v2;
+  ASSERT_TRUE(v2.connect(daemon.socketPath())) << v2.lastError();
+  ClientOutcome v2Outcome;
+  ASSERT_TRUE(v2.analyze("@fig5", workloads::fig5Source(), options,
+                         v2Outcome))
+      << v2.lastError();
+  EXPECT_TRUE(v2Outcome.cacheHit);
+  EXPECT_TRUE(v2Outcome.coverage.has_value());
+  EXPECT_NE(v2Outcome.payload, outcome.payload);
+  EXPECT_EQ(model::emitPython(v2Outcome.analysis->model),
+            model::emitPython(outcome.analysis->model));
+}
+
+TEST(ProtocolCodec, CoverageAndSimulateRepliesRoundTrip) {
+  CoverageReply coverage;
+  coverage.cacheHit = true;
+  coverage.recompiled = true;
+  coverage.micros = 77;
+  coverage.ok = true;
+  coverage.diagnostics = "warn\n";
+  coverage.coverage.loops = 4;
+  coverage.coverage.statements = 16;
+  coverage.coverage.inLoopStatements = 8;
+  std::string wire = encodeCoverageReply(coverage);
+  bio::Reader r{wire, 0};
+  MessageType type{};
+  std::uint32_t version = 0;
+  std::string error;
+  ASSERT_TRUE(readHeader(r, type, version, error)) << error;
+  EXPECT_EQ(type, MessageType::coverageReply);
+  EXPECT_EQ(version, kProtocolVersion);
+  CoverageReply decoded;
+  ASSERT_TRUE(decodeCoverageReply(r, decoded));
+  EXPECT_TRUE(decoded.cacheHit);
+  EXPECT_TRUE(decoded.recompiled);
+  EXPECT_EQ(decoded.coverage.loops, 4u);
+  EXPECT_EQ(decoded.coverage.inLoopStatements, 8u);
+
+  core::SimulationArgs sim;
+  sim.function = "kernel";
+  sim.args = {sim::Value::ofInt(7), sim::Value::ofDouble(2.5)};
+  sim.options.fastForward = true;
+  sim.options.maxInstructions = 123456789;
+  std::string request = encodeSimulateRequest({"k.mc", "int k;"}, 0x3, sim);
+  bio::Reader sr{request, 0};
+  ASSERT_TRUE(readHeader(sr, type, version, error)) << error;
+  EXPECT_EQ(type, MessageType::simulate);
+  SourceItem item;
+  std::uint8_t flags = 0;
+  core::SimulationArgs decodedSim;
+  ASSERT_TRUE(decodeSimulateRequest(sr, item, flags, decodedSim));
+  EXPECT_EQ(item.name, "k.mc");
+  EXPECT_EQ(flags, 0x3);
+  EXPECT_EQ(decodedSim.function, "kernel");
+  ASSERT_EQ(decodedSim.args.size(), 2u);
+  EXPECT_EQ(decodedSim.args[0].i, 7);
+  EXPECT_EQ(decodedSim.args[1].f, 2.5);
+  EXPECT_TRUE(decodedSim.options.fastForward);
+  EXPECT_EQ(decodedSim.options.maxInstructions, 123456789u);
 }
 
 TEST(AnalysisServerTest, RefusesSecondDaemonOnSamePath) {
