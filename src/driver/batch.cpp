@@ -1,7 +1,10 @@
 #include "driver/batch.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 
 #include "model/serialize.h"
 #include "support/binary_io.h"
@@ -19,7 +22,8 @@ double secondsSince(std::chrono::steady_clock::time_point start) {
 
 } // namespace
 
-std::uint64_t requestKey(const core::AnalysisSpec &spec) {
+std::uint64_t requestKeyFromContentHash(std::uint64_t contentHash,
+                                        const core::MiraOptions &o) {
   // Tripwire: adding a field to either options struct changes its size;
   // update the fingerprint below (and the driver_test key tests), then
   // adjust these expected sizes. Execution-strategy fields of
@@ -30,8 +34,7 @@ std::uint64_t requestKey(const core::AnalysisSpec &spec) {
   static_assert(sizeof(mir::CompilerOptions) == 2 &&
                     sizeof(metrics::MetricOptions) == 1,
                 "options gained a field: requestKey must hash it too");
-  std::uint64_t key = fnv1a(spec.source);
-  const core::MiraOptions &o = spec.options;
+  std::uint64_t key = contentHash;
   std::uint8_t flags = 0;
   flags |= o.compile.compiler.optimize ? 1 : 0;
   flags |= o.compile.compiler.vectorize ? 2 : 0;
@@ -42,11 +45,203 @@ std::uint64_t requestKey(const core::AnalysisSpec &spec) {
   return key;
 }
 
+std::uint64_t requestKey(const core::AnalysisSpec &spec) {
+  // The manifest layer (corpus/manifest.h) relies on this exact
+  // factoring: its stored content hash is fnv1a(source), so hash + the
+  // continuation below reproduces the key without the source bytes.
+  return requestKeyFromContentHash(fnv1a(spec.source), spec.options);
+}
+
 std::uint64_t requestKey(const AnalysisRequest &request) {
   core::AnalysisSpec spec;
   spec.source = request.source;
   spec.options = request.options;
   return requestKey(spec);
+}
+
+// --------------------------------------------------- shard planning
+
+bool parseShardSpec(const std::string &text, ShardSpec &shard) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 == text.size())
+    return false;
+  const std::string indexDigits = text.substr(0, slash);
+  const std::string countDigits = text.substr(slash + 1);
+  if (indexDigits.find_first_not_of("0123456789") != std::string::npos ||
+      countDigits.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  const unsigned long long index =
+      std::strtoull(indexDigits.c_str(), nullptr, 10);
+  const unsigned long long count =
+      std::strtoull(countDigits.c_str(), nullptr, 10);
+  // ERANGE saturates to ULLONG_MAX — an overflowed shard count would be
+  // silently accepted and match (almost) no keys.
+  if (errno == ERANGE || index < 1 || count < 1 || index > count)
+    return false;
+  shard.index = static_cast<std::size_t>(index - 1); // CLI is 1-based
+  shard.count = static_cast<std::size_t>(count);
+  return true;
+}
+
+bool keyInShard(std::uint64_t key, const ShardSpec &shard) {
+  if (shard.count <= 1)
+    return true;
+  return key % shard.count == shard.index;
+}
+
+// ------------------------------------------- stats & report merging
+
+BatchStats mergeBatchStats(const std::vector<BatchStats> &parts) {
+  BatchStats merged;
+  for (const BatchStats &part : parts) {
+    merged.requests += part.requests;
+    merged.failures += part.failures;
+    merged.cacheHits += part.cacheHits;
+    merged.cacheMisses += part.cacheMisses;
+    merged.diskHits += part.diskHits;
+    merged.diskMisses += part.diskMisses;
+    merged.diskStores += part.diskStores;
+    merged.modelArtifacts += part.modelArtifacts;
+    merged.programArtifacts += part.programArtifacts;
+    merged.coverageArtifacts += part.coverageArtifacts;
+    merged.simulationArtifacts += part.simulationArtifacts;
+    merged.coverageFromCache += part.coverageFromCache;
+    merged.recompiles += part.recompiles;
+    // Shards run concurrently: their wall clocks overlap, so the batch
+    // took as long as its slowest shard, not the sum.
+    merged.wallSeconds = std::max(merged.wallSeconds, part.wallSeconds);
+  }
+  return merged;
+}
+
+namespace {
+
+// Report file magic: the bytes "MirR", read as a little-endian u32.
+constexpr std::uint32_t kReportMagic = 0x5272694du;
+constexpr std::uint32_t kReportVersion = 1;
+
+void putReportStats(std::string &out, const BatchStats &stats) {
+  // Every counter except wallSeconds, in declaration order. Timing is
+  // deliberately absent: a report must be byte-identical across runs
+  // and process counts for the shard-merge correctness check.
+  bio::putU64(out, stats.requests);
+  bio::putU64(out, stats.failures);
+  bio::putU64(out, stats.cacheHits);
+  bio::putU64(out, stats.cacheMisses);
+  bio::putU64(out, stats.diskHits);
+  bio::putU64(out, stats.diskMisses);
+  bio::putU64(out, stats.diskStores);
+  bio::putU64(out, stats.modelArtifacts);
+  bio::putU64(out, stats.programArtifacts);
+  bio::putU64(out, stats.coverageArtifacts);
+  bio::putU64(out, stats.simulationArtifacts);
+  bio::putU64(out, stats.coverageFromCache);
+  bio::putU64(out, stats.recompiles);
+}
+
+bool readReportStats(bio::Reader &r, BatchStats &stats) {
+  std::uint64_t values[13];
+  for (std::uint64_t &value : values)
+    if (!r.u64(value))
+      return false;
+  stats = BatchStats{};
+  stats.requests = static_cast<std::size_t>(values[0]);
+  stats.failures = static_cast<std::size_t>(values[1]);
+  stats.cacheHits = static_cast<std::size_t>(values[2]);
+  stats.cacheMisses = static_cast<std::size_t>(values[3]);
+  stats.diskHits = static_cast<std::size_t>(values[4]);
+  stats.diskMisses = static_cast<std::size_t>(values[5]);
+  stats.diskStores = static_cast<std::size_t>(values[6]);
+  stats.modelArtifacts = static_cast<std::size_t>(values[7]);
+  stats.programArtifacts = static_cast<std::size_t>(values[8]);
+  stats.coverageArtifacts = static_cast<std::size_t>(values[9]);
+  stats.simulationArtifacts = static_cast<std::size_t>(values[10]);
+  stats.coverageFromCache = static_cast<std::size_t>(values[11]);
+  stats.recompiles = static_cast<std::size_t>(values[12]);
+  return true;
+}
+
+} // namespace
+
+std::string serializeBatchReport(const BatchReport &report) {
+  std::string out;
+  bio::putU32(out, kReportMagic);
+  bio::putU32(out, kReportVersion);
+  putReportStats(out, report.stats);
+  bio::putU32(out, static_cast<std::uint32_t>(report.entries.size()));
+  for (const BatchReportEntry &entry : report.entries) {
+    bio::putString(out, entry.name);
+    bio::putU64(out, entry.key);
+    bio::putU8(out, entry.ok ? 1 : 0);
+  }
+  bio::putU64(out, fnv1a(out));
+  return out;
+}
+
+bool deserializeBatchReport(const std::string &bytes, BatchReport &report,
+                            std::string &error) {
+  report = BatchReport{};
+  bio::Reader r{bytes, 0};
+  std::uint32_t magic = 0, version = 0, count = 0;
+  if (!r.u32(magic) || magic != kReportMagic) {
+    error = "not a Mira batch report (bad magic)";
+    return false;
+  }
+  if (!r.u32(version) || version != kReportVersion) {
+    error = "unsupported report version " + std::to_string(version);
+    return false;
+  }
+  if (!readReportStats(r, report.stats)) {
+    error = "truncated report counter block";
+    return false;
+  }
+  if (!r.u32(count)) {
+    error = "truncated report entry count";
+    return false;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    BatchReportEntry entry;
+    std::uint8_t ok = 0;
+    if (!r.str(entry.name) || !r.u64(entry.key) || !r.u8(ok) || ok > 1) {
+      error = "truncated report entry " + std::to_string(i);
+      return false;
+    }
+    entry.ok = ok == 1;
+    report.entries.push_back(std::move(entry));
+  }
+  const std::size_t checksummed = r.offset;
+  std::uint64_t checksum = 0;
+  if (!r.u64(checksum) || r.remaining() != 0) {
+    error = "truncated or oversized report trailer";
+    return false;
+  }
+  if (fnv1a(bytes.data(), checksummed) != checksum) {
+    error = "report checksum mismatch (corrupt or torn file)";
+    return false;
+  }
+  return true;
+}
+
+BatchReport mergeBatchReports(const std::vector<BatchReport> &parts) {
+  BatchReport merged;
+  std::vector<BatchStats> stats;
+  stats.reserve(parts.size());
+  for (const BatchReport &part : parts) {
+    stats.push_back(part.stats);
+    merged.entries.insert(merged.entries.end(), part.entries.begin(),
+                          part.entries.end());
+  }
+  merged.stats = mergeBatchStats(stats);
+  // (name, key) order == manifest order for manifest-driven shards:
+  // manifests are path-sorted and each shard preserved that order over
+  // its disjoint subset, so this sort is what makes the merged report
+  // byte-identical to a single-process run's.
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const BatchReportEntry &a, const BatchReportEntry &b) {
+              return a.name != b.name ? a.name < b.name : a.key < b.key;
+            });
+  return merged;
 }
 
 // ------------------------------------------------------ payload codecs

@@ -129,6 +129,82 @@ struct BatchStats {
 std::uint64_t requestKey(const core::AnalysisSpec &spec);
 std::uint64_t requestKey(const AnalysisRequest &request);
 
+/// The options half of requestKey: continue hashing the model-affecting
+/// options from an already-computed FNV-1a source fingerprint.
+/// `requestKey(spec) == requestKeyFromContentHash(fnv1a(spec.source),
+/// spec.options)` by construction — which is what lets a corpus
+/// manifest (corpus/manifest.h stores exactly that source fingerprint)
+/// predict cache keys, plan shards, and prune the store without reading
+/// any source bytes.
+std::uint64_t requestKeyFromContentHash(std::uint64_t contentHash,
+                                        const core::MiraOptions &options);
+
+// --------------------------------------------------- shard planning
+
+/// One shard of a partitioned batch: this process owns every request
+/// whose cache key satisfies `key % count == index`.
+///
+/// Determinism contract (docs/MANIFESTS.md): assignment depends only on
+/// (key, count) — never on input order, thread count, or which machine
+/// evaluates it — so N processes given the same manifest and options
+/// partition it identically, with no coordination and no overlap.
+/// Duplicate sources hash to one key and therefore land in one shard,
+/// which keeps per-shard cache counters equal to a single-process run.
+struct ShardSpec {
+  std::size_t index = 0; ///< 0-based shard number, < count
+  std::size_t count = 1; ///< total shards; 1 = unsharded
+};
+
+/// Parse the CLI's 1-based "I/N" syntax ("2/4" = second of four) into a
+/// 0-based ShardSpec. False on junk, I < 1, N < 1, or I > N.
+bool parseShardSpec(const std::string &text, ShardSpec &shard);
+
+/// True when `key` belongs to `shard` (key % count == index).
+bool keyInShard(std::uint64_t key, const ShardSpec &shard);
+
+// ------------------------------------------- stats & report merging
+
+/// Sum per-shard counter blocks into one batch-wide view. Every counter
+/// adds; wallSeconds is the max (shards run concurrently, so their wall
+/// clocks overlap rather than accumulate).
+BatchStats mergeBatchStats(const std::vector<BatchStats> &parts);
+
+/// One line of a shard report: which request, under which cache key,
+/// with what outcome. Deliberately excludes timing so reports are
+/// deterministic (byte-comparable across runs and process counts).
+struct BatchReportEntry {
+  std::string name;        ///< request name (manifest path in manifest runs)
+  std::uint64_t key = 0;   ///< driver::requestKey of the request
+  bool ok = false;         ///< analysis produced a model
+};
+
+/// A deterministic batch report: per-request entries plus the counter
+/// block. `mira-cli batch --report` writes one per (shard) process;
+/// `mira-cli manifest merge` folds shard reports into the report a
+/// single-process run would have produced — byte-identically, which is
+/// the multi-process correctness check tests and CI pin.
+struct BatchReport {
+  std::vector<BatchReportEntry> entries;
+  BatchStats stats; ///< wallSeconds is NOT serialized (nondeterministic)
+};
+
+/// Byte-stable serialization: `[magic "MirR" u32][version u32]` then the
+/// counter block (every BatchStats field except wallSeconds, as u64, in
+/// declaration order), `[entryCount u32]`, per entry
+/// `[name str][key u64][ok u8]`, and a trailing FNV-1a checksum.
+std::string serializeBatchReport(const BatchReport &report);
+
+/// Parse serializeBatchReport bytes; false with a description on any
+/// structural problem (magic, version, truncation, trailing garbage,
+/// checksum).
+bool deserializeBatchReport(const std::string &bytes, BatchReport &report,
+                            std::string &error);
+
+/// Merge shard reports: entries are re-sorted by (name, key) — manifest
+/// order, since manifests are path-sorted and shards select disjoint
+/// subsets — and stats merge via mergeBatchStats.
+BatchReport mergeBatchReports(const std::vector<BatchReport> &parts);
+
 /// Serialize one analysis value into the schema-v2 artifact payload
 /// shared by the disk cache and the v2 wire protocol:
 /// `[ok u8][producerName str][diagnostics str]` then, when ok:

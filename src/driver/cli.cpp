@@ -7,10 +7,27 @@
 //   mira-cli batch <files/@workloads...> [--threads N] [--no-cache]
 //            [--compare-serial] [--model-threads N]
 //            [--cache-dir DIR] [--cache-limit BYTES]
+//            [--manifest FILE [--since OLD] [--shard I/N] [--root DIR]]
+//            [--report FILE]
 //       Fan many sources across the thread pool; per-source status table,
 //       cache statistics, and (with --compare-serial) the wall-clock
 //       speedup against a 1-thread run. With --cache-dir, results persist
 //       on disk and a rerun over an unchanged corpus recomputes nothing.
+//       With --manifest the request list comes from a corpus manifest
+//       instead of the command line: --since OLD analyzes only entries
+//       added or changed since an older manifest, and --shard I/N keeps
+//       only this process's deterministic share of the keys so N
+//       processes over one --cache-dir behave like one warm batch.
+//       --report writes a deterministic per-entry report for
+//       `manifest merge`.
+//
+//   mira-cli manifest <build|diff|merge> ...
+//       build <dir> --out FILE [--ext .mc]...  walk a workload tree into
+//           a content-addressed manifest (docs/MANIFESTS.md);
+//       diff OLD NEW  report added/changed/removed entries (exit 0 when
+//           identical, 1 when they differ, 2 on trouble);
+//       merge --out FILE <reports...>  fold per-shard batch reports into
+//           the single report a 1-process run would have written.
 //
 //   mira-cli coverage [--threads N] [--compare-serial] [--cache-dir DIR]
 //            [--via-daemon --socket PATH]
@@ -28,11 +45,13 @@
 //       binary comes back through a recompile-on-demand handle
 //       (parse->codegen only), flagged in the output.
 //
-//   mira-cli cache <stats|clear> --cache-dir DIR [--schema vN]
+//   mira-cli cache <stats|clear|prune> --cache-dir DIR [--schema vN]
+//            [--manifest FILE]...
 //       Inspect or empty a persistent analysis cache directory. stats
 //       breaks bytes down per artifact (model vs coverage vs
 //       diagnostics); clear --schema v1 purges only pre-migration
-//       entries.
+//       entries; prune removes entries no given manifest's sources can
+//       produce (union over manifests and all option-flag combos).
 //
 //   mira-cli serve --socket PATH [--threads N] [--model-threads N]
 //            [--cache-dir DIR] [--cache-limit BYTES]
@@ -41,12 +60,13 @@
 //       cost one socket round-trip instead of a process start plus a
 //       cold pipeline. Stops on SIGINT/SIGTERM or a client shutdown.
 //
-//   mira-cli client <analyze|batch|coverage|simulate|cache-stats|ping|
-//            shutdown> --socket PATH [sources...] [--no-optimize]
-//            [--no-vectorize] [--emit-python] [--wire-version N]
+//   mira-cli client <analyze|batch|coverage|simulate|manifest-diff|
+//            cache-stats|ping|shutdown> --socket PATH [sources...]
+//            [--no-optimize] [--no-vectorize] [--emit-python]
+//            [--wire-version N]
 //       Talk to a running daemon over the wire protocol
 //       (docs/PROTOCOL.md). --wire-version 1 speaks the v1 dialect
-//       (compatibility checks); coverage/simulate need v2.
+//       (compatibility checks); coverage/simulate/manifest-diff need v2.
 //
 // '@name' pulls an embedded workload (stream, dgemm, minife, fig5,
 // listings) instead of reading a file. See docs/CLI.md for a full tour,
@@ -59,13 +79,16 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include <unistd.h>
 
+#include "corpus/manifest.h"
 #include "driver/batch.h"
 #include "model/python_emitter.h"
 #include "support/binary_io.h"
@@ -84,31 +107,44 @@ using namespace mira;
 int usage(const char *argv0) {
   std::fprintf(
       stderr,
-      "usage: %s <analyze|batch|coverage|simulate|cache|serve|client> "
-      "[args]\n"
+      "usage: %s <analyze|batch|coverage|simulate|manifest|cache|serve|"
+      "client> [args]\n"
       "  analyze <file.mc|@workload> [--no-optimize] [--no-vectorize]\n"
       "          [--emit-python] [--model-threads N] [--cache-dir DIR]\n"
       "  batch <files/@workloads...> [--threads N] [--no-cache]\n"
       "          [--compare-serial] [--model-threads N]\n"
       "          [--cache-dir DIR] [--cache-limit BYTES]\n"
+      "          [--manifest FILE [--since OLD] [--shard I/N] [--root DIR]]\n"
+      "          [--report FILE]\n"
       "  coverage [--threads N] [--compare-serial] [--cache-dir DIR]\n"
       "          [--via-daemon --socket PATH]\n"
       "  simulate <file.mc|@workload> --function NAME [--sim-arg V]...\n"
       "          [--fast-forward] [--max-instructions N] [--cache-dir DIR]\n"
       "          [--via-daemon --socket PATH]\n"
-      "  cache <stats|clear> --cache-dir DIR [--schema vN]\n"
+      "  manifest build <dir> --out FILE [--ext .mc]...\n"
+      "  manifest diff <old.manifest> <new.manifest>\n"
+      "  manifest merge --out FILE <reports...>\n"
+      "  cache <stats|clear|prune> --cache-dir DIR [--schema vN]\n"
+      "          [--manifest FILE]...\n"
       "  serve --socket PATH [--threads N] [--model-threads N]\n"
       "          [--cache-dir DIR] [--cache-limit BYTES]\n"
-      "  client <analyze|batch|coverage|simulate|cache-stats|ping|shutdown>\n"
-      "          --socket PATH [sources...] [--no-optimize]\n"
+      "  client <analyze|batch|coverage|simulate|manifest-diff|cache-stats|\n"
+      "          ping|shutdown> --socket PATH [sources...] [--no-optimize]\n"
       "          [--no-vectorize] [--emit-python] [--wire-version N]\n"
       "          [--function NAME] [--sim-arg V] [--fast-forward]\n"
       "workloads: @stream @dgemm @minife @fig5 @listings\n"
       "--cache-limit accepts plain bytes or a K/M/G suffix (e.g. 64M)\n"
-      "--sim-arg parses integers (8) and doubles (2.5) positionally\n",
+      "--sim-arg parses integers (8) and doubles (2.5) positionally\n"
+      "--shard I/N is 1-based: processes 1/N .. N/N partition a manifest\n",
       argv0);
   return 2;
 }
+
+/// Sentinel a command returns to exit with status 2 ("trouble", the
+/// diff/cmp convention) *without* the usage dump main() prints for
+/// ordinary argument errors — the command already printed a specific
+/// message.
+constexpr int kExitTrouble = -3;
 
 const std::string *embeddedWorkload(const std::string &name) {
   for (const auto &workload : workloads::figSeriesWorkloads())
@@ -173,6 +209,16 @@ struct CommonFlags {
   std::uint32_t wireVersion = server::kProtocolVersion;
   std::string schema;           ///< `cache clear --schema vN` selector
   core::SimulationArgs sim;     ///< --function / --sim-arg / --fast-forward
+  std::string outPath;          ///< `manifest build/merge --out`
+  std::vector<std::string> extensions; ///< `manifest build --ext` (repeatable)
+  /// batch --manifest (exactly one) / cache prune --manifest
+  /// (repeatable: the keep-set is the union).
+  std::vector<std::string> manifestPaths;
+  std::string sincePath;        ///< batch --since (older manifest)
+  std::string rootOverride;     ///< batch --root (resolve base override)
+  std::string reportPath;       ///< batch --report (deterministic report)
+  driver::ShardSpec shard;      ///< batch --shard I/N (default: unsharded)
+  bool shardGiven = false;      ///< --shard appeared (even as 1/1)
 };
 
 /// Parse "1048576", "64K", "64M", "2G" into bytes; false on junk or on
@@ -252,6 +298,50 @@ bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
                      "--cache-limit requires a byte size (e.g. 64M)\n");
         return false;
       }
+      ++i;
+    } else if (a == "--out") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--out requires a path\n");
+        return false;
+      }
+      flags.outPath = args[++i];
+    } else if (a == "--ext") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--ext requires an extension (e.g. .mc)\n");
+        return false;
+      }
+      flags.extensions.push_back(args[++i]);
+    } else if (a == "--manifest") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--manifest requires a path\n");
+        return false;
+      }
+      flags.manifestPaths.push_back(args[++i]);
+    } else if (a == "--since") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--since requires a manifest path\n");
+        return false;
+      }
+      flags.sincePath = args[++i];
+    } else if (a == "--root") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--root requires a directory\n");
+        return false;
+      }
+      flags.rootOverride = args[++i];
+    } else if (a == "--report") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--report requires a path\n");
+        return false;
+      }
+      flags.reportPath = args[++i];
+    } else if (a == "--shard") {
+      if (i + 1 == args.size() ||
+          !driver::parseShardSpec(args[i + 1], flags.shard)) {
+        std::fprintf(stderr, "--shard requires I/N with 1 <= I <= N\n");
+        return false;
+      }
+      flags.shardGiven = true;
       ++i;
     } else if (a == "--schema") {
       if (i + 1 == args.size()) {
@@ -420,9 +510,272 @@ int cmdAnalyze(std::vector<std::string> args) {
   return 0;
 }
 
-int cmdBatch(std::vector<std::string> args) {
+// --------------------------------------------------------- manifests
+
+/// Slurp a file's raw bytes (manifest and report files are binary;
+/// loadSource is for sources and knows '@' workloads).
+bool readFileBytes(const std::string &path, std::string &bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  bytes.assign((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+  return true;
+}
+
+/// Counterpart writer, shared by `manifest merge` and `batch --report`.
+bool writeFileBytes(const std::string &path, const std::string &bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Print one diff listing — shared verbatim by the local `manifest
+/// diff` and the daemon-backed `client manifest-diff` so CI can compare
+/// the two outputs line for line. Returns the differing-path count.
+std::size_t
+printManifestDiff(const std::vector<corpus::ManifestEntry> &added,
+                  const std::vector<corpus::ManifestEntry> &changed,
+                  const std::vector<std::string> &removed) {
+  for (const auto &entry : added)
+    std::printf("added     %s (%016llx, %llu bytes)\n", entry.path.c_str(),
+                static_cast<unsigned long long>(entry.contentHash),
+                static_cast<unsigned long long>(entry.size));
+  for (const auto &entry : changed)
+    std::printf("changed   %s (%016llx, %llu bytes)\n", entry.path.c_str(),
+                static_cast<unsigned long long>(entry.contentHash),
+                static_cast<unsigned long long>(entry.size));
+  for (const auto &path : removed)
+    std::printf("removed   %s\n", path.c_str());
+  std::printf("manifest diff: %zu added, %zu changed, %zu removed\n",
+              added.size(), changed.size(), removed.size());
+  return added.size() + changed.size() + removed.size();
+}
+
+/// Summary block of a (merged) batch report. Timing is absent by
+/// design: reports are deterministic (driver::serializeBatchReport).
+void printReportSummary(const driver::BatchReport &report) {
+  const driver::BatchStats &stats = report.stats;
+  std::printf("report: %zu entries, %zu failures, cache %zu hit / "
+              "%zu miss\n",
+              report.entries.size(), stats.failures, stats.cacheHits,
+              stats.cacheMisses);
+  if (stats.diskHits + stats.diskMisses + stats.diskStores > 0)
+    std::printf("disk cache: %zu hit / %zu miss, %zu stored\n",
+                stats.diskHits, stats.diskMisses, stats.diskStores);
+}
+
+int cmdManifest(std::vector<std::string> args) {
   CommonFlags flags;
   if (!parseFlags(args, flags) || args.empty())
+    return 2;
+  const std::string action = args[0];
+  args.erase(args.begin());
+  std::string error;
+
+  if (action == "build") {
+    if (args.size() != 1)
+      return 2;
+    if (flags.outPath.empty()) {
+      std::fprintf(stderr, "manifest build requires --out FILE\n");
+      return 2;
+    }
+    corpus::Manifest manifest;
+    const std::vector<std::string> extensions =
+        flags.extensions.empty() ? std::vector<std::string>{".mc"}
+                                 : flags.extensions;
+    if (!corpus::buildManifest(args[0], manifest, error, extensions)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    if (!corpus::writeManifestFile(flags.outPath, manifest, error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    std::uint64_t totalBytes = 0;
+    for (const auto &entry : manifest.entries)
+      totalBytes += entry.size;
+    std::printf("manifest: %zu entries under '%s' (%llu source bytes) -> "
+                "%s\n",
+                manifest.entries.size(), manifest.root.c_str(),
+                static_cast<unsigned long long>(totalBytes),
+                flags.outPath.c_str());
+    return 0;
+  }
+
+  if (action == "diff") {
+    if (args.size() != 2)
+      return 2;
+    corpus::Manifest oldManifest, newManifest;
+    if (!corpus::loadManifestFile(args[0], oldManifest, error) ||
+        !corpus::loadManifestFile(args[1], newManifest, error)) {
+      // The full diff/cmp convention: 0 = identical, 1 = differences,
+      // 2 = trouble — so automation gating on exit 1 can never pass
+      // vacuously off an unreadable manifest.
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return kExitTrouble;
+    }
+    const corpus::ManifestDiff diff =
+        corpus::diffManifests(oldManifest, newManifest);
+    return printManifestDiff(diff.added, diff.changed, diff.removed) == 0
+               ? 0
+               : 1;
+  }
+
+  if (action == "merge") {
+    if (args.empty())
+      return 2;
+    if (flags.outPath.empty()) {
+      std::fprintf(stderr, "manifest merge requires --out FILE\n");
+      return 2;
+    }
+    std::vector<driver::BatchReport> parts;
+    for (const auto &path : args) {
+      std::string bytes;
+      if (!readFileBytes(path, bytes))
+        return 1;
+      driver::BatchReport part;
+      if (!driver::deserializeBatchReport(bytes, part, error)) {
+        std::fprintf(stderr, "'%s': %s\n", path.c_str(), error.c_str());
+        return 1;
+      }
+      parts.push_back(std::move(part));
+    }
+    const driver::BatchReport merged = driver::mergeBatchReports(parts);
+    if (!writeFileBytes(flags.outPath, driver::serializeBatchReport(merged)))
+      return 1;
+    printReportSummary(merged);
+    std::printf("merged %zu shard reports -> %s\n", parts.size(),
+                flags.outPath.c_str());
+    return merged.stats.failures == 0 ? 0 : 1;
+  }
+
+  std::fprintf(stderr, "unknown manifest action '%s'\n", action.c_str());
+  return 2;
+}
+
+/// `batch --manifest`: the request list comes from a corpus manifest —
+/// optionally only what changed since an older one, optionally only
+/// this process's deterministic shard of the keys.
+int runManifestBatch(const CommonFlags &flags) {
+  std::string error;
+  corpus::Manifest manifest;
+  if (!corpus::loadManifestFile(flags.manifestPaths[0], manifest, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  std::vector<corpus::ManifestEntry> selected;
+  std::size_t added = 0, changed = 0, removed = 0;
+  if (!flags.sincePath.empty()) {
+    corpus::Manifest old;
+    if (!corpus::loadManifestFile(flags.sincePath, old, error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    corpus::ManifestDiff diff = corpus::diffManifests(old, manifest);
+    added = diff.added.size();
+    changed = diff.changed.size();
+    removed = diff.removed.size();
+    // Both diff lists are path-sorted; keep the merged selection sorted
+    // so shard reports stay in manifest order.
+    std::merge(diff.added.begin(), diff.added.end(), diff.changed.begin(),
+               diff.changed.end(), std::back_inserter(selected),
+               [](const corpus::ManifestEntry &a,
+                  const corpus::ManifestEntry &b) { return a.path < b.path; });
+  } else {
+    selected = manifest.entries;
+  }
+
+  // Shard by the predicted cache key (manifest hash + options), so the
+  // partition is identical in every process given the same inputs, and
+  // duplicate sources land in one shard (docs/MANIFESTS.md).
+  const core::MiraOptions options = optionsFor(flags);
+  std::vector<corpus::ManifestEntry> mine;
+  for (const auto &entry : selected)
+    if (driver::keyInShard(
+            driver::requestKeyFromContentHash(entry.contentHash, options),
+            flags.shard))
+      mine.push_back(entry);
+
+  const std::string root =
+      flags.rootOverride.empty() ? manifest.root : flags.rootOverride;
+  std::vector<driver::AnalysisRequest> requests;
+  requests.reserve(mine.size());
+  for (const auto &entry : mine) {
+    driver::AnalysisRequest request;
+    const std::string path =
+        (std::filesystem::path(root) / entry.path).string();
+    if (!loadSource(path, request))
+      return 1;
+    request.name = entry.path; // table/report identity = manifest path
+    request.options = options;
+    requests.push_back(std::move(request));
+  }
+
+  driver::BatchAnalyzer analyzer(batchOptionsFor(flags, flags.threads));
+  auto outcomes = analyzer.run(requests);
+  const double wall =
+      printOutcomes(outcomes, analyzer.stats(), flags.threads, false);
+  std::printf("manifest: %zu of %zu entries selected", mine.size(),
+              manifest.entries.size());
+  if (!flags.sincePath.empty())
+    std::printf(" (%zu added, %zu changed, %zu removed skipped)", added,
+                changed, removed);
+  if (flags.shard.count > 1)
+    std::printf(" [shard %zu/%zu]", flags.shard.index + 1,
+                flags.shard.count);
+  std::printf("\n");
+
+  if (!flags.reportPath.empty()) {
+    driver::BatchReport report;
+    report.stats = analyzer.stats();
+    report.entries.reserve(outcomes.size());
+    // Report keys come from the manifest hash (already computed for the
+    // shard filter), not a second rehash of the source bytes — so they
+    // always agree with what planning tools and `cache prune` derive.
+    for (std::size_t i = 0; i < outcomes.size(); ++i)
+      report.entries.push_back(
+          {outcomes[i].name,
+           driver::requestKeyFromContentHash(mine[i].contentHash, options),
+           outcomes[i].ok});
+    if (!writeFileBytes(flags.reportPath,
+                        driver::serializeBatchReport(report)))
+      return 1;
+  }
+  return wall < 0 ? 1 : 0;
+}
+
+int cmdBatch(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags))
+    return 2;
+  if (!flags.manifestPaths.empty()) {
+    if (!args.empty()) {
+      std::fprintf(stderr,
+                   "batch --manifest takes no positional sources\n");
+      return 2;
+    }
+    if (flags.manifestPaths.size() > 1) {
+      std::fprintf(stderr, "batch takes exactly one --manifest\n");
+      return 2;
+    }
+    return runManifestBatch(flags);
+  }
+  if (!flags.reportPath.empty() || !flags.sincePath.empty() ||
+      !flags.rootOverride.empty() || flags.shardGiven) {
+    std::fprintf(stderr,
+                 "--report/--since/--shard/--root require --manifest FILE\n");
+    return 2;
+  }
+  if (args.empty())
     return 2;
   std::vector<driver::AnalysisRequest> requests;
   for (const auto &arg : args) {
@@ -799,6 +1152,54 @@ int cmdCache(std::vector<std::string> args) {
                 formatBytes(diagnosticsBytes).c_str());
     return 0;
   }
+  if (args[0] == "prune") {
+    // Garbage-collect: drop every entry no manifest source still
+    // produces. The manifest hash seeds the cache key
+    // (driver::requestKeyFromContentHash), so no source bytes are
+    // read. The keep-set is deliberately conservative: the union over
+    // every given --manifest (repeatable) and every combination of the
+    // wire-visible option flags, so a directory serving several
+    // configurations of the same corpus survives one prune intact.
+    // Entries keyed with a non-default arch (API callers only — the
+    // CLI cannot set one) are not protected (docs/MANIFESTS.md).
+    if (flags.manifestPaths.empty()) {
+      std::fprintf(stderr, "cache prune requires --manifest FILE\n");
+      return 2;
+    }
+    std::size_t sources = 0;
+    std::set<std::uint64_t> keep;
+    for (const std::string &path : flags.manifestPaths) {
+      corpus::Manifest manifest;
+      std::string error;
+      if (!corpus::loadManifestFile(path, manifest, error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+      sources += manifest.entries.size();
+      for (const auto &entry : manifest.entries)
+        for (std::uint8_t bits = 0; bits < 8; ++bits)
+          keep.insert(driver::requestKeyFromContentHash(
+              entry.contentHash, server::unpackOptions(bits)));
+    }
+    std::size_t total = 0, removed = 0, failed = 0;
+    for (std::uint64_t key : store.keys()) {
+      ++total;
+      if (keep.count(key))
+        continue;
+      if (store.remove(key))
+        ++removed;
+      else
+        ++failed;
+    }
+    std::printf("pruned %zu of %zu entries from %s (%zu manifest sources "
+                "kept across all option sets)\n",
+                removed, total, store.directory().c_str(), sources);
+    if (failed != 0) {
+      std::fprintf(stderr, "failed to remove %zu entries\n", failed);
+      return 1;
+    }
+    return 0;
+  }
   if (args[0] == "clear") {
     if (!flags.schema.empty()) {
       // `--schema vN` (or plain N): purge only that schema's entries —
@@ -1097,6 +1498,32 @@ int cmdClient(std::vector<std::string> args) {
     return allOk ? 0 : 1;
   }
 
+  if (action == "manifest-diff") {
+    if (args.size() != 2) {
+      std::fprintf(stderr,
+                   "client manifest-diff takes OLD and NEW manifest files\n");
+      return 2;
+    }
+    // Raw bytes travel; the daemon validates both blobs and answers
+    // Error on anything malformed. Output matches the local
+    // `manifest diff` line for line, and so does the exit-code
+    // convention: 0 identical, 1 differences, 2 trouble (unreadable
+    // file, no daemon, malformed manifest).
+    std::string oldBytes, newBytes;
+    if (!readFileBytes(args[0], oldBytes) || !readFileBytes(args[1], newBytes))
+      return kExitTrouble;
+    if (requireClientConnection(client, flags) != 0)
+      return kExitTrouble;
+    server::ManifestDiffReply reply;
+    if (!client.manifestDiff(oldBytes, newBytes, reply)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return kExitTrouble;
+    }
+    return printManifestDiff(reply.added, reply.changed, reply.removed) == 0
+               ? 0
+               : 1;
+  }
+
   if (action == "simulate") {
     if (args.size() != 1) {
       std::fprintf(stderr, "client simulate takes exactly one source\n");
@@ -1151,11 +1578,15 @@ int main(int argc, char **argv) {
     result = cmdCoverage(std::move(args));
   else if (command == "simulate")
     result = cmdSimulate(std::move(args));
+  else if (command == "manifest")
+    result = cmdManifest(std::move(args));
   else if (command == "cache")
     result = cmdCache(std::move(args));
   else if (command == "serve")
     result = cmdServe(std::move(args));
   else if (command == "client")
     result = cmdClient(std::move(args));
+  if (result == kExitTrouble)
+    return 2; // specific message already printed; no usage dump
   return result == 2 ? usage(argv[0]) : result;
 }

@@ -188,6 +188,23 @@ bool Client::simulate(const std::string &name, const std::string &source,
   return true;
 }
 
+bool Client::manifestDiff(const std::string &oldManifestBytes,
+                          const std::string &newManifestBytes,
+                          ManifestDiffReply &reply) {
+  if (version_ < 2)
+    return fail("manifest-diff requires protocol version 2");
+  std::string wire;
+  if (!roundTrip(encodeManifestDiffRequest(oldManifestBytes, newManifestBytes),
+                 MessageType::manifestDiffReply, wire))
+    return false;
+  bio::Reader r{wire, 0};
+  if (!decodeManifestDiffReply(r, reply)) {
+    disconnect();
+    return fail("malformed manifest-diff reply");
+  }
+  return true;
+}
+
 bool Client::cacheStats(ServerStats &stats) {
   std::string reply;
   if (!roundTrip(encodeEmptyMessage(MessageType::cacheStats, version_),

@@ -87,6 +87,14 @@ public:
                 const core::MiraOptions &options,
                 const core::SimulationArgs &sim, SimulateReply &reply);
 
+  /// Diff two serialized corpus manifests (corpus::serializeManifest
+  /// bytes) on the daemon (protocol v2). The daemon validates both
+  /// blobs and answers the added/changed/removed entry lists that an
+  /// incremental `batch --manifest --since` run would act on.
+  bool manifestDiff(const std::string &oldManifestBytes,
+                    const std::string &newManifestBytes,
+                    ManifestDiffReply &reply);
+
   /// Fetch the daemon's counter block.
   bool cacheStats(ServerStats &stats);
 

@@ -19,8 +19,11 @@
 /// message carries its version, requests are accepted from
 /// kProtocolVersionMin up, and replies are encoded in the requester's
 /// version (v1 clients get v1 payload bytes, and never see v2-only
-/// message types or stats fields). See docs/PROTOCOL.md,
-/// "Compatibility".
+/// message types or stats fields). The ManifestDiff request is an
+/// additive late-v2 extension (new message type, no layout changes);
+/// pre-manifest v2 daemons answer it with Error-and-close like any
+/// unknown type, which clients must treat as "not supported". See
+/// docs/PROTOCOL.md, "Compatibility".
 ///
 /// Analysis results travel as the canonical artifact payload of
 /// driver::serializeArtifactPayload — the same bytes the disk cache
@@ -37,6 +40,7 @@
 
 #include "core/artifacts.h"
 #include "core/mira.h"
+#include "corpus/manifest.h"
 #include "support/binary_io.h"
 
 namespace mira::server {
@@ -70,6 +74,7 @@ enum class MessageType : std::uint8_t {
   shutdown = 5,   ///< stop accepting, drain, exit; empty body
   coverage = 6,   ///< (v2) loop coverage: same body as analyze
   simulate = 7,   ///< (v2) run the simulator: analyze body + sim args
+  manifestDiff = 8, ///< (v2) diff two corpus manifests: [old str][new str]
 
   // Replies (server -> client).
   error = 100,           ///< [message str]; connection closes after
@@ -80,6 +85,7 @@ enum class MessageType : std::uint8_t {
   shutdownReply = 105,   ///< empty body; sent before the daemon drains
   coverageReply = 106,   ///< (v2) one coverage summary (see CoverageReply)
   simulateReply = 107,   ///< (v2) one simulation result (see SimulateReply)
+  manifestDiffReply = 108, ///< (v2) added/changed/removed entry lists
 };
 
 /// Model-affecting option bits carried by analyze/batch requests —
@@ -139,6 +145,20 @@ struct SimulateReply {
   std::string diagnostics;
   sim::SimResult result;   ///< meaningful when ok (its own ok/error
                            ///< report simulator-level failures)
+};
+
+/// The decoded answer to a manifestDiff request (v2): what changed
+/// between the two corpus manifests the client sent, so a daemon can
+/// plan incremental re-analysis for callers that never read the
+/// workload tree themselves.
+/// Body: [added u32][added x (path str, hash u64, size u64)]
+/// [changed u32][changed x (path str, hash u64, size u64)]
+/// [removed u32][removed x path str].
+struct ManifestDiffReply {
+  std::vector<corpus::ManifestEntry> added;   ///< entries only in `new`
+  std::vector<corpus::ManifestEntry> changed; ///< new-side entries whose
+                                              ///< content hash differs
+  std::vector<std::string> removed;           ///< paths only in `old`
 };
 
 /// Counter block answered to cacheStats, all u64, in this wire order.
@@ -203,6 +223,10 @@ std::string encodeCoverageRequest(const SourceItem &item, std::uint8_t flags);
 /// [maxInstructions u64][argc u32][argc x (i i64, f f64, f2 f64)]).
 std::string encodeSimulateRequest(const SourceItem &item, std::uint8_t flags,
                                   const core::SimulationArgs &sim);
+/// Build a manifestDiff request (v2) carrying two serialized manifests
+/// (corpus::serializeManifest bytes): [old str][new str].
+std::string encodeManifestDiffRequest(const std::string &oldManifestBytes,
+                                      const std::string &newManifestBytes);
 /// Build an Error reply carrying a human-readable description.
 std::string encodeErrorReply(const std::string &message,
                              std::uint32_t version = kProtocolVersion);
@@ -216,6 +240,8 @@ std::string encodeBatchReply(const std::vector<AnalyzeReply> &replies,
 std::string encodeCoverageReply(const CoverageReply &reply);
 /// Build a simulateReply (v2).
 std::string encodeSimulateReply(const SimulateReply &reply);
+/// Build a manifestDiffReply (v2).
+std::string encodeManifestDiffReply(const ManifestDiffReply &reply);
 /// Build a cacheStatsReply from a counter snapshot; v1 peers get the
 /// 17-field v1 block, v2 peers the full 20-field block.
 std::string encodeCacheStatsReply(const ServerStats &stats,
@@ -237,6 +263,11 @@ bool decodeCoverageRequest(bio::Reader &r, SourceItem &item,
 /// Decode a simulate request body.
 bool decodeSimulateRequest(bio::Reader &r, SourceItem &item,
                            std::uint8_t &flags, core::SimulationArgs &sim);
+/// Decode a manifestDiff request body into the two raw manifest blobs
+/// (the caller runs corpus::deserializeManifest on each, answering
+/// Error on blobs that fail validation there).
+bool decodeManifestDiffRequest(bio::Reader &r, std::string &oldManifestBytes,
+                               std::string &newManifestBytes);
 /// Decode an Error reply body.
 bool decodeErrorReply(bio::Reader &r, std::string &message);
 /// Decode an analyzeReply body.
@@ -247,6 +278,8 @@ bool decodeBatchReply(bio::Reader &r, std::vector<AnalyzeReply> &replies);
 bool decodeCoverageReply(bio::Reader &r, CoverageReply &reply);
 /// Decode a simulateReply body.
 bool decodeSimulateReply(bio::Reader &r, SimulateReply &reply);
+/// Decode a manifestDiffReply body.
+bool decodeManifestDiffReply(bio::Reader &r, ManifestDiffReply &reply);
 /// Decode a cacheStatsReply body of the given dialect (v1 bodies leave
 /// the v2-only fields zero).
 bool decodeCacheStatsReply(bio::Reader &r, ServerStats &stats,

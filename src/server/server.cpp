@@ -245,6 +245,35 @@ bool AnalysisServer::handleMessage(int fd, const std::string &message) {
                      version);
   }
 
+  case MessageType::manifestDiff: {
+    std::string oldBytes, newBytes;
+    if (version < 2) {
+      sendError(fd, "manifest-diff requires protocol version 2", version);
+      return false;
+    }
+    if (!decodeManifestDiffRequest(r, oldBytes, newBytes)) {
+      sendError(fd, "malformed manifest-diff request", version);
+      return false;
+    }
+    corpus::Manifest oldManifest, newManifest;
+    std::string manifestError;
+    // The blobs are validated application payloads, not framing: a bad
+    // manifest still gets the Error-then-close treatment so clients
+    // can't mistake a refusal for an empty diff.
+    if (!corpus::deserializeManifest(oldBytes, oldManifest, manifestError) ||
+        !corpus::deserializeManifest(newBytes, newManifest, manifestError)) {
+      sendError(fd, "malformed manifest: " + manifestError, version);
+      return false;
+    }
+    corpus::ManifestDiff diff =
+        corpus::diffManifests(oldManifest, newManifest);
+    ManifestDiffReply reply;
+    reply.added = std::move(diff.added);
+    reply.changed = std::move(diff.changed);
+    reply.removed = std::move(diff.removed);
+    return sendReply(fd, encodeManifestDiffReply(reply), version);
+  }
+
   case MessageType::cacheStats:
     return sendReply(fd, encodeCacheStatsReply(snapshotStats(), version),
                      version);

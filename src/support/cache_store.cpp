@@ -229,6 +229,21 @@ std::size_t CacheStore::clearVersion(std::uint32_t version) {
   return removed;
 }
 
+bool CacheStore::remove(std::uint64_t key) {
+  if (!usable_)
+    return false;
+  const std::string path = pathForKey(key);
+  std::error_code sizeEc;
+  const std::uint64_t size = fs::file_size(path, sizeEc);
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec)
+    return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!sizeEc)
+    approx_bytes_ -= std::min(approx_bytes_, size);
+  return true;
+}
+
 bool CacheStore::store(std::uint64_t key, const std::string &payload) {
   if (!usable_)
     return false;

@@ -102,6 +102,11 @@ public:
   /// removed. Temp files and other versions are untouched.
   std::size_t clearVersion(std::uint32_t version);
 
+  /// Unlink the entry stored under `key`, if any; true when a file was
+  /// removed. The corpus-manifest prune path (`mira-cli cache prune`)
+  /// walks keys() and removes entries no manifest still references.
+  bool remove(std::uint64_t key);
+
   /// Persist `payload` under `key`, replacing any existing entry, then
   /// enforce the byte cap. Returns false on I/O failure (disk full,
   /// unwritable directory); the cache is a best-effort layer, so callers

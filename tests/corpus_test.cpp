@@ -1,0 +1,339 @@
+// Corpus-manifest tests: tree walking, byte-stable serialization,
+// diffing, the "manifest hash + options == cache key" contract that
+// makes incremental/sharded batches and cache pruning possible without
+// reading source bytes, and seeded property tests over the shard
+// partition (every key lands in exactly one shard, assignment is a pure
+// function of (key, count)) and the report merge (N shard reports fold
+// into the single-process report byte-identically).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include <unistd.h>
+
+#include "corpus/manifest.h"
+#include "driver/batch.h"
+#include "support/hash.h"
+
+namespace mira::corpus {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string &tag) {
+    path = fs::temp_directory_path() /
+           ("mira_corpus_test_" + tag + "_" + std::to_string(::getpid()));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+void writeFile(const fs::path &path, const std::string &bytes) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ----------------------------------------------------------- building
+
+TEST(ManifestBuild, WalksTreeSortedWithHashesAndSizes) {
+  TempDir dir("build");
+  writeFile(dir.path / "b.mc", "int b() { return 2; }");
+  writeFile(dir.path / "a.mc", "int a() { return 1; }");
+  writeFile(dir.path / "sub" / "deep" / "c.mc", "int c() { return 3; }");
+  writeFile(dir.path / "ignored.txt", "not a source");
+
+  Manifest manifest;
+  std::string error;
+  ASSERT_TRUE(buildManifest(dir.path.string(), manifest, error)) << error;
+  ASSERT_EQ(manifest.entries.size(), 3u);
+  EXPECT_EQ(manifest.root, dir.path.string());
+  EXPECT_EQ(manifest.entries[0].path, "a.mc");
+  EXPECT_EQ(manifest.entries[1].path, "b.mc");
+  EXPECT_EQ(manifest.entries[2].path, "sub/deep/c.mc");
+  EXPECT_EQ(manifest.entries[0].contentHash, fnv1a("int a() { return 1; }"));
+  EXPECT_EQ(manifest.entries[0].size, 21u);
+}
+
+TEST(ManifestBuild, CustomExtensionsAndMissingRoot) {
+  TempDir dir("ext");
+  writeFile(dir.path / "a.minic", "int a() { return 1; }");
+  writeFile(dir.path / "b.mc", "int b() { return 2; }");
+
+  Manifest manifest;
+  std::string error;
+  ASSERT_TRUE(
+      buildManifest(dir.path.string(), manifest, error, {".minic"}));
+  ASSERT_EQ(manifest.entries.size(), 1u);
+  EXPECT_EQ(manifest.entries[0].path, "a.minic");
+
+  EXPECT_FALSE(buildManifest((dir.path / "nope").string(), manifest, error));
+  EXPECT_NE(error.find("not a directory"), std::string::npos);
+}
+
+TEST(ManifestBuild, IdenticalTreesSerializeIdentically) {
+  TempDir one("stable1"), two("stable2");
+  for (const TempDir *dir : {&one, &two}) {
+    writeFile(dir->path / "x.mc", "int x() { return 0; }");
+    writeFile(dir->path / "y.mc", "int y() { return 1; }");
+  }
+  Manifest a, b;
+  std::string error;
+  ASSERT_TRUE(buildManifest(one.path.string(), a, error));
+  ASSERT_TRUE(buildManifest(two.path.string(), b, error));
+  // Roots differ, so full serializations differ — but the entry blocks
+  // are identical: serialize with the roots normalized.
+  a.root = b.root = "corpus";
+  EXPECT_EQ(serializeManifest(a), serializeManifest(b));
+}
+
+// ------------------------------------------------------ serialization
+
+Manifest sampleManifest() {
+  Manifest manifest;
+  manifest.root = "some/root";
+  manifest.entries = {{"a.mc", 0x1111u, 10}, {"b/b.mc", 0x2222u, 20},
+                      {"c.mc", 0x3333u, 0}};
+  return manifest;
+}
+
+TEST(ManifestSerde, RoundTripsThroughBytesAndFiles) {
+  const Manifest manifest = sampleManifest();
+  const std::string bytes = serializeManifest(manifest);
+
+  Manifest decoded;
+  std::string error;
+  ASSERT_TRUE(deserializeManifest(bytes, decoded, error)) << error;
+  EXPECT_EQ(decoded.root, manifest.root);
+  ASSERT_EQ(decoded.entries.size(), manifest.entries.size());
+  for (std::size_t i = 0; i < decoded.entries.size(); ++i) {
+    EXPECT_EQ(decoded.entries[i].path, manifest.entries[i].path);
+    EXPECT_EQ(decoded.entries[i].contentHash, manifest.entries[i].contentHash);
+    EXPECT_EQ(decoded.entries[i].size, manifest.entries[i].size);
+  }
+
+  TempDir dir("serde");
+  const std::string file = (dir.path / "m.manifest").string();
+  ASSERT_TRUE(writeManifestFile(file, manifest, error)) << error;
+  Manifest loaded;
+  ASSERT_TRUE(loadManifestFile(file, loaded, error)) << error;
+  EXPECT_EQ(serializeManifest(loaded), bytes);
+}
+
+TEST(ManifestSerde, RejectsCorruption) {
+  const std::string good = serializeManifest(sampleManifest());
+  Manifest decoded;
+  std::string error;
+
+  std::string badMagic = good;
+  badMagic[0] = 'X';
+  EXPECT_FALSE(deserializeManifest(badMagic, decoded, error));
+  EXPECT_NE(error.find("magic"), std::string::npos);
+
+  std::string badVersion = good;
+  badVersion[4] = 99;
+  EXPECT_FALSE(deserializeManifest(badVersion, decoded, error));
+  EXPECT_NE(error.find("version"), std::string::npos);
+
+  // Flipping any payload byte must trip the checksum (or an earlier
+  // structural check) — never round-trip silently.
+  std::string flipped = good;
+  flipped[good.size() / 2] ^= 0x40;
+  EXPECT_FALSE(deserializeManifest(flipped, decoded, error));
+
+  EXPECT_FALSE(
+      deserializeManifest(good.substr(0, good.size() - 3), decoded, error));
+  EXPECT_FALSE(deserializeManifest(good + "x", decoded, error));
+
+  Manifest unsorted = sampleManifest();
+  std::swap(unsorted.entries[0], unsorted.entries[2]);
+  EXPECT_FALSE(
+      deserializeManifest(serializeManifest(unsorted), decoded, error));
+  EXPECT_NE(error.find("sorted"), std::string::npos);
+}
+
+// ------------------------------------------------------------ diffing
+
+TEST(ManifestDiffTest, ClassifiesAddedChangedRemoved) {
+  Manifest from, to;
+  from.entries = {{"dropped.mc", 1, 1}, {"same.mc", 2, 2},
+                  {"touched.mc", 3, 3}};
+  to.entries = {{"new.mc", 9, 9}, {"same.mc", 2, 2}, {"touched.mc", 30, 3}};
+
+  const ManifestDiff diff = diffManifests(from, to);
+  ASSERT_EQ(diff.added.size(), 1u);
+  EXPECT_EQ(diff.added[0].path, "new.mc");
+  ASSERT_EQ(diff.changed.size(), 1u);
+  EXPECT_EQ(diff.changed[0].path, "touched.mc");
+  EXPECT_EQ(diff.changed[0].contentHash, 30u); // new-side entry
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.removed[0], "dropped.mc");
+  EXPECT_FALSE(diff.empty());
+
+  EXPECT_TRUE(diffManifests(to, to).empty());
+  EXPECT_TRUE(diffManifests(Manifest{}, Manifest{}).empty());
+}
+
+// ------------------------------------------- the cache-key contract
+
+TEST(ManifestKeys, ContentHashPlusOptionsIsTheCacheKey) {
+  // The property the whole incremental/shard/prune design rests on:
+  // for any source and options, the manifest's stored hash continued
+  // with the options reproduces driver::requestKey exactly.
+  std::mt19937_64 rng(20260727u);
+  for (int i = 0; i < 200; ++i) {
+    std::string source;
+    const std::size_t length = rng() % 400;
+    for (std::size_t j = 0; j < length; ++j)
+      source.push_back(static_cast<char>(rng() & 0xff));
+
+    core::AnalysisSpec spec;
+    spec.source = source;
+    spec.options.compile.compiler.optimize = (rng() & 1) != 0;
+    spec.options.compile.compiler.vectorize = (rng() & 1) != 0;
+    spec.options.metrics.assumeBranchesTaken = (rng() & 1) != 0;
+
+    EXPECT_EQ(driver::requestKey(spec),
+              driver::requestKeyFromContentHash(contentHash(source),
+                                                spec.options));
+  }
+}
+
+// ------------------------------------------------- shard properties
+
+TEST(ShardPlanning, ParsesOneBasedSpecs) {
+  driver::ShardSpec shard;
+  ASSERT_TRUE(driver::parseShardSpec("1/1", shard));
+  EXPECT_EQ(shard.index, 0u);
+  EXPECT_EQ(shard.count, 1u);
+  ASSERT_TRUE(driver::parseShardSpec("3/8", shard));
+  EXPECT_EQ(shard.index, 2u);
+  EXPECT_EQ(shard.count, 8u);
+
+  for (const char *bad : {"", "/", "1/", "/4", "0/4", "5/4", "a/4", "1/b",
+                          "1.5/4", "-1/4", "1",
+                          // strtoull saturation must be rejected, not
+                          // accepted as a shard that matches nothing
+                          "1/99999999999999999999999",
+                          "99999999999999999999999/4"})
+    EXPECT_FALSE(driver::parseShardSpec(bad, shard)) << bad;
+}
+
+TEST(ShardPlanning, EveryKeyLandsInExactlyOneShard) {
+  std::mt19937_64 rng(4242u);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t count = 1 + rng() % 9;
+    for (int k = 0; k < 40; ++k) {
+      const std::uint64_t key = rng();
+      std::size_t owners = 0;
+      for (std::size_t index = 0; index < count; ++index)
+        if (driver::keyInShard(key, {index, count}))
+          ++owners;
+      ASSERT_EQ(owners, 1u) << "key " << key << " count " << count;
+    }
+  }
+}
+
+TEST(ShardPlanning, AssignmentIsAPureFunctionOfKeyAndCount) {
+  std::mt19937_64 rng(777u);
+  for (int k = 0; k < 100; ++k) {
+    const std::uint64_t key = rng();
+    const std::size_t count = 1 + rng() % 7;
+    for (std::size_t index = 0; index < count; ++index)
+      EXPECT_EQ(driver::keyInShard(key, {index, count}),
+                driver::keyInShard(key, {index, count}));
+  }
+}
+
+// ------------------------------------------------------ report merge
+
+driver::BatchReportEntry entry(const std::string &name, std::uint64_t key,
+                               bool ok) {
+  driver::BatchReportEntry e;
+  e.name = name;
+  e.key = key;
+  e.ok = ok;
+  return e;
+}
+
+TEST(BatchReport, RoundTripsAndRejectsCorruption) {
+  driver::BatchReport report;
+  report.entries = {entry("a.mc", 0xAAAA, true), entry("b.mc", 0xBBBB, false)};
+  report.stats.requests = 2;
+  report.stats.failures = 1;
+  report.stats.diskStores = 2;
+  report.stats.wallSeconds = 123.0; // must NOT survive serialization
+
+  const std::string bytes = driver::serializeBatchReport(report);
+  driver::BatchReport decoded;
+  std::string error;
+  ASSERT_TRUE(driver::deserializeBatchReport(bytes, decoded, error)) << error;
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_EQ(decoded.entries[1].name, "b.mc");
+  EXPECT_FALSE(decoded.entries[1].ok);
+  EXPECT_EQ(decoded.stats.requests, 2u);
+  EXPECT_EQ(decoded.stats.failures, 1u);
+  EXPECT_EQ(decoded.stats.diskStores, 2u);
+  EXPECT_EQ(decoded.stats.wallSeconds, 0.0);
+
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 1;
+  EXPECT_FALSE(driver::deserializeBatchReport(flipped, decoded, error));
+  EXPECT_FALSE(driver::deserializeBatchReport(
+      bytes.substr(0, bytes.size() - 1), decoded, error));
+  EXPECT_FALSE(driver::deserializeBatchReport(bytes + "z", decoded, error));
+}
+
+TEST(BatchReport, ShardMergeEqualsWholeRunByteForByte) {
+  // Simulate the multi-process invariant in-process: split a "whole
+  // run" report into per-shard reports by key, merge them back, and
+  // require identical bytes. Randomized shapes, fixed seed.
+  std::mt19937_64 rng(99u);
+  for (int round = 0; round < 30; ++round) {
+    const std::size_t count = 1 + rng() % 5;
+    driver::BatchReport whole;
+    const std::size_t n = rng() % 24;
+    for (std::size_t i = 0; i < n; ++i) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "src_%03zu.mc", i);
+      whole.entries.push_back(entry(name, rng(), (rng() & 7) != 0));
+    }
+    whole.stats.requests = n;
+
+    std::vector<driver::BatchReport> shards(count);
+    for (const auto &e : whole.entries) {
+      for (std::size_t index = 0; index < count; ++index)
+        if (driver::keyInShard(e.key, {index, count})) {
+          shards[index].entries.push_back(e);
+          shards[index].stats.requests += 1;
+          break;
+        }
+    }
+    const driver::BatchReport merged = driver::mergeBatchReports(shards);
+    EXPECT_EQ(driver::serializeBatchReport(merged),
+              driver::serializeBatchReport(whole));
+  }
+}
+
+TEST(BatchReport, MergeStatsSumCountersAndMaxWallClock) {
+  driver::BatchStats a, b;
+  a.requests = 3;
+  a.diskStores = 2;
+  a.wallSeconds = 1.5;
+  b.requests = 4;
+  b.diskStores = 1;
+  b.wallSeconds = 2.5;
+  const driver::BatchStats merged = driver::mergeBatchStats({a, b});
+  EXPECT_EQ(merged.requests, 7u);
+  EXPECT_EQ(merged.diskStores, 3u);
+  EXPECT_EQ(merged.wallSeconds, 2.5);
+}
+
+} // namespace
+} // namespace mira::corpus

@@ -1,0 +1,197 @@
+// Deletion-safety pins for the [[deprecated]] v1 compatibility shims.
+//
+// PR 4 left `core::analyzeSource` and the v1 payload codec names
+// (`serializeOutcomePayload`/`deserializeOutcomePayload`) in place as
+// deprecated wrappers over the v2 artifact surface. Before a later PR
+// deletes them, this suite pins exactly what the shims guarantee —
+// byte-identical models, identical diagnostics, identical payload
+// bytes, and identical failure behavior versus the v2 entry points —
+// so the deletion commit can migrate any remaining caller and prove,
+// by keeping these expectations against the v2 calls alone, that
+// nothing observable changed.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/artifacts.h"
+#include "core/mira.h"
+#include "driver/batch.h"
+#include "model/serialize.h"
+#include "workloads/workloads.h"
+
+// The whole point of this file is calling the deprecated surface.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace mira {
+namespace {
+
+const char *kGoodSource = R"MC(
+int accumulate(int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    s = s + i * 3;
+  }
+  return s;
+}
+)MC";
+
+const char *kBadSource = "int broken( { return ; }";
+
+std::string modelBytes(const model::PerformanceModel &model) {
+  std::string out;
+  model::serializeModel(model, out);
+  return out;
+}
+
+// ------------------------------------------------- analyzeSource shim
+
+TEST(DeprecatedAnalyzeSource, ModelAndDiagnosticsMatchV2ByteForByte) {
+  core::MiraOptions options;
+  DiagnosticEngine v1Diags;
+  const auto v1 =
+      core::analyzeSource(kGoodSource, "shim.mc", options, v1Diags);
+  ASSERT_TRUE(v1.has_value());
+  ASSERT_TRUE(v1->program != nullptr);
+
+  core::AnalysisSpec spec;
+  spec.name = "shim.mc";
+  spec.source = kGoodSource;
+  spec.options = options;
+  spec.artifacts =
+      core::kArtifactModel | core::kArtifactDiagnostics | core::kArtifactProgram;
+  DiagnosticEngine v2Diags;
+  const core::Artifacts v2 = core::analyze(spec, v2Diags);
+  ASSERT_TRUE(v2.ok);
+  ASSERT_TRUE(v2.model != nullptr);
+
+  EXPECT_EQ(modelBytes(v1->model), modelBytes(*v2.model));
+  EXPECT_EQ(v1Diags.str(), v2Diags.str());
+  EXPECT_EQ(v1Diags.errorCount(), v2Diags.errorCount());
+  EXPECT_EQ(v1Diags.warningCount(), v2Diags.warningCount());
+
+  // Both paths hand back a live compiled program for the same source.
+  ASSERT_TRUE(v2.program != nullptr);
+  EXPECT_FALSE(v2.program->isDeferred());
+  EXPECT_TRUE(v2.program->get() != nullptr);
+}
+
+TEST(DeprecatedAnalyzeSource, FailureBehaviorMatchesV2) {
+  core::MiraOptions options;
+  DiagnosticEngine v1Diags;
+  const auto v1 = core::analyzeSource(kBadSource, "bad.mc", options, v1Diags);
+  EXPECT_FALSE(v1.has_value());
+  EXPECT_TRUE(v1Diags.hasErrors());
+
+  core::AnalysisSpec spec;
+  spec.name = "bad.mc";
+  spec.source = kBadSource;
+  spec.options = options;
+  DiagnosticEngine v2Diags;
+  const core::Artifacts v2 = core::analyze(spec, v2Diags);
+  EXPECT_FALSE(v2.ok);
+  EXPECT_EQ(v1Diags.str(), v2Diags.str());
+}
+
+TEST(DeprecatedAnalyzeSource, MatchesV2OnARealWorkload) {
+  // A paper workload exercises the full pipeline (classes, pragmas,
+  // nested loops), not just a toy kernel.
+  const std::string &source = workloads::fig5Source();
+  core::MiraOptions options;
+  DiagnosticEngine v1Diags, v2Diags;
+  const auto v1 = core::analyzeSource(source, "@fig5", options, v1Diags);
+  ASSERT_TRUE(v1.has_value());
+
+  core::AnalysisSpec spec;
+  spec.name = "@fig5";
+  spec.source = source;
+  spec.options = options;
+  const core::Artifacts v2 = core::analyze(spec, v2Diags);
+  ASSERT_TRUE(v2.ok);
+  EXPECT_EQ(modelBytes(v1->model), modelBytes(*v2.model));
+  EXPECT_EQ(v1Diags.str(), v2Diags.str());
+}
+
+// ------------------------------------------------ v1 payload codecs
+
+TEST(DeprecatedPayloadCodec, SerializeMatchesV1NamedCodecByteForByte) {
+  core::MiraOptions options;
+  DiagnosticEngine diags;
+  const auto analysis =
+      core::analyzeSource(kGoodSource, "payload.mc", options, diags);
+  ASSERT_TRUE(analysis.has_value());
+
+  const core::AnalysisResult *result = &*analysis;
+  const std::string viaShim =
+      driver::serializeOutcomePayload(result, "warnings", "payload.mc");
+  const std::string viaV1 =
+      driver::serializeOutcomePayloadV1(result, "warnings", "payload.mc");
+  EXPECT_EQ(viaShim, viaV1);
+
+  // Failure payloads too (analysis == nullptr).
+  EXPECT_EQ(driver::serializeOutcomePayload(nullptr, "errors", "bad.mc"),
+            driver::serializeOutcomePayloadV1(nullptr, "errors", "bad.mc"));
+}
+
+TEST(DeprecatedPayloadCodec, DeserializeMatchesV1NamedCodec) {
+  core::MiraOptions options;
+  DiagnosticEngine diags;
+  const auto analysis =
+      core::analyzeSource(kGoodSource, "payload.mc", options, diags);
+  ASSERT_TRUE(analysis.has_value());
+  const std::string payload =
+      driver::serializeOutcomePayloadV1(&*analysis, "diag text", "payload.mc");
+
+  std::shared_ptr<const core::AnalysisResult> shimResult, v1Result;
+  std::string shimDiag, v1Diag, shimProducer, v1Producer;
+  ASSERT_TRUE(driver::deserializeOutcomePayload(payload, shimResult, shimDiag,
+                                                shimProducer));
+  ASSERT_TRUE(driver::deserializeOutcomePayloadV1(payload, v1Result, v1Diag,
+                                                  v1Producer));
+  ASSERT_TRUE(shimResult != nullptr);
+  ASSERT_TRUE(v1Result != nullptr);
+  EXPECT_EQ(modelBytes(shimResult->model), modelBytes(v1Result->model));
+  EXPECT_EQ(shimDiag, v1Diag);
+  EXPECT_EQ(shimProducer, v1Producer);
+
+  // Both reject the same corruption the same way.
+  const std::string truncated = payload.substr(0, payload.size() / 2);
+  EXPECT_FALSE(driver::deserializeOutcomePayload(truncated, shimResult,
+                                                 shimDiag, shimProducer));
+  EXPECT_FALSE(driver::deserializeOutcomePayloadV1(truncated, v1Result,
+                                                   v1Diag, v1Producer));
+  const std::string padded = payload + "x";
+  EXPECT_FALSE(driver::deserializeOutcomePayload(padded, shimResult, shimDiag,
+                                                 shimProducer));
+  EXPECT_FALSE(driver::deserializeOutcomePayloadV1(padded, v1Result, v1Diag,
+                                                   v1Producer));
+}
+
+TEST(DeprecatedPayloadCodec, V1RoundTripPreservesTheV2ArtifactModel) {
+  // The cross-generation pin: a model produced by the v2 artifact path,
+  // pushed through the deprecated v1 codec, comes back byte-identical —
+  // so v1 wire clients and leftover v1 disk entries stay faithful right
+  // up until the shims are deleted.
+  core::AnalysisSpec spec;
+  spec.name = "roundtrip.mc";
+  spec.source = kGoodSource;
+  const core::Artifacts artifacts = core::analyze(spec);
+  ASSERT_TRUE(artifacts.ok);
+  ASSERT_TRUE(artifacts.resultV1 != nullptr);
+
+  const std::string payload = driver::serializeOutcomePayload(
+      artifacts.resultV1.get(), artifacts.diagnostics, spec.name);
+  std::shared_ptr<const core::AnalysisResult> restored;
+  std::string diagnostics, producer;
+  ASSERT_TRUE(driver::deserializeOutcomePayload(payload, restored,
+                                                diagnostics, producer));
+  ASSERT_TRUE(restored != nullptr);
+  EXPECT_EQ(modelBytes(restored->model), modelBytes(*artifacts.model));
+  EXPECT_EQ(diagnostics, artifacts.diagnostics);
+  EXPECT_EQ(producer, spec.name);
+}
+
+} // namespace
+} // namespace mira
+
+#pragma GCC diagnostic pop
