@@ -8,15 +8,6 @@
 
 #include <chrono>
 
-// This file deliberately exercises the deprecated v1 API surface
-// (core::analyzeSource and friends are compatibility shims whose
-// behavior these tests pin); silence the migration nudge here rather
-// than churn the seed suites. New code: see docs/MIGRATION.md.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-
 namespace {
 
 using namespace mira;
@@ -32,12 +23,16 @@ void printTradeoff() {
       "Sec. IV-D1: static-once vs dynamic-per-input cost (STREAM sweep)");
 
   // One-time static analysis.
-  auto t0 = clock::now();
   DiagnosticEngine diags;
-  core::MiraOptions options;
-  auto analysis = core::analyzeSource(workloads::streamSource(), "stream.mc",
-                                      options, diags);
+  core::AnalysisSpec spec;
+  spec.name = "stream.mc";
+  spec.source = workloads::streamSource();
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                   core::kArtifactProgram;
+  auto t0 = clock::now();
+  core::Artifacts artifacts = core::analyze(spec, diags);
   auto t1 = clock::now();
+  auto analysis = artifacts.resultV1;
   double generationMs = ms(t1 - t0);
 
   const std::vector<std::int64_t> sweep = {100'000,   500'000,  1'000'000,

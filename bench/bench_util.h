@@ -12,18 +12,10 @@
 #include <string>
 #include <vector>
 
+#include "core/artifacts.h"
 #include "core/mira.h"
 #include "support/string_utils.h"
 #include "workloads/workloads.h"
-
-// This file deliberately exercises the deprecated v1 API surface
-// (core::analyzeSource and friends are compatibility shims whose
-// behavior these tests pin); silence the migration nudge here rather
-// than churn the seed suites. New code: see docs/MIGRATION.md.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 
 namespace mira::bench {
 
@@ -37,16 +29,20 @@ inline core::AnalysisResult &analyzeCached(const std::string &source,
   auto it = cache.find(name);
   if (it == cache.end()) {
     DiagnosticEngine diags;
-    core::MiraOptions options;
-    auto result = core::analyzeSource(source, name, options, diags);
-    if (!result) {
+    core::AnalysisSpec spec;
+    spec.name = name;
+    spec.source = source;
+    spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                     core::kArtifactProgram;
+    core::Artifacts artifacts = core::analyze(spec, diags);
+    if (!artifacts.ok || !artifacts.resultV1) {
       std::fprintf(stderr, "analysis of %s failed:\n%s\n", name.c_str(),
                    diags.str().c_str());
       std::abort();
     }
     it = cache
              .emplace(name, std::make_unique<core::AnalysisResult>(
-                                std::move(*result)))
+                                *artifacts.resultV1))
              .first;
   }
   return *it->second;

@@ -77,8 +77,9 @@ Artifacts analyze(const AnalysisSpec &spec, DiagnosticEngine &diags) {
   }
 
   if (spec.artifacts & kArtifactModel) {
-    // Same stage sequence as the deprecated analyzeSource, so models and
-    // diagnostics through this path are byte-identical to v1 results.
+    // Same stage sequence the removed v1 analyzeSource ran, so models
+    // and diagnostics through this path stay byte-identical to v1
+    // results (pinned by tests/artifact_test.cpp).
     auto result = std::make_shared<AnalysisResult>();
     result->program = program;
     result->model = metrics::generateModel(

@@ -171,8 +171,8 @@ struct Artifacts {
 Artifacts analyze(const AnalysisSpec &spec);
 
 /// As analyze(), but records diagnostics into a caller-owned engine too
-/// (the deprecated analyzeSource shim and tests asserting on structured
-/// diagnostics use this).
+/// (for tests and tools asserting on structured diagnostics rather than
+/// the rendered Artifacts::diagnostics string).
 Artifacts analyze(const AnalysisSpec &spec, DiagnosticEngine &diags);
 
 } // namespace mira::core

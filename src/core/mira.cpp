@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "core/artifacts.h"
-
 namespace mira::core {
 
 std::optional<double> AnalysisResult::staticFPI(const std::string &function,
@@ -13,27 +11,6 @@ std::optional<double> AnalysisResult::staticFPI(const std::string &function,
   if (!counts)
     return std::nullopt;
   return counts->fpInstructions;
-}
-
-std::optional<AnalysisResult> analyzeSource(const std::string &source,
-                                            const std::string &fileName,
-                                            const MiraOptions &options,
-                                            DiagnosticEngine &diags) {
-  // v1 shim: forward to the artifact API with the mask v1 implied. The
-  // model copy below is the shim's only overhead (Expr trees are shared
-  // nodes, so it is a shallow structural copy).
-  AnalysisSpec spec;
-  spec.name = fileName;
-  spec.source = source;
-  spec.options = options;
-  spec.artifacts = kArtifactModel | kArtifactDiagnostics | kArtifactProgram;
-  Artifacts artifacts = analyze(spec, diags);
-  if (!artifacts.ok)
-    return std::nullopt;
-  AnalysisResult result;
-  result.program = artifacts.program->get();
-  result.model = *artifacts.model;
-  return result;
 }
 
 sim::SimResult simulate(const CompiledProgram &program,

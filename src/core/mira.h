@@ -1,8 +1,8 @@
-// Mira public API: options, results, and the v1 compatibility surface.
+// Mira public API: options and the shared result/simulation types.
 //
-// The current entry point is the artifact-oriented v2 API in
-// core/artifacts.h — build an AnalysisSpec naming the artifacts you
-// need and call core::analyze (or, with caching, drive it through
+// The entry point is the artifact-oriented v2 API in core/artifacts.h —
+// build an AnalysisSpec naming the artifacts you need and call
+// core::analyze (or, with caching, drive it through
 // driver::BatchAnalyzer):
 //
 //   core::AnalysisSpec spec;
@@ -12,19 +12,20 @@
 //   core::Artifacts arts = core::analyze(spec);
 //   auto counts = arts.model->evaluate("cg_solve", {{"n", 1000}});
 //
-// analyzeSource below is the deprecated v1 shim over the same pipeline:
-// parse -> sema -> compile (optimize/vectorize) -> object emission ->
-// disassembly -> bridge -> metric generation -> model. simulate runs the
-// same binary's semantics and returns the dynamic ground-truth counters
-// (the TAU/PAPI substitute). docs/MIGRATION.md maps every v1 call to
-// its v2 replacement.
+// One call runs the full pipeline: parse -> sema -> compile
+// (optimize/vectorize) -> object emission -> disassembly -> bridge ->
+// metric generation -> model. simulate runs the same binary's semantics
+// and returns the dynamic ground-truth counters (the TAU/PAPI
+// substitute). The deprecated v1 entry point (analyzeSource) was removed
+// as of schema v2; docs/MIGRATION.md maps every v1 call to its v2
+// replacement.
 //
-// Thread-safety contract: analyzeSource keeps no shared mutable state —
+// Thread-safety contract: core::analyze keeps no shared mutable state —
 // every request owns its DiagnosticEngine and all pipeline-internal
 // statics are immutable lookup tables — so concurrent calls on different
-// (source, options, diags) tuples are safe. driver::BatchAnalyzer relies
-// on this to fan requests across a thread pool; any future global cache
-// or counter added to the pipeline must be synchronized or per-request.
+// (spec, diags) tuples are safe. driver::BatchAnalyzer relies on this to
+// fan requests across a thread pool; any future global cache or counter
+// added to the pipeline must be synchronized or per-request.
 //
 // Within one request, the model-generation stage can additionally fan
 // out per source function when MiraOptions::modelPool is set. The
@@ -79,15 +80,6 @@ struct AnalysisResult {
                                   const model::Env &env,
                                   std::string *error = nullptr) const;
 };
-
-/// Full static pipeline, v1 shape. Returns nullopt when diagnostics
-/// contain errors. Thin shim over core::analyze (core/artifacts.h) with
-/// kArtifactModel | kArtifactDiagnostics | kArtifactProgram.
-[[deprecated("use core::analyze(AnalysisSpec) — docs/MIGRATION.md")]]
-std::optional<AnalysisResult> analyzeSource(const std::string &source,
-                                            const std::string &fileName,
-                                            const MiraOptions &options,
-                                            DiagnosticEngine &diags);
 
 /// Dynamic ground truth on the same compiled program.
 sim::SimResult simulate(const CompiledProgram &program,

@@ -351,24 +351,22 @@ bool deserializeArtifactPayload(
   return true;
 }
 
-std::string serializeOutcomePayload(const core::AnalysisResult *analysis,
-                                    const std::string &diagnostics,
-                                    const std::string &producerName) {
-  return serializeOutcomePayloadV1(analysis, diagnostics, producerName);
-}
-
-bool deserializeOutcomePayload(
-    const std::string &payload,
-    std::shared_ptr<const core::AnalysisResult> &analysis,
-    std::string &diagnostics, std::string &producerName) {
-  return deserializeOutcomePayloadV1(payload, analysis, diagnostics,
-                                     producerName);
-}
-
 // -------------------------------------------------------- BatchAnalyzer
 
 BatchAnalyzer::BatchAnalyzer(BatchOptions options)
-    : options_(std::move(options)), pool_(options_.threads) {
+    : options_(std::move(options)), pool_(options_.threads),
+      owned_metrics_(options_.metrics ? nullptr : new core::MetricsRegistry()),
+      metrics_(options_.metrics ? options_.metrics : owned_metrics_.get()),
+      requests_(metrics_->counter("analyzer_requests_total")),
+      failures_(metrics_->counter("analyzer_failures_total")),
+      cache_hits_(metrics_->counter("analyzer_cache_hits_total")),
+      computed_(metrics_->counter("analyzer_computed_total")),
+      disk_hits_(metrics_->counter("analyzer_disk_hits_total")),
+      disk_misses_(metrics_->counter("analyzer_disk_misses_total")),
+      disk_stores_(metrics_->counter("analyzer_disk_stores_total")),
+      coverage_from_cache_(
+          metrics_->counter("analyzer_coverage_from_cache_total")),
+      recompiles_(metrics_->counter("analyzer_recompiles_total")) {
   if (options_.modelThreads > 1)
     model_pool_ = std::make_unique<ThreadPool>(options_.modelThreads);
   if (options_.useCache && !options_.cacheDir.empty())
@@ -476,7 +474,7 @@ BatchAnalyzer::produceValue(const core::AnalysisSpec &spec,
           value.program = core::ProgramHandle::deferred(
               spec.source, spec.name, spec.options.compile);
         }
-        disk_hits_.fetch_add(1, std::memory_order_relaxed);
+        disk_hits_.increment();
         return value;
       }
       // Validated by the store but structurally unusable (e.g. written
@@ -484,7 +482,7 @@ BatchAnalyzer::produceValue(const core::AnalysisSpec &spec,
       // schema version — a bug, but one that must degrade to a
       // recompute, not a failure).
     }
-    disk_misses_.fetch_add(1, std::memory_order_relaxed);
+    disk_misses_.increment();
   }
   CacheValue value = computeValue(spec);
   // Deterministic results (models and compile errors alike) persist;
@@ -495,14 +493,13 @@ BatchAnalyzer::produceValue(const core::AnalysisSpec &spec,
         value.model.get(), value.coverage ? &*value.coverage : nullptr,
         value.diagnostics, value.producerName);
     if (disk_->store(key, payload))
-      disk_stores_.fetch_add(1, std::memory_order_relaxed);
+      disk_stores_.increment();
   }
   return value;
 }
 
 core::Artifacts BatchAnalyzer::fulfill(const core::AnalysisSpec &spec,
-                                       const CacheValue &value, bool cacheHit,
-                                       FulfillmentCounters *counters) {
+                                       const CacheValue &value, bool cacheHit) {
   core::Artifacts artifacts;
   artifacts.name = spec.name;
   artifacts.requested = spec.artifacts;
@@ -536,8 +533,7 @@ core::Artifacts BatchAnalyzer::fulfill(const core::AnalysisSpec &spec,
     auto program = value.program->get(&compiledNow);
     if (compiledNow) {
       artifacts.recompiled = true;
-      if (counters)
-        counters->recompiles.fetch_add(1, std::memory_order_relaxed);
+      recompiles_.increment();
     }
     return program;
   };
@@ -545,8 +541,8 @@ core::Artifacts BatchAnalyzer::fulfill(const core::AnalysisSpec &spec,
   if (spec.artifacts & core::kArtifactCoverage) {
     if (value.coverage) {
       artifacts.coverage = *value.coverage;
-      if (cacheHit && counters)
-        counters->coverageFromCache.fetch_add(1, std::memory_order_relaxed);
+      if (cacheHit)
+        coverage_from_cache_.increment();
     } else if (auto program = materialize()) {
       // v1 disk entry: no stored summary — recompile-on-demand.
       artifacts.coverage = sema::computeLoopCoverage(*program->unit);
@@ -572,14 +568,29 @@ core::Artifacts BatchAnalyzer::fulfill(const core::AnalysisSpec &spec,
   return artifacts;
 }
 
-core::Artifacts BatchAnalyzer::analyzeSpec(const core::AnalysisSpec &spec,
-                                           FulfillmentCounters *counters) {
+core::Artifacts BatchAnalyzer::analyzeSpec(const core::AnalysisSpec &spec) {
   auto start = std::chrono::steady_clock::now();
+
+  // Lifetime tallies live in the registry so concurrent entry points
+  // (the daemon's analyzeArtifacts) observe the same counters that
+  // runArtifacts() turns into a per-run BatchStats via deltas.
+  const auto record = [this](const core::Artifacts &artifacts) {
+    requests_.increment();
+    if (!artifacts.ok)
+      failures_.increment();
+    if (options_.useCache) {
+      if (artifacts.cacheHit)
+        cache_hits_.increment();
+      else
+        computed_.increment();
+    }
+  };
 
   if (!options_.useCache) {
     CacheValue value = computeValue(spec);
-    core::Artifacts artifacts = fulfill(spec, value, false, counters);
+    core::Artifacts artifacts = fulfill(spec, value, false);
     artifacts.seconds = secondsSince(start);
+    record(artifacts);
     return artifacts;
   }
 
@@ -634,17 +645,19 @@ core::Artifacts BatchAnalyzer::analyzeSpec(const core::AnalysisSpec &spec,
     artifacts.ok = false;
     artifacts.diagnostics = spec.name + ": internal error: " + e.what();
     artifacts.seconds = secondsSince(start);
+    record(artifacts);
     return artifacts;
   }
   const bool cacheHit = !producer || value->fromDisk;
-  core::Artifacts artifacts = fulfill(spec, *value, cacheHit, counters);
+  core::Artifacts artifacts = fulfill(spec, *value, cacheHit);
   artifacts.seconds = secondsSince(start);
+  record(artifacts);
   return artifacts;
 }
 
 core::Artifacts
 BatchAnalyzer::analyzeArtifacts(const core::AnalysisSpec &spec) {
-  return analyzeSpec(spec, nullptr);
+  return analyzeSpec(spec);
 }
 
 std::vector<core::Artifacts> BatchAnalyzer::analyzeArtifactsMany(
@@ -665,7 +678,7 @@ std::vector<core::Artifacts> BatchAnalyzer::analyzeArtifactsMany(
   latch->remaining = specs.size();
   for (std::size_t i = 0; i < specs.size(); ++i) {
     pool_.submit([this, &specs, &results, latch, i] {
-      results[i] = analyzeSpec(specs[i], nullptr);
+      results[i] = analyzeSpec(specs[i]);
       std::lock_guard<std::mutex> lock(latch->mutex);
       if (--latch->remaining == 0)
         latch->done.notify_all();
@@ -680,14 +693,19 @@ std::vector<core::Artifacts>
 BatchAnalyzer::runArtifacts(const std::vector<core::AnalysisSpec> &specs) {
   auto start = std::chrono::steady_clock::now();
   std::vector<core::Artifacts> results(specs.size());
-  disk_hits_.store(0, std::memory_order_relaxed);
-  disk_misses_.store(0, std::memory_order_relaxed);
-  disk_stores_.store(0, std::memory_order_relaxed);
-  FulfillmentCounters counters;
+  // The registry counters are monotonic over the analyzer's lifetime; the
+  // per-run BatchStats view is the delta across this call. runArtifacts is
+  // not itself called concurrently, so the deltas are well-defined even
+  // though the counters are shared with analyzeArtifacts traffic.
+  const std::uint64_t diskHits0 = disk_hits_.value();
+  const std::uint64_t diskMisses0 = disk_misses_.value();
+  const std::uint64_t diskStores0 = disk_stores_.value();
+  const std::uint64_t coverageFromCache0 = coverage_from_cache_.value();
+  const std::uint64_t recompiles0 = recompiles_.value();
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    pool_.submit([this, &specs, &results, &counters, i] {
-      results[i] = analyzeSpec(specs[i], &counters);
+    pool_.submit([this, &specs, &results, i] {
+      results[i] = analyzeSpec(specs[i]);
     });
   }
   pool_.waitIdle();
@@ -712,18 +730,17 @@ BatchAnalyzer::runArtifacts(const std::vector<core::AnalysisSpec> &specs) {
     if (artifacts.simulation)
       ++stats_.simulationArtifacts;
   }
-  stats_.coverageFromCache =
-      counters.coverageFromCache.load(std::memory_order_relaxed);
-  stats_.recompiles = counters.recompiles.load(std::memory_order_relaxed);
-  stats_.diskHits = disk_hits_.load(std::memory_order_relaxed);
-  stats_.diskMisses = disk_misses_.load(std::memory_order_relaxed);
-  stats_.diskStores = disk_stores_.load(std::memory_order_relaxed);
+  stats_.coverageFromCache = coverage_from_cache_.value() - coverageFromCache0;
+  stats_.recompiles = recompiles_.value() - recompiles0;
+  stats_.diskHits = disk_hits_.value() - diskHits0;
+  stats_.diskMisses = disk_misses_.value() - diskMisses0;
+  stats_.diskStores = disk_stores_.value() - diskStores0;
   stats_.wallSeconds = secondsSince(start);
   return results;
 }
 
 AnalysisOutcome BatchAnalyzer::analyzeSingle(const AnalysisRequest &request) {
-  return toOutcome(analyzeSpec(toSpec(request), nullptr));
+  return toOutcome(analyzeSpec(toSpec(request)));
 }
 
 std::vector<AnalysisOutcome>

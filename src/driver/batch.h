@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/artifacts.h"
+#include "core/metrics_registry.h"
 #include "core/mira.h"
 #include "support/cache_store.h"
 #include "support/thread_pool.h"
@@ -95,11 +96,21 @@ struct BatchOptions {
   /// serial). When >1 the analyzer owns a second, dedicated pool shared
   /// by all requests; results are byte-identical either way.
   std::size_t modelThreads = 1;
+  /// Registry the analyzer's lifetime counters register in (non-owning;
+  /// must outlive the analyzer). Null = the analyzer owns a private
+  /// registry, reachable through BatchAnalyzer::metrics(). The serving
+  /// daemon passes its own registry here so analyzer and server counters
+  /// share one metrics surface (core/metrics_registry.h).
+  core::MetricsRegistry *metrics = nullptr;
 };
 
 /// Counters describing the last run()/runArtifacts(). The per-artifact
 /// block proves where each answer came from: a warm coverage sweep
 /// should show coverageFromCache == requests and recompiles == 0.
+/// Since the metrics unification these are per-run *views* of the
+/// analyzer's lifetime core::MetricsRegistry counters (snapshot deltas
+/// around the run) plus per-result tallies — each underlying counter is
+/// defined once, in the registry.
 struct BatchStats {
   std::size_t requests = 0;    ///< size of the request vector
   std::size_t failures = 0;    ///< outcomes with ok == false
@@ -239,19 +250,6 @@ bool deserializeOutcomePayloadV1(
     std::shared_ptr<const core::AnalysisResult> &analysis,
     std::string &diagnostics, std::string &producerName);
 
-/// Deprecated v1 names for the v1 codec.
-[[deprecated("use serializeArtifactPayload (v2) or "
-             "serializeOutcomePayloadV1 — docs/MIGRATION.md")]]
-std::string serializeOutcomePayload(const core::AnalysisResult *analysis,
-                                    const std::string &diagnostics,
-                                    const std::string &producerName);
-[[deprecated("use deserializeArtifactPayload (v2) or "
-             "deserializeOutcomePayloadV1 — docs/MIGRATION.md")]]
-bool deserializeOutcomePayload(
-    const std::string &payload,
-    std::shared_ptr<const core::AnalysisResult> &analysis,
-    std::string &diagnostics, std::string &producerName);
-
 /// Analyzes batches of sources in parallel with two-level caching and
 /// per-artifact fulfillment planning.
 class BatchAnalyzer {
@@ -299,6 +297,13 @@ public:
   /// per-artifact fulfillment, wall clock).
   const BatchStats &stats() const { return stats_; }
 
+  /// The registry holding this analyzer's lifetime counters
+  /// (analyzer_requests_total, analyzer_disk_hits_total, ...): the one
+  /// passed in BatchOptions::metrics, or the analyzer's own. Counters
+  /// accumulate across every entry point, including the concurrent-safe
+  /// ones that never touch stats().
+  core::MetricsRegistry &metrics() { return *metrics_; }
+
   std::size_t threadCount() const { return pool_.threadCount(); }
 
   /// Entries in the in-memory level (the disk level is inspected through
@@ -344,22 +349,13 @@ private:
   };
   using CacheFuture = std::shared_future<std::shared_ptr<const CacheValue>>;
 
-  /// Fulfillment bookkeeping one spec's artifacts produce, folded into
-  /// stats_ by runArtifacts().
-  struct FulfillmentCounters {
-    std::atomic<std::size_t> coverageFromCache{0};
-    std::atomic<std::size_t> recompiles{0};
-  };
-
   /// Resolve one spec through the plan (memory → disk → recompile →
   /// full compute) and fulfill its artifact mask.
-  core::Artifacts analyzeSpec(const core::AnalysisSpec &spec,
-                              FulfillmentCounters *counters);
+  core::Artifacts analyzeSpec(const core::AnalysisSpec &spec);
 
   /// Serve `spec`'s artifacts out of a resolved cache value.
   core::Artifacts fulfill(const core::AnalysisSpec &spec,
-                          const CacheValue &value, bool cacheHit,
-                          FulfillmentCounters *counters);
+                          const CacheValue &value, bool cacheHit);
 
   /// The producer path: disk lookup, then compute + disk store.
   CacheValue produceValue(const core::AnalysisSpec &spec, std::uint64_t key);
@@ -375,11 +371,22 @@ private:
   std::unique_ptr<CacheStore> disk_;
   BatchStats stats_;
 
-  // Disk counters accumulate from worker threads during run(); run()
-  // folds them into stats_ after the pool drains.
-  std::atomic<std::size_t> disk_hits_{0};
-  std::atomic<std::size_t> disk_misses_{0};
-  std::atomic<std::size_t> disk_stores_{0};
+  // The metrics surface: a borrowed registry (BatchOptions::metrics) or
+  // a private one. Declared before the counter handles below, which
+  // bind into it at construction. Counters are lifetime-monotonic;
+  // runArtifacts() derives its per-run BatchStats from before/after
+  // deltas.
+  std::unique_ptr<core::MetricsRegistry> owned_metrics_;
+  core::MetricsRegistry *metrics_ = nullptr;
+  core::MetricsRegistry::Counter &requests_;
+  core::MetricsRegistry::Counter &failures_;
+  core::MetricsRegistry::Counter &cache_hits_;
+  core::MetricsRegistry::Counter &computed_;
+  core::MetricsRegistry::Counter &disk_hits_;
+  core::MetricsRegistry::Counter &disk_misses_;
+  core::MetricsRegistry::Counter &disk_stores_;
+  core::MetricsRegistry::Counter &coverage_from_cache_;
+  core::MetricsRegistry::Counter &recompiles_;
 
   mutable std::mutex cache_mutex_;
   std::map<std::uint64_t, CacheFuture> cache_;

@@ -54,19 +54,27 @@
 //       produce (union over manifests and all option-flag combos).
 //
 //   mira-cli serve --socket PATH [--threads N] [--model-threads N]
-//            [--cache-dir DIR] [--cache-limit BYTES]
+//            [--cache-dir DIR] [--cache-limit BYTES] [--max-inflight N]
+//            [--drain-timeout SECONDS] [--metrics-file PATH]
 //       Long-lived analysis daemon on a Unix-domain socket: the
 //       in-memory cache stays hot across requests, so repeat analyses
 //       cost one socket round-trip instead of a process start plus a
-//       cold pipeline. Stops on SIGINT/SIGTERM or a client shutdown.
+//       cold pipeline. Connections are pipelined (replies in request
+//       order); --max-inflight bounds concurrent analyses (excess gets
+//       a Busy reply, not an unbounded queue); --metrics-file keeps a
+//       Prometheus-style dump fresh on disk. Stops on SIGINT/SIGTERM or
+//       a client shutdown, draining in-flight work for up to
+//       --drain-timeout seconds.
 //
 //   mira-cli client <analyze|batch|coverage|simulate|manifest-diff|
-//            cache-stats|ping|shutdown> --socket PATH [sources...]
-//            [--no-optimize] [--no-vectorize] [--emit-python]
-//            [--wire-version N]
+//            cache-stats|metrics|ping|shutdown> --socket PATH
+//            [sources...] [--no-optimize] [--no-vectorize]
+//            [--emit-python] [--wire-version N] [--busy-retries N]
 //       Talk to a running daemon over the wire protocol
 //       (docs/PROTOCOL.md). --wire-version 1 speaks the v1 dialect
-//       (compatibility checks); coverage/simulate/manifest-diff need v2.
+//       (compatibility checks); coverage/simulate/manifest-diff/metrics
+//       need v2. Busy refusals are retried with the daemon's backoff
+//       hint up to --busy-retries times.
 //
 // '@name' pulls an embedded workload (stream, dgemm, minife, fig5,
 // listings) instead of reading a file. See docs/CLI.md for a full tour,
@@ -127,10 +135,12 @@ int usage(const char *argv0) {
       "  cache <stats|clear|prune> --cache-dir DIR [--schema vN]\n"
       "          [--manifest FILE]...\n"
       "  serve --socket PATH [--threads N] [--model-threads N]\n"
-      "          [--cache-dir DIR] [--cache-limit BYTES]\n"
+      "          [--cache-dir DIR] [--cache-limit BYTES] [--max-inflight N]\n"
+      "          [--drain-timeout SECONDS] [--metrics-file PATH]\n"
       "  client <analyze|batch|coverage|simulate|manifest-diff|cache-stats|\n"
-      "          ping|shutdown> --socket PATH [sources...] [--no-optimize]\n"
-      "          [--no-vectorize] [--emit-python] [--wire-version N]\n"
+      "          metrics|ping|shutdown> --socket PATH [sources...]\n"
+      "          [--no-optimize] [--no-vectorize] [--emit-python]\n"
+      "          [--wire-version N] [--busy-retries N]\n"
       "          [--function NAME] [--sim-arg V] [--fast-forward]\n"
       "workloads: @stream @dgemm @minife @fig5 @listings\n"
       "--cache-limit accepts plain bytes or a K/M/G suffix (e.g. 64M)\n"
@@ -207,6 +217,10 @@ struct CommonFlags {
   std::string socketPath;
   bool viaDaemon = false;       ///< serve coverage/simulate over the wire
   std::uint32_t wireVersion = server::kProtocolVersion;
+  std::size_t maxInflight = 0;  ///< serve --max-inflight (0 = unlimited)
+  double drainTimeoutSeconds = 5.0; ///< serve --drain-timeout
+  std::string metricsFile;      ///< serve --metrics-file
+  std::size_t busyRetries = 8;  ///< client --busy-retries
   std::string schema;           ///< `cache clear --schema vN` selector
   core::SimulationArgs sim;     ///< --function / --sim-arg / --fast-forward
   std::string outPath;          ///< `manifest build/merge --out`
@@ -349,6 +363,32 @@ bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
         return false;
       }
       flags.schema = args[++i];
+    } else if (a == "--max-inflight") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--max-inflight requires a value\n");
+        return false;
+      }
+      flags.maxInflight = static_cast<std::size_t>(
+          std::max(0L, std::atol(args[++i].c_str())));
+    } else if (a == "--drain-timeout") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--drain-timeout requires seconds\n");
+        return false;
+      }
+      flags.drainTimeoutSeconds = std::max(0.0, std::atof(args[++i].c_str()));
+    } else if (a == "--metrics-file") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--metrics-file requires a path\n");
+        return false;
+      }
+      flags.metricsFile = args[++i];
+    } else if (a == "--busy-retries") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--busy-retries requires a value\n");
+        return false;
+      }
+      flags.busyRetries = static_cast<std::size_t>(
+          std::max(0L, std::atol(args[++i].c_str())));
     } else if (a == "--wire-version") {
       if (i + 1 == args.size()) {
         std::fprintf(stderr, "--wire-version requires a value\n");
@@ -1257,6 +1297,10 @@ int cmdServe(std::vector<std::string> args) {
   options.modelThreads = flags.modelThreads;
   options.cacheDir = flags.cacheDir;
   options.cacheBytesLimit = flags.cacheBytesLimit;
+  options.maxInflight = flags.maxInflight;
+  options.drainTimeoutMillis =
+      static_cast<std::uint32_t>(flags.drainTimeoutSeconds * 1000.0);
+  options.metricsFile = flags.metricsFile;
 
   server::AnalysisServer daemon(options);
   std::string error;
@@ -1328,6 +1372,7 @@ int cmdClient(std::vector<std::string> args) {
     return 2;
   }
   client.setProtocolVersion(flags.wireVersion);
+  client.setBusyRetries(flags.busyRetries);
 
   if (action == "ping") {
     if (int rc = requireClientConnection(client, flags))
@@ -1395,6 +1440,23 @@ int cmdClient(std::vector<std::string> args) {
                 formatBytes(stats.diskBytes).c_str());
     std::printf("session threads : %llu\n",
                 static_cast<unsigned long long>(stats.threads));
+    return 0;
+  }
+
+  if (action == "metrics") {
+    if (int rc = requireClientConnection(client, flags))
+      return rc;
+    std::vector<server::MetricSample> samples;
+    if (!client.metrics(samples)) {
+      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      return 1;
+    }
+    // Same names and `mira_` prefix as the --metrics-file dump; the
+    // wire reply does not carry the counter/gauge kind, so no # TYPE
+    // comment lines here.
+    for (const server::MetricSample &sample : samples)
+      std::printf("mira_%s %llu\n", sample.name.c_str(),
+                  static_cast<unsigned long long>(sample.value));
     return 0;
   }
 

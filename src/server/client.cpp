@@ -1,5 +1,8 @@
 #include "server/client.h"
 
+#include <chrono>
+#include <thread>
+
 #include "driver/batch.h"
 
 namespace mira::server {
@@ -20,21 +23,7 @@ bool Client::connect(const std::string &path) {
 
 void Client::disconnect() { socket_.close(); }
 
-bool Client::roundTrip(const std::string &request, MessageType expected,
-                       std::string &reply) {
-  if (!socket_.valid())
-    return fail("not connected");
-  // The frame cap is a protocol MUST for both peers: refuse to send an
-  // over-cap request up front, with the actionable message the daemon
-  // could never deliver (it would close the connection mid-send).
-  if (request.size() > kMaxFrameBytes)
-    return fail("request of " + std::to_string(request.size()) +
-                " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
-                "-byte frame cap; split the request");
-  if (!net::writeFrame(socket_.fd(), request)) {
-    disconnect();
-    return fail("send failed (daemon gone?)");
-  }
+bool Client::receiveReply(MessageType &type, std::string &reply) {
   net::FrameStatus status =
       net::readFrame(socket_.fd(), reply, kMaxFrameBytes);
   if (status != net::FrameStatus::ok) {
@@ -51,7 +40,6 @@ bool Client::roundTrip(const std::string &request, MessageType expected,
     }
   }
   bio::Reader r{reply, 0};
-  MessageType type{};
   std::string headerError;
   if (!readHeader(r, type, headerError)) {
     disconnect();
@@ -65,14 +53,53 @@ bool Client::roundTrip(const std::string &request, MessageType expected,
       return fail("daemon error: " + message);
     return fail("daemon error (unreadable message)");
   }
-  if (type != expected) {
-    disconnect();
-    return fail("unexpected reply type " +
-                std::to_string(static_cast<unsigned>(type)));
-  }
   // Strip the consumed header so callers decode the body only.
   reply.erase(0, r.offset);
   return true;
+}
+
+bool Client::roundTrip(const std::string &request, MessageType expected,
+                       std::string &reply) {
+  if (!socket_.valid())
+    return fail("not connected");
+  // The frame cap is a protocol MUST for both peers: refuse to send an
+  // over-cap request up front, with the actionable message the daemon
+  // could never deliver (it would close the connection mid-send).
+  if (request.size() > kMaxFrameBytes)
+    return fail("request of " + std::to_string(request.size()) +
+                " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                "-byte frame cap; split the request");
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (!net::writeFrame(socket_.fd(), request)) {
+      disconnect();
+      return fail("send failed (daemon gone?)");
+    }
+    MessageType type{};
+    if (!receiveReply(type, reply))
+      return false;
+    if (type == MessageType::busyReply) {
+      // The daemon refused without queueing and left the connection
+      // open: back off for the server-supplied hint and resend.
+      bio::Reader r{reply, 0};
+      BusyReply busy;
+      if (!decodeBusyReply(r, busy)) {
+        disconnect();
+        return fail("malformed busy reply");
+      }
+      if (attempt >= busy_retries_)
+        return fail("daemon at capacity (gave up after " +
+                    std::to_string(busy_retries_) + " retries)");
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          busy.retryAfterMillis ? busy.retryAfterMillis : 10));
+      continue;
+    }
+    if (type != expected) {
+      disconnect();
+      return fail("unexpected reply type " +
+                  std::to_string(static_cast<unsigned>(type)));
+    }
+    return true;
+  }
 }
 
 bool Client::ping() {
@@ -152,6 +179,79 @@ bool Client::analyzeBatch(const std::vector<SourceItem> &items,
   return true;
 }
 
+bool Client::analyzePipelined(const std::vector<SourceItem> &items,
+                              const core::MiraOptions &options,
+                              std::vector<ClientOutcome> &outcomes) {
+  if (!socket_.valid())
+    return fail("not connected");
+  std::vector<ClientOutcome> decoded(items.size());
+  std::vector<std::size_t> pending(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    pending[i] = i;
+  std::uint32_t retryHintMillis = 0;
+
+  for (std::size_t round = 0; !pending.empty(); ++round) {
+    if (round > 0) {
+      if (round > busy_retries_)
+        return fail("daemon at capacity (gave up after " +
+                    std::to_string(busy_retries_) + " retries)");
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          retryHintMillis ? retryHintMillis : 10));
+    }
+    // Write every outstanding request up front, then read the replies
+    // back: the daemon answers strictly in request order, so the i-th
+    // reply frame belongs to the i-th frame of this round.
+    for (std::size_t idx : pending) {
+      const std::string request =
+          encodeAnalyzeRequest(items[idx], packOptions(options), version_);
+      if (request.size() > kMaxFrameBytes)
+        return fail("request of " + std::to_string(request.size()) +
+                    " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                    "-byte frame cap; split the request");
+      if (!net::writeFrame(socket_.fd(), request)) {
+        disconnect();
+        return fail("send failed (daemon gone?)");
+      }
+    }
+    std::vector<std::size_t> refused;
+    for (std::size_t idx : pending) {
+      std::string reply;
+      MessageType type{};
+      if (!receiveReply(type, reply))
+        return false;
+      if (type == MessageType::busyReply) {
+        // Refused without queueing; the connection stays open and the
+        // item goes into the next round.
+        bio::Reader r{reply, 0};
+        BusyReply busy;
+        if (!decodeBusyReply(r, busy)) {
+          disconnect();
+          return fail("malformed busy reply");
+        }
+        retryHintMillis = busy.retryAfterMillis;
+        refused.push_back(idx);
+        continue;
+      }
+      if (type != MessageType::analyzeReply) {
+        disconnect();
+        return fail("unexpected reply type " +
+                    std::to_string(static_cast<unsigned>(type)));
+      }
+      bio::Reader r{reply, 0};
+      AnalyzeReply wire;
+      if (!decodeAnalyzeReply(r, wire)) {
+        disconnect();
+        return fail("malformed analyze reply");
+      }
+      if (!decodeOutcome(wire, decoded[idx]))
+        return false;
+    }
+    pending = std::move(refused);
+  }
+  outcomes = std::move(decoded);
+  return true;
+}
+
 bool Client::coverage(const std::string &name, const std::string &source,
                       const core::MiraOptions &options,
                       CoverageReply &reply) {
@@ -214,6 +314,20 @@ bool Client::cacheStats(ServerStats &stats) {
   if (!decodeCacheStatsReply(r, stats, version_)) {
     disconnect();
     return fail("malformed cache-stats reply");
+  }
+  return true;
+}
+
+bool Client::metrics(std::vector<MetricSample> &samples) {
+  if (version_ < 2)
+    return fail("metrics requires protocol version 2");
+  std::string reply;
+  if (!roundTrip(encodeMetricsRequest(), MessageType::metricsReply, reply))
+    return false;
+  bio::Reader r{reply, 0};
+  if (!decodeMetricsReply(r, samples)) {
+    disconnect();
+    return fail("malformed metrics reply");
   }
   return true;
 }

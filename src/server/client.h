@@ -51,6 +51,12 @@ public:
   void setProtocolVersion(std::uint32_t version) { version_ = version; }
   std::uint32_t protocolVersion() const { return version_; }
 
+  /// How many times a request refused with Busy is retried (after
+  /// sleeping for the daemon's retry hint) before giving up with an
+  /// error. 0 = fail on the first Busy.
+  void setBusyRetries(std::size_t retries) { busy_retries_ = retries; }
+  std::size_t busyRetries() const { return busy_retries_; }
+
   /// Connect to the daemon socket at `path`. False (see lastError()) if
   /// no daemon is listening.
   bool connect(const std::string &path);
@@ -75,6 +81,18 @@ public:
                     const core::MiraOptions &options,
                     std::vector<ClientOutcome> &outcomes);
 
+  /// Analyze many sources as individual pipelined requests on this one
+  /// connection: all frames are written up front and the replies —
+  /// which the daemon guarantees arrive in request order — are read
+  /// back in sequence. Unlike analyzeBatch the daemon treats each item
+  /// as its own request, so items refused with Busy are retried in
+  /// follow-up rounds (honoring the retry hint) while accepted items'
+  /// results are kept. Outcomes arrive in input order; payload bytes
+  /// are identical to one-shot analyze() calls of the same items.
+  bool analyzePipelined(const std::vector<SourceItem> &items,
+                        const core::MiraOptions &options,
+                        std::vector<ClientOutcome> &outcomes);
+
   /// Loop-coverage summary of one source (protocol v2). Served from the
   /// daemon's cached coverage summary when warm — no recompilation.
   bool coverage(const std::string &name, const std::string &source,
@@ -98,6 +116,11 @@ public:
   /// Fetch the daemon's counter block.
   bool cacheStats(ServerStats &stats);
 
+  /// Fetch the daemon's full metrics registry (protocol v2): every
+  /// named counter and gauge, name-sorted — the same numbers the
+  /// --metrics-file dump renders.
+  bool metrics(std::vector<MetricSample> &samples);
+
   /// Ask the daemon to shut down cleanly. True once the daemon
   /// acknowledged (it drains in-flight work and exits afterwards).
   bool shutdownServer();
@@ -108,16 +131,21 @@ public:
 
 private:
   /// Send `request`, receive one reply frame, validate its header and
-  /// check for Error replies. On success `r` is positioned at the reply
-  /// body of type `expected`.
+  /// check for Error replies. A Busy refusal is retried up to
+  /// busyRetries() times after sleeping for the daemon's hint. On
+  /// success `reply` holds the body of a reply of type `expected`.
   bool roundTrip(const std::string &request, MessageType expected,
                  std::string &reply);
+  /// Receive one reply frame, validate the header, surface Error
+  /// replies as failures; `reply` is left holding the body only.
+  bool receiveReply(MessageType &type, std::string &reply);
   bool decodeOutcome(const AnalyzeReply &wire, ClientOutcome &outcome);
   bool fail(const std::string &message);
 
   net::Socket socket_;
   std::string error_;
   std::uint32_t version_ = kProtocolVersion;
+  std::size_t busy_retries_ = 8;
 };
 
 } // namespace mira::server

@@ -247,6 +247,28 @@ std::string encodeManifestDiffRequest(const std::string &oldManifestBytes,
   return out;
 }
 
+std::string encodeMetricsRequest() {
+  return encodeEmptyMessage(MessageType::metrics, kProtocolVersion);
+}
+
+std::string encodeBusyReply(const BusyReply &reply) {
+  std::string out;
+  beginMessage(out, MessageType::busyReply, kProtocolVersion);
+  bio::putU32(out, reply.retryAfterMillis);
+  return out;
+}
+
+std::string encodeMetricsReply(const std::vector<MetricSample> &samples) {
+  std::string out;
+  beginMessage(out, MessageType::metricsReply, kProtocolVersion);
+  bio::putU32(out, static_cast<std::uint32_t>(samples.size()));
+  for (const MetricSample &sample : samples) {
+    bio::putString(out, sample.name);
+    bio::putU64(out, sample.value);
+  }
+  return out;
+}
+
 std::string encodeErrorReply(const std::string &message,
                              std::uint32_t version) {
   std::string out;
@@ -520,6 +542,27 @@ bool decodeManifestDiffReply(bio::Reader &r, ManifestDiffReply &reply) {
     if (!r.str(path))
       return false;
     reply.removed.push_back(std::move(path));
+  }
+  return r.remaining() == 0;
+}
+
+bool decodeBusyReply(bio::Reader &r, BusyReply &reply) {
+  reply = BusyReply{};
+  return r.u32(reply.retryAfterMillis) && r.remaining() == 0;
+}
+
+bool decodeMetricsReply(bio::Reader &r, std::vector<MetricSample> &samples) {
+  std::uint32_t count = 0;
+  if (!r.u32(count))
+    return false;
+  samples.clear();
+  // No reserve(count): the count is attacker-controlled; per-sample
+  // reads fail naturally when the body runs out.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MetricSample sample;
+    if (!r.str(sample.name) || !r.u64(sample.value))
+      return false;
+    samples.push_back(std::move(sample));
   }
   return r.remaining() == 0;
 }

@@ -19,11 +19,13 @@
 /// message carries its version, requests are accepted from
 /// kProtocolVersionMin up, and replies are encoded in the requester's
 /// version (v1 clients get v1 payload bytes, and never see v2-only
-/// message types or stats fields). The ManifestDiff request is an
-/// additive late-v2 extension (new message type, no layout changes);
-/// pre-manifest v2 daemons answer it with Error-and-close like any
-/// unknown type, which clients must treat as "not supported". See
-/// docs/PROTOCOL.md, "Compatibility".
+/// message types or stats fields). The ManifestDiff request and the
+/// Metrics/Busy messages are additive late-v2 extensions (new message
+/// types, no layout changes); older v2 daemons answer them with
+/// Error-and-close like any unknown type, which clients must treat as
+/// "not supported". Busy is the one reply that does NOT close the
+/// connection: it reports the in-flight cap was hit and carries a
+/// retry-after hint. See docs/PROTOCOL.md, "Compatibility".
 ///
 /// Analysis results travel as the canonical artifact payload of
 /// driver::serializeArtifactPayload — the same bytes the disk cache
@@ -75,6 +77,7 @@ enum class MessageType : std::uint8_t {
   coverage = 6,   ///< (v2) loop coverage: same body as analyze
   simulate = 7,   ///< (v2) run the simulator: analyze body + sim args
   manifestDiff = 8, ///< (v2) diff two corpus manifests: [old str][new str]
+  metrics = 9,    ///< (v2) named counter/gauge snapshot; empty body
 
   // Replies (server -> client).
   error = 100,           ///< [message str]; connection closes after
@@ -86,6 +89,8 @@ enum class MessageType : std::uint8_t {
   coverageReply = 106,   ///< (v2) one coverage summary (see CoverageReply)
   simulateReply = 107,   ///< (v2) one simulation result (see SimulateReply)
   manifestDiffReply = 108, ///< (v2) added/changed/removed entry lists
+  busyReply = 109,       ///< (v2) over the in-flight cap; [retryMillis u32]
+  metricsReply = 110,    ///< (v2) [count u32][count x (name str, value u64)]
 };
 
 /// Model-affecting option bits carried by analyze/batch requests —
@@ -161,6 +166,24 @@ struct ManifestDiffReply {
   std::vector<std::string> removed;           ///< paths only in `old`
 };
 
+/// The daemon's answer when a request would exceed its `--max-inflight`
+/// cap (v2, additive): the request was NOT queued or executed; retry it
+/// after the hinted delay. Unlike Error, a Busy reply does NOT close the
+/// connection — the session keeps reading. v1 peers cannot decode this
+/// type, so at capacity they receive Error-and-close instead.
+/// Body: [retryAfterMillis u32].
+struct BusyReply {
+  std::uint32_t retryAfterMillis = 0; ///< server-suggested backoff hint
+};
+
+/// One (name, value) pair of a metricsReply (v2, additive): a
+/// core::MetricsRegistry sample. Names are Prometheus-idiom lowercase
+/// (`server_requests_served_total`); the list is name-sorted.
+struct MetricSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
 /// Counter block answered to cacheStats, all u64, in this wire order.
 /// Lifetime counters cover everything since the daemon started. The
 /// last three fields are v2-only: v1 peers receive the block truncated
@@ -227,6 +250,12 @@ std::string encodeSimulateRequest(const SourceItem &item, std::uint8_t flags,
 /// (corpus::serializeManifest bytes): [old str][new str].
 std::string encodeManifestDiffRequest(const std::string &oldManifestBytes,
                                       const std::string &newManifestBytes);
+/// Build a metrics request (v2): header only, like ping.
+std::string encodeMetricsRequest();
+/// Build a busyReply (v2) carrying the retry-after hint.
+std::string encodeBusyReply(const BusyReply &reply);
+/// Build a metricsReply (v2) from a name-sorted sample list.
+std::string encodeMetricsReply(const std::vector<MetricSample> &samples);
 /// Build an Error reply carrying a human-readable description.
 std::string encodeErrorReply(const std::string &message,
                              std::uint32_t version = kProtocolVersion);
@@ -280,6 +309,10 @@ bool decodeCoverageReply(bio::Reader &r, CoverageReply &reply);
 bool decodeSimulateReply(bio::Reader &r, SimulateReply &reply);
 /// Decode a manifestDiffReply body.
 bool decodeManifestDiffReply(bio::Reader &r, ManifestDiffReply &reply);
+/// Decode a busyReply body.
+bool decodeBusyReply(bio::Reader &r, BusyReply &reply);
+/// Decode a metricsReply body.
+bool decodeMetricsReply(bio::Reader &r, std::vector<MetricSample> &samples);
 /// Decode a cacheStatsReply body of the given dialect (v1 bodies leave
 /// the v2-only fields zero).
 bool decodeCacheStatsReply(bio::Reader &r, ServerStats &stats,

@@ -1,7 +1,11 @@
 #include "server/server.h"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
+#include <utility>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -20,22 +24,71 @@ std::uint64_t microsSince(std::chrono::steady_clock::time_point start) {
           .count());
 }
 
+/// Sentinel for "no close-after reply enqueued yet".
+constexpr std::uint64_t kNoCloseSeq = ~static_cast<std::uint64_t>(0);
+
 } // namespace
 
+/// One live connection. The reader assigns ascending sequence numbers
+/// to frames as they arrive; replies (computed on any thread) park in
+/// `pending` until every earlier reply has been written, which is what
+/// makes pipelined replies come out strictly in request order.
+struct AnalysisServer::Session {
+  Session(AnalysisServer &server, net::Socket sock)
+      : server(server), sock(std::move(sock)) {}
+  ~Session() {
+    std::lock_guard<std::mutex> lock(server.connections_mutex_);
+    server.connections_.erase(this);
+  }
+
+  AnalysisServer &server;
+  net::Socket sock;
+
+  std::mutex mutex;
+  /// Next sequence number the reader will assign.
+  std::uint64_t nextSeq = 0;
+  /// Next sequence number the sequencer will write.
+  std::uint64_t nextToWrite = 0;
+  /// Replies that finished out of order, keyed by sequence number.
+  std::map<std::uint64_t, std::string> pending;
+  /// Once the reply at this seq is flushed the connection is cut
+  /// (protocol errors, shutdown acks, and v1 capacity refusals must be
+  /// the last frame the peer sees).
+  std::uint64_t closeAfterSeq = kNoCloseSeq;
+  /// A write failed or closeAfterSeq was flushed: stop writing.
+  bool aborted = false;
+};
+
 AnalysisServer::AnalysisServer(ServerOptions options)
-    : options_(std::move(options)), started_(std::chrono::steady_clock::now()) {
+    : options_(std::move(options)), started_(std::chrono::steady_clock::now()),
+      connections_accepted_(metrics_.counter("server_connections_accepted_total")),
+      requests_served_(metrics_.counter("server_requests_served_total")),
+      analyze_requests_(metrics_.counter("server_analyze_requests_total")),
+      batch_requests_(metrics_.counter("server_batch_requests_total")),
+      coverage_requests_(metrics_.counter("server_coverage_requests_total")),
+      simulate_requests_(metrics_.counter("server_simulate_requests_total")),
+      sources_analyzed_(metrics_.counter("server_sources_analyzed_total")),
+      cache_hits_(metrics_.counter("server_cache_hits_total")),
+      computed_(metrics_.counter("server_computed_total")),
+      failures_(metrics_.counter("server_failures_total")),
+      recompiles_(metrics_.counter("server_recompiles_total")),
+      protocol_errors_(metrics_.counter("server_protocol_errors_total")),
+      busy_rejections_(metrics_.counter("server_busy_rejections_total")) {
   driver::BatchOptions batchOptions;
-  // Single analyzes run inline on the session worker; batch requests
-  // fan their items across the analyzer's own pool (analyzeMany), so
-  // size it like the session pool. modelThreads additionally fans out
-  // per-function model generation inside one request.
+  // Batch requests fan their items across the analyzer's own pool
+  // (analyzeMany), so size it like the compute pool. modelThreads
+  // additionally fans out per-function model generation inside one
+  // request. The analyzer registers its lifetime counters in the
+  // daemon's registry so one scrape covers both layers.
   batchOptions.threads = options_.threads;
   batchOptions.useCache = true;
   batchOptions.cacheDir = options_.cacheDir;
   batchOptions.cacheBytesLimit = options_.cacheBytesLimit;
   batchOptions.modelThreads = options_.modelThreads;
+  batchOptions.metrics = &metrics_;
   analyzer_ = std::make_unique<driver::BatchAnalyzer>(batchOptions);
   sessions_ = std::make_unique<ThreadPool>(options_.threads);
+  compute_ = std::make_unique<ThreadPool>(options_.threads);
 }
 
 AnalysisServer::~AnalysisServer() {
@@ -78,12 +131,21 @@ void AnalysisServer::requestStop() {
 }
 
 void AnalysisServer::serve() {
+  writeMetricsFile();
+  // With a metrics file configured, wake up about once a second to
+  // refresh it; otherwise block in poll indefinitely.
+  const int pollTimeoutMillis = options_.metricsFile.empty() ? -1 : 1000;
   for (;;) {
     pollfd fds[2] = {{listener_.fd(), POLLIN, 0}, {stop_read_.fd(), POLLIN, 0}};
-    if (::poll(fds, 2, -1) < 0) {
+    const int ready = ::poll(fds, 2, pollTimeoutMillis);
+    if (ready < 0) {
       if (errno == EINTR)
         continue;
       break;
+    }
+    if (ready == 0) {
+      writeMetricsFile();
+      continue;
     }
     if (fds[1].revents != 0)
       break; // stop requested
@@ -92,68 +154,92 @@ void AnalysisServer::serve() {
     net::Socket conn = net::acceptConnection(listener_);
     if (!conn.valid())
       continue; // transient (EMFILE, aborted handshake): keep serving
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
-    auto shared = std::make_shared<net::Socket>(std::move(conn));
-    sessions_->submit([this, shared] {
-      handleConnection(std::move(*shared));
-    });
+    connections_accepted_.increment();
+    auto session = std::make_shared<Session>(*this, std::move(conn));
+    sessions_->submit([this, session] { handleConnection(session); });
   }
 
-  // Shutdown: stop accepting, wake idle readers, finish in-flight work.
+  // Graceful drain. Step 1: stop accepting and wake idle readers —
+  // blocked readFrames see EOF, replies in flight still go out.
   listener_.close();
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     stopping_ = true;
-    for (int fd : connections_)
-      ::shutdown(fd, SHUT_RD); // blocked readFrames see EOF; replies
-                               // in flight still go out
+    for (Session *session : connections_)
+      session->sock.shutdownRead();
+  }
+  // Step 2: give in-flight requests the drain window to finish and
+  // answer. Step 3: cut the stragglers' sockets — their computations
+  // still run to completion (the pool has no preemption) but their
+  // replies are discarded and any blocked writes unblock.
+  bool drained;
+  {
+    std::unique_lock<std::mutex> lock(inflight_mutex_);
+    drained = inflight_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drainTimeoutMillis),
+        [&] { return inflight_ == 0; });
+  }
+  if (!drained) {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (Session *session : connections_)
+      session->sock.shutdownBoth();
   }
   sessions_->waitIdle();
+  compute_->waitIdle();
   ::unlink(options_.socketPath.c_str());
   bound_ = false;
+  writeMetricsFile();
 }
 
-void AnalysisServer::handleConnection(net::Socket sock) {
-  const int fd = sock.fd();
+void AnalysisServer::handleConnection(std::shared_ptr<Session> session) {
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections_.insert(fd);
+    connections_.insert(session.get());
     if (stopping_)
-      sock.shutdownRead(); // accepted before stop, dispatched after:
-                           // close without serving
+      session->sock.shutdownRead(); // accepted before stop, dispatched
+                                    // after: close without serving
   }
 
   std::string message;
   for (;;) {
     net::FrameStatus status =
-        net::readFrame(fd, message, options_.maxFrameBytes);
+        net::readFrame(session->sock.fd(), message, options_.maxFrameBytes);
     if (status == net::FrameStatus::closed)
       break; // client finished cleanly
     if (status == net::FrameStatus::oversized) {
       // The frame was never parsed, so the peer's dialect is unknown:
       // answer in v1, which every client version decodes.
-      sendError(fd, "frame exceeds " + std::to_string(options_.maxFrameBytes) +
-                        " bytes",
-                kProtocolVersionMin);
+      std::uint64_t seq;
+      {
+        std::lock_guard<std::mutex> lock(session->mutex);
+        seq = session->nextSeq++;
+      }
+      sendErrorAt(session, seq,
+                  "frame exceeds " + std::to_string(options_.maxFrameBytes) +
+                      " bytes",
+                  kProtocolVersionMin);
       break;
     }
     if (status != net::FrameStatus::ok) { // truncated or I/O error
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.increment();
       break;
     }
-    if (!handleMessage(fd, message))
+    std::uint64_t seq;
+    {
+      std::lock_guard<std::mutex> lock(session->mutex);
+      seq = session->nextSeq++;
+    }
+    if (!handleFrame(session, seq, message))
       break;
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
   }
-
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    connections_.erase(fd);
-  }
-  // sock closes on scope exit.
+  // The socket stays open until the last reply flushes: compute workers
+  // hold their own reference to the Session, and the fd closes when the
+  // final reference (reader or worker) drops.
 }
 
-bool AnalysisServer::handleMessage(int fd, const std::string &message) {
+bool AnalysisServer::handleFrame(const std::shared_ptr<Session> &session,
+                                 std::uint64_t seq,
+                                 const std::string &message) {
   bio::Reader r{message, 0};
   MessageType type{};
   std::uint32_t version = 0;
@@ -161,71 +247,95 @@ bool AnalysisServer::handleMessage(int fd, const std::string &message) {
   if (!readHeader(r, type, version, headerError)) {
     // The peer's dialect is unknown; v1 error frames are the common
     // denominator every client version can decode.
-    sendError(fd, headerError, kProtocolVersionMin);
+    sendErrorAt(session, seq, headerError, kProtocolVersionMin);
     return false;
   }
 
   switch (type) {
   case MessageType::ping:
-    return sendReply(fd, encodeEmptyMessage(MessageType::pong, version),
-                     version);
+    enqueueReply(session, seq, encodeEmptyMessage(MessageType::pong, version),
+                 false);
+    return true;
 
   case MessageType::analyze: {
     SourceItem item;
     std::uint8_t flags = 0;
     if (!decodeAnalyzeRequest(r, item, flags)) {
-      sendError(fd, "malformed analyze request", version);
+      sendErrorAt(session, seq, "malformed analyze request", version);
       return false;
     }
-    analyze_requests_.fetch_add(1, std::memory_order_relaxed);
-    AnalyzeReply reply = analyzeItem(item, flags, version);
-    return sendReply(fd, encodeAnalyzeReply(reply, version), version);
+    analyze_requests_.increment();
+    if (!admitOrRefuse(session, seq, version))
+      return version >= 2;
+    compute_->submit([this, session, seq, version, item = std::move(item),
+                      flags] {
+      AnalyzeReply reply = analyzeItem(item, flags, version);
+      releaseInflight();
+      sendReplyAt(session, seq, encodeAnalyzeReply(reply, version), version);
+    });
+    return true;
   }
 
   case MessageType::batch: {
     std::vector<SourceItem> items;
     std::uint8_t flags = 0;
     if (!decodeBatchRequest(r, items, flags)) {
-      sendError(fd, "malformed batch request", version);
+      sendErrorAt(session, seq, "malformed batch request", version);
       return false;
     }
-    batch_requests_.fetch_add(1, std::memory_order_relaxed);
-    // Items fan across the analyzer's pool: a cold batch gets the same
-    // intra-request parallelism as `mira-cli batch --threads N`.
-    std::vector<core::AnalysisSpec> specs;
-    specs.reserve(items.size());
-    const core::MiraOptions options = unpackOptions(flags);
-    for (SourceItem &item : items) {
-      core::AnalysisSpec spec;
-      spec.name = std::move(item.name);
-      spec.source = std::move(item.source);
-      spec.options = options;
-      spec.artifacts = core::kArtifactDefault;
-      specs.push_back(std::move(spec));
-    }
-    std::vector<core::Artifacts> results =
-        analyzer_->analyzeArtifactsMany(specs);
-    std::vector<AnalyzeReply> replies;
-    replies.reserve(results.size());
-    for (const core::Artifacts &artifacts : results)
-      replies.push_back(replyFor(artifacts, version));
-    return sendReply(fd, encodeBatchReply(replies, version), version);
+    batch_requests_.increment();
+    // A batch holds a single in-flight slot: its items fan across the
+    // analyzer's pool (same intra-request parallelism as `mira-cli
+    // batch --threads N`), so admitting it per item would double-count.
+    if (!admitOrRefuse(session, seq, version))
+      return version >= 2;
+    compute_->submit([this, session, seq, version, items = std::move(items),
+                      flags]() mutable {
+      std::vector<core::AnalysisSpec> specs;
+      specs.reserve(items.size());
+      const core::MiraOptions options = unpackOptions(flags);
+      for (SourceItem &item : items) {
+        core::AnalysisSpec spec;
+        spec.name = std::move(item.name);
+        spec.source = std::move(item.source);
+        spec.options = options;
+        spec.artifacts = core::kArtifactDefault;
+        specs.push_back(std::move(spec));
+      }
+      std::vector<core::Artifacts> results =
+          analyzer_->analyzeArtifactsMany(specs);
+      std::vector<AnalyzeReply> replies;
+      replies.reserve(results.size());
+      for (const core::Artifacts &artifacts : results)
+        replies.push_back(replyFor(artifacts, version));
+      releaseInflight();
+      sendReplyAt(session, seq, encodeBatchReply(replies, version), version);
+    });
+    return true;
   }
 
   case MessageType::coverage: {
     SourceItem item;
     std::uint8_t flags = 0;
     if (version < 2) {
-      sendError(fd, "coverage requires protocol version 2", version);
+      sendErrorAt(session, seq, "coverage requires protocol version 2",
+                  version);
       return false;
     }
     if (!decodeCoverageRequest(r, item, flags)) {
-      sendError(fd, "malformed coverage request", version);
+      sendErrorAt(session, seq, "malformed coverage request", version);
       return false;
     }
-    coverage_requests_.fetch_add(1, std::memory_order_relaxed);
-    return sendReply(fd, encodeCoverageReply(coverageItem(item, flags)),
-                     version);
+    coverage_requests_.increment();
+    if (!admitOrRefuse(session, seq, version))
+      return true;
+    compute_->submit([this, session, seq, version, item = std::move(item),
+                      flags] {
+      CoverageReply reply = coverageItem(item, flags);
+      releaseInflight();
+      sendReplyAt(session, seq, encodeCoverageReply(reply), version);
+    });
+    return true;
   }
 
   case MessageType::simulate: {
@@ -233,80 +343,205 @@ bool AnalysisServer::handleMessage(int fd, const std::string &message) {
     std::uint8_t flags = 0;
     core::SimulationArgs sim;
     if (version < 2) {
-      sendError(fd, "simulate requires protocol version 2", version);
+      sendErrorAt(session, seq, "simulate requires protocol version 2",
+                  version);
       return false;
     }
     if (!decodeSimulateRequest(r, item, flags, sim)) {
-      sendError(fd, "malformed simulate request", version);
+      sendErrorAt(session, seq, "malformed simulate request", version);
       return false;
     }
-    simulate_requests_.fetch_add(1, std::memory_order_relaxed);
-    return sendReply(fd, encodeSimulateReply(simulateItem(item, flags, sim)),
-                     version);
+    simulate_requests_.increment();
+    if (!admitOrRefuse(session, seq, version))
+      return true;
+    compute_->submit([this, session, seq, version, item = std::move(item),
+                      flags, sim = std::move(sim)] {
+      SimulateReply reply = simulateItem(item, flags, sim);
+      releaseInflight();
+      sendReplyAt(session, seq, encodeSimulateReply(reply), version);
+    });
+    return true;
   }
 
   case MessageType::manifestDiff: {
     std::string oldBytes, newBytes;
     if (version < 2) {
-      sendError(fd, "manifest-diff requires protocol version 2", version);
+      sendErrorAt(session, seq, "manifest-diff requires protocol version 2",
+                  version);
       return false;
     }
     if (!decodeManifestDiffRequest(r, oldBytes, newBytes)) {
-      sendError(fd, "malformed manifest-diff request", version);
+      sendErrorAt(session, seq, "malformed manifest-diff request", version);
       return false;
     }
-    corpus::Manifest oldManifest, newManifest;
-    std::string manifestError;
     // The blobs are validated application payloads, not framing: a bad
     // manifest still gets the Error-then-close treatment so clients
-    // can't mistake a refusal for an empty diff.
+    // can't mistake a refusal for an empty diff. Validation runs on the
+    // reader (it is cheap parsing); only the diff is dispatched.
+    corpus::Manifest oldManifest, newManifest;
+    std::string manifestError;
     if (!corpus::deserializeManifest(oldBytes, oldManifest, manifestError) ||
         !corpus::deserializeManifest(newBytes, newManifest, manifestError)) {
-      sendError(fd, "malformed manifest: " + manifestError, version);
+      sendErrorAt(session, seq, "malformed manifest: " + manifestError,
+                  version);
       return false;
     }
-    corpus::ManifestDiff diff =
-        corpus::diffManifests(oldManifest, newManifest);
-    ManifestDiffReply reply;
-    reply.added = std::move(diff.added);
-    reply.changed = std::move(diff.changed);
-    reply.removed = std::move(diff.removed);
-    return sendReply(fd, encodeManifestDiffReply(reply), version);
+    if (!admitOrRefuse(session, seq, version))
+      return true;
+    compute_->submit([this, session, seq, version,
+                      oldManifest = std::move(oldManifest),
+                      newManifest = std::move(newManifest)] {
+      corpus::ManifestDiff diff = corpus::diffManifests(oldManifest,
+                                                        newManifest);
+      ManifestDiffReply reply;
+      reply.added = std::move(diff.added);
+      reply.changed = std::move(diff.changed);
+      reply.removed = std::move(diff.removed);
+      releaseInflight();
+      sendReplyAt(session, seq, encodeManifestDiffReply(reply), version);
+    });
+    return true;
   }
 
   case MessageType::cacheStats:
-    return sendReply(fd, encodeCacheStatsReply(snapshotStats(), version),
-                     version);
+    enqueueReply(session, seq, encodeCacheStatsReply(snapshotStats(), version),
+                 false);
+    return true;
+
+  case MessageType::metrics:
+    if (version < 2) {
+      sendErrorAt(session, seq, "metrics requires protocol version 2",
+                  version);
+      return false;
+    }
+    enqueueReply(session, seq, encodeMetricsReply(metricsSamples()), false);
+    return true;
 
   case MessageType::shutdown: {
-    // Acknowledge first: the requester must learn the shutdown was
-    // accepted even though the daemon stops reading from everyone next.
-    bool sent = net::writeFrame(
-        fd, encodeEmptyMessage(MessageType::shutdownReply, version));
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    // Acknowledge, sequenced after every earlier reply on this
+    // connection: the requester must learn the shutdown was accepted
+    // even though the daemon stops reading from everyone next.
+    enqueueReply(session, seq,
+                 encodeEmptyMessage(MessageType::shutdownReply, version),
+                 true);
     requestStop();
-    (void)sent;
     return false;
   }
 
   default:
-    sendError(fd, "unexpected message type " +
-                      std::to_string(static_cast<unsigned>(type)),
-              version);
+    sendErrorAt(session, seq,
+                "unexpected message type " +
+                    std::to_string(static_cast<unsigned>(type)),
+                version);
     return false;
   }
 }
 
+void AnalysisServer::enqueueReply(const std::shared_ptr<Session> &session,
+                                  std::uint64_t seq, std::string frame,
+                                  bool closeAfter) {
+  // Every frame gets exactly one reply (errors and Busy included), so
+  // this is the one place "requests served" is counted.
+  requests_served_.increment();
+  Session &s = *session;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (closeAfter && seq < s.closeAfterSeq)
+    s.closeAfterSeq = seq;
+  s.pending.emplace(seq, std::move(frame));
+  // Flush the consecutive run of ready replies. Writing under the
+  // session mutex serializes frames per connection only; other
+  // connections' workers are unaffected.
+  while (!s.aborted) {
+    auto it = s.pending.find(s.nextToWrite);
+    if (it == s.pending.end())
+      break;
+    std::string out = std::move(it->second);
+    s.pending.erase(it);
+    const std::uint64_t written = s.nextToWrite++;
+    if (!net::writeFrame(s.sock.fd(), out)) {
+      s.aborted = true;
+      break;
+    }
+    if (written >= s.closeAfterSeq) {
+      // The reply that must be the connection's last frame went out:
+      // cut both directions so the reader unblocks and later-seq
+      // replies (already computing) are dropped on the floor.
+      s.aborted = true;
+      s.sock.shutdownBoth();
+      break;
+    }
+  }
+}
+
+void AnalysisServer::sendReplyAt(const std::shared_ptr<Session> &session,
+                                 std::uint64_t seq, std::string frame,
+                                 std::uint32_t version) {
+  // The frame cap binds both directions: a reply the daemon itself
+  // cannot legally frame (a huge batch's aggregated payloads) becomes
+  // an Error, not a protocol violation the client chokes on.
+  if (frame.size() > options_.maxFrameBytes) {
+    sendErrorAt(session, seq,
+                "reply of " + std::to_string(frame.size()) +
+                    " bytes exceeds the " +
+                    std::to_string(options_.maxFrameBytes) +
+                    "-byte frame cap; split the request",
+                version);
+    return;
+  }
+  enqueueReply(session, seq, std::move(frame), false);
+}
+
+void AnalysisServer::sendErrorAt(const std::shared_ptr<Session> &session,
+                                 std::uint64_t seq, const std::string &text,
+                                 std::uint32_t version) {
+  protocol_errors_.increment();
+  enqueueReply(session, seq, encodeErrorReply(text, version), true);
+}
+
+bool AnalysisServer::admitOrRefuse(const std::shared_ptr<Session> &session,
+                                   std::uint64_t seq, std::uint32_t version) {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    if (options_.maxInflight == 0 || inflight_ < options_.maxInflight) {
+      ++inflight_;
+      return true;
+    }
+  }
+  busy_rejections_.increment();
+  if (version >= 2) {
+    // Busy is the one reply that does not end the conversation: the
+    // request was not queued, the connection stays open, and the peer
+    // should retry after the hint.
+    BusyReply busy;
+    busy.retryAfterMillis = options_.busyRetryMillis;
+    enqueueReply(session, seq, encodeBusyReply(busy), false);
+  } else {
+    // v1 peers cannot decode Busy: refuse with the error-and-close
+    // contract they already understand.
+    enqueueReply(session, seq,
+                 encodeErrorReply("daemon is at capacity; retry later",
+                                  version),
+                 true);
+  }
+  return false;
+}
+
+void AnalysisServer::releaseInflight() {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  --inflight_;
+  inflight_cv_.notify_all();
+}
+
 void AnalysisServer::recordServed(const core::Artifacts &artifacts) {
-  sources_analyzed_.fetch_add(1, std::memory_order_relaxed);
+  sources_analyzed_.increment();
   if (artifacts.cacheHit)
-    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    cache_hits_.increment();
   else
-    computed_.fetch_add(1, std::memory_order_relaxed);
+    computed_.increment();
   if (!artifacts.ok)
-    failures_.fetch_add(1, std::memory_order_relaxed);
+    failures_.increment();
   if (artifacts.recompiled)
-    recompiles_.fetch_add(1, std::memory_order_relaxed);
+    recompiles_.increment();
 }
 
 AnalyzeReply AnalysisServer::analyzeItem(const SourceItem &item,
@@ -388,45 +623,66 @@ SimulateReply AnalysisServer::simulateItem(const SourceItem &item,
   return reply;
 }
 
-bool AnalysisServer::sendReply(int fd, const std::string &message,
-                               std::uint32_t version) {
-  // The frame cap binds both directions: a reply the daemon itself
-  // cannot legally frame (a huge batch's aggregated payloads) becomes
-  // an Error, not a protocol violation the client chokes on.
-  if (message.size() > options_.maxFrameBytes) {
-    sendError(fd, "reply of " + std::to_string(message.size()) +
-                      " bytes exceeds the " +
-                      std::to_string(options_.maxFrameBytes) +
-                      "-byte frame cap; split the request",
-              version);
-    return false;
+void AnalysisServer::refreshGauges() const {
+  metrics_.gauge("server_uptime_micros").set(microsSince(started_));
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    metrics_.gauge("server_inflight_requests").set(inflight_);
   }
-  return net::writeFrame(fd, message);
+  metrics_.gauge("server_threads").set(options_.threads);
+  metrics_.gauge("server_cache_memory_entries").set(analyzer_->cacheSize());
+  if (CacheStore *disk = analyzer_->diskCache()) {
+    std::size_t entries = 0;
+    std::uint64_t bytes = 0;
+    disk->usage(entries, bytes); // one scan for both numbers
+    metrics_.gauge("server_disk_entries").set(entries);
+    metrics_.gauge("server_disk_bytes").set(bytes);
+  }
 }
 
-void AnalysisServer::sendError(int fd, const std::string &text,
-                               std::uint32_t version) {
-  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-  requests_served_.fetch_add(1, std::memory_order_relaxed);
-  net::writeFrame(fd, encodeErrorReply(text, version));
+std::vector<MetricSample> AnalysisServer::metricsSamples() const {
+  refreshGauges();
+  std::vector<MetricSample> samples;
+  for (const core::MetricsRegistry::Sample &s : metrics_.snapshot())
+    samples.push_back(MetricSample{s.name, s.value});
+  return samples;
+}
+
+std::string AnalysisServer::renderMetricsText() const {
+  refreshGauges();
+  return metrics_.renderText();
+}
+
+void AnalysisServer::writeMetricsFile() const {
+  if (options_.metricsFile.empty())
+    return;
+  const std::string tmp = options_.metricsFile + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      return;
+    out << renderMetricsText();
+    if (!out)
+      return;
+  }
+  ::rename(tmp.c_str(), options_.metricsFile.c_str());
 }
 
 ServerStats AnalysisServer::snapshotStats() const {
   ServerStats stats;
   stats.uptimeMicros = microsSince(started_);
-  stats.connectionsAccepted =
-      connections_accepted_.load(std::memory_order_relaxed);
-  stats.requestsServed = requests_served_.load(std::memory_order_relaxed);
-  stats.analyzeRequests = analyze_requests_.load(std::memory_order_relaxed);
-  stats.batchRequests = batch_requests_.load(std::memory_order_relaxed);
-  stats.sourcesAnalyzed = sources_analyzed_.load(std::memory_order_relaxed);
-  stats.cacheHits = cache_hits_.load(std::memory_order_relaxed);
-  stats.computed = computed_.load(std::memory_order_relaxed);
-  stats.failures = failures_.load(std::memory_order_relaxed);
-  stats.protocolErrors = protocol_errors_.load(std::memory_order_relaxed);
-  stats.coverageRequests = coverage_requests_.load(std::memory_order_relaxed);
-  stats.simulateRequests = simulate_requests_.load(std::memory_order_relaxed);
-  stats.recompiles = recompiles_.load(std::memory_order_relaxed);
+  stats.connectionsAccepted = connections_accepted_.value();
+  stats.requestsServed = requests_served_.value();
+  stats.analyzeRequests = analyze_requests_.value();
+  stats.batchRequests = batch_requests_.value();
+  stats.sourcesAnalyzed = sources_analyzed_.value();
+  stats.cacheHits = cache_hits_.value();
+  stats.computed = computed_.value();
+  stats.failures = failures_.value();
+  stats.protocolErrors = protocol_errors_.value();
+  stats.coverageRequests = coverage_requests_.value();
+  stats.simulateRequests = simulate_requests_.value();
+  stats.recompiles = recompiles_.value();
   stats.memoryEntries = analyzer_->cacheSize();
   if (CacheStore *disk = analyzer_->diskCache()) {
     const CacheStoreStats diskStats = disk->statsSnapshot();

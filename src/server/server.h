@@ -9,22 +9,32 @@
 /// also reads and feeds the persistent disk level, making it a warm
 /// front-end to the same cache a batch run would use.
 ///
+/// Connections are pipelined: a session keeps reading frames while
+/// earlier requests still compute, and replies go out strictly in
+/// request order (a per-connection sequencer buffers out-of-order
+/// completions). Admission is bounded: at most `maxInflight` analysis
+/// requests run at once daemon-wide; one more is answered with a Busy
+/// reply carrying a retry hint instead of queueing without bound.
+///
 /// Life cycle: construct -> start() binds the socket -> serve() accepts
 /// and dispatches until a shutdown request (protocol message or
-/// requestStop()) -> in-flight requests finish, idle connections close,
-/// serve() returns, the socket file is removed. docs/SERVING.md is the
-/// operator guide; tests/server_test.cpp pins the concurrency and
-/// malformed-input behavior.
+/// requestStop()) -> graceful drain: accepting stops, in-flight requests
+/// get up to `drainTimeoutMillis` to finish, stragglers are cut, the
+/// socket file is removed and the metrics file (if any) gets a final
+/// write. docs/SERVING.md is the operator guide; tests/server_test.cpp
+/// pins the pipelining, backpressure, and malformed-input behavior.
 #pragma once
 
-#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
+#include <vector>
 
+#include "core/metrics_registry.h"
 #include "driver/batch.h"
 #include "server/protocol.h"
 #include "support/socket.h"
@@ -37,8 +47,9 @@ struct ServerOptions {
   /// Filesystem path of the Unix-domain listening socket. The daemon
   /// creates it (mode 0600) and unlinks it on clean shutdown.
   std::string socketPath;
-  /// Concurrent client sessions (worker threads). Additional accepted
-  /// connections wait in the pool queue until a worker frees up.
+  /// Concurrent client sessions (reader threads) and, independently,
+  /// compute workers. Additional accepted connections wait in the pool
+  /// queue until a reader frees up.
   std::size_t threads = 4;
   /// Threads for within-request per-function model generation.
   std::size_t modelThreads = 1;
@@ -50,6 +61,21 @@ struct ServerOptions {
   /// Per-frame payload cap; larger declared lengths are rejected with an
   /// Error reply and a closed connection.
   std::uint32_t maxFrameBytes = kMaxFrameBytes;
+  /// Daemon-wide cap on concurrently running analysis requests (analyze,
+  /// batch, coverage, simulate, manifest-diff — a batch counts as one).
+  /// A request over the cap is refused with Busy (v2) or Error (v1)
+  /// instead of queueing unboundedly. 0 = unlimited.
+  std::size_t maxInflight = 0;
+  /// How long a graceful shutdown waits for in-flight requests before
+  /// force-closing the remaining connections.
+  std::uint32_t drainTimeoutMillis = 5000;
+  /// Retry-after hint (milliseconds) carried in Busy replies.
+  std::uint32_t busyRetryMillis = 50;
+  /// When non-empty, the daemon rewrites this file about once a second
+  /// (and once at startup and shutdown) with the Prometheus-style text
+  /// dump of the metrics registry, via write-temp-then-rename so
+  /// scrapers never see a torn file.
+  std::string metricsFile;
 };
 
 /// Unix-socket analysis daemon serving the wire protocol of
@@ -68,13 +94,14 @@ public:
   bool start(std::string &error);
 
   /// Accept and dispatch until shutdown; blocks the calling thread.
-  /// Returns after every in-flight request finished and the socket file
-  /// was removed. Must be preceded by a successful start().
+  /// Returns after the drain completed and the socket file was removed.
+  /// Must be preceded by a successful start().
   void serve();
 
   /// Ask serve() to stop: no new connections are accepted, idle
-  /// connections see EOF, in-flight requests complete. Callable from any
-  /// thread. Also reachable from signal handlers via stopEventFd().
+  /// connections see EOF, in-flight requests get the drain window to
+  /// complete. Callable from any thread. Also reachable from signal
+  /// handlers via stopEventFd().
   void requestStop();
 
   /// Write end of the stop event pipe: writing one byte is equivalent to
@@ -83,18 +110,56 @@ public:
   int stopEventFd() const { return stop_write_.fd(); }
 
   /// Lifetime counters plus current cache occupancy — the cacheStats
-  /// wire reply. Safe to call concurrently with serving.
+  /// wire reply, assembled from the metrics registry. Safe to call
+  /// concurrently with serving.
   ServerStats snapshotStats() const;
+
+  /// The full registry contents as wire samples — the Metrics reply.
+  /// Gauges (uptime, in-flight, cache occupancy) are refreshed first.
+  std::vector<MetricSample> metricsSamples() const;
+
+  /// Prometheus-style text dump of the registry (the --metrics-file
+  /// format, also what `mira-cli client metrics` prints).
+  std::string renderMetricsText() const;
 
   const ServerOptions &options() const { return options_; }
 
 private:
-  void handleConnection(net::Socket sock);
-  /// Serve one decoded message; returns false when the connection must
-  /// close (shutdown request, protocol error, unexpected type). Replies
-  /// are encoded in the dialect the message's header declared, so v1
-  /// peers keep receiving v1 frames from a v2 daemon.
-  bool handleMessage(int fd, const std::string &message);
+  /// Per-connection state: the socket, the reader's sequence numbers,
+  /// and the reply sequencer that restores request order.
+  struct Session;
+
+  void handleConnection(std::shared_ptr<Session> session);
+  /// Decode one frame and either answer it inline (cheap requests) or
+  /// dispatch it to the compute pool. Returns false when the reader must
+  /// stop (shutdown, protocol error, v1 peer refused at capacity).
+  bool handleFrame(const std::shared_ptr<Session> &session,
+                   std::uint64_t seq, const std::string &message);
+  /// Hand the reply for `seq` to the connection's sequencer; consecutive
+  /// ready replies are flushed in order. With `closeAfter` the reply is
+  /// the connection's last frame: once it is flushed the socket is cut.
+  void enqueueReply(const std::shared_ptr<Session> &session,
+                    std::uint64_t seq, std::string frame, bool closeAfter);
+  /// Enqueue a reply produced by a compute worker, degrading an over-cap
+  /// frame to an Error (the frame cap binds the daemon's own output too).
+  void sendReplyAt(const std::shared_ptr<Session> &session,
+                   std::uint64_t seq, std::string frame,
+                   std::uint32_t version);
+  /// Enqueue an Error reply and count it; closes after flushing.
+  void sendErrorAt(const std::shared_ptr<Session> &session,
+                   std::uint64_t seq, const std::string &text,
+                   std::uint32_t version);
+  /// Try to reserve an in-flight slot. At capacity the request is
+  /// answered Busy (v2, connection keeps going) or Error (v1, which
+  /// cannot decode Busy; the connection closes) and false is returned.
+  bool admitOrRefuse(const std::shared_ptr<Session> &session,
+                     std::uint64_t seq, std::uint32_t version);
+  void releaseInflight();
+  /// Refresh the point-in-time gauges before a registry snapshot.
+  void refreshGauges() const;
+  /// Atomically (re)write options_.metricsFile; no-op when unset.
+  void writeMetricsFile() const;
+
   /// Record a served result in the counters (cache hit vs computed,
   /// failures, recompiles).
   void recordServed(const core::Artifacts &artifacts);
@@ -107,39 +172,50 @@ private:
   CoverageReply coverageItem(const SourceItem &item, std::uint8_t flags);
   SimulateReply simulateItem(const SourceItem &item, std::uint8_t flags,
                              const core::SimulationArgs &sim);
-  /// Send a reply frame, enforcing the frame cap on the daemon's own
-  /// output (an over-cap reply degrades to an Error). False when the
-  /// connection must close.
-  bool sendReply(int fd, const std::string &message, std::uint32_t version);
-  /// Send an Error reply and count it; the caller closes the connection.
-  void sendError(int fd, const std::string &text, std::uint32_t version);
 
   ServerOptions options_;
+  /// The one registry behind every surface: the analyzer registers its
+  /// lifetime counters here too, so cacheStats, the Metrics reply, and
+  /// --metrics-file all render the same numbers. Mutable because gauge
+  /// refreshes are logically const snapshot preparation.
+  mutable core::MetricsRegistry metrics_;
   std::unique_ptr<driver::BatchAnalyzer> analyzer_;
+  /// Readers: one task per live connection, blocked on frame I/O.
   std::unique_ptr<ThreadPool> sessions_;
+  /// Compute workers: analysis requests run here so a slow-reading
+  /// client never starves computation (and vice versa), and so one
+  /// connection can have several requests genuinely in flight.
+  std::unique_ptr<ThreadPool> compute_;
   net::Socket listener_;
   net::Socket stop_read_, stop_write_; // self-pipe: poll()-able stop event
   std::chrono::steady_clock::time_point started_;
   bool bound_ = false;
 
-  /// Guards connections_ and stopping_ (fds are shutdownRead() under the
-  /// lock so a handler can never close an fd mid-iteration).
+  /// Guards connections_ and stopping_ (sockets are shut down under the
+  /// lock; the fds stay open until each Session is destroyed, so the
+  /// stop broadcast can never race a close).
   std::mutex connections_mutex_;
-  std::set<int> connections_;
+  std::set<Session *> connections_;
   bool stopping_ = false;
 
-  std::atomic<std::uint64_t> connections_accepted_{0};
-  std::atomic<std::uint64_t> requests_served_{0};
-  std::atomic<std::uint64_t> analyze_requests_{0};
-  std::atomic<std::uint64_t> batch_requests_{0};
-  std::atomic<std::uint64_t> coverage_requests_{0};
-  std::atomic<std::uint64_t> simulate_requests_{0};
-  std::atomic<std::uint64_t> sources_analyzed_{0};
-  std::atomic<std::uint64_t> cache_hits_{0};
-  std::atomic<std::uint64_t> computed_{0};
-  std::atomic<std::uint64_t> failures_{0};
-  std::atomic<std::uint64_t> recompiles_{0};
-  std::atomic<std::uint64_t> protocol_errors_{0};
+  /// Admission state for --max-inflight; the cv wakes the drain waiter.
+  mutable std::mutex inflight_mutex_;
+  std::condition_variable inflight_cv_;
+  std::uint64_t inflight_ = 0;
+
+  core::MetricsRegistry::Counter &connections_accepted_;
+  core::MetricsRegistry::Counter &requests_served_;
+  core::MetricsRegistry::Counter &analyze_requests_;
+  core::MetricsRegistry::Counter &batch_requests_;
+  core::MetricsRegistry::Counter &coverage_requests_;
+  core::MetricsRegistry::Counter &simulate_requests_;
+  core::MetricsRegistry::Counter &sources_analyzed_;
+  core::MetricsRegistry::Counter &cache_hits_;
+  core::MetricsRegistry::Counter &computed_;
+  core::MetricsRegistry::Counter &failures_;
+  core::MetricsRegistry::Counter &recompiles_;
+  core::MetricsRegistry::Counter &protocol_errors_;
+  core::MetricsRegistry::Counter &busy_rejections_;
 };
 
 } // namespace mira::server

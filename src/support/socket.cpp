@@ -59,6 +59,11 @@ void Socket::shutdownRead() {
     ::shutdown(fd_, SHUT_RD);
 }
 
+void Socket::shutdownBoth() {
+  if (fd_ >= 0)
+    ::shutdown(fd_, SHUT_RDWR);
+}
+
 Socket listenUnix(const std::string &path, std::string &error) {
   sockaddr_un addr;
   if (!makeAddress(path, addr, error))

@@ -42,6 +42,11 @@ public:
   /// server to unblock idle connection readers at shutdown.
   void shutdownRead();
 
+  /// shutdown(2) both halves. Our own blocked reads *and* writes return
+  /// immediately. Used by the server to force-close connections that
+  /// outlive the graceful-drain deadline.
+  void shutdownBoth();
+
 private:
   int fd_ = -1;
 };

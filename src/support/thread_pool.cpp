@@ -52,6 +52,11 @@ void ThreadPool::workerLoop() {
       ++running_;
     }
     task();
+    // Destroy captured state before reporting idle: waitIdle() returning
+    // must mean no task-owned object (sessions, sockets, promises) is
+    // still alive on a worker, or callers could tear down shared state
+    // the capture's destructor touches.
+    task = nullptr;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;

@@ -24,15 +24,6 @@
 #include "workloads/coverage_suite.h"
 #include "workloads/workloads.h"
 
-// This file deliberately exercises the deprecated v1 API surface
-// (core::analyzeSource and friends are compatibility shims whose
-// behavior these tests pin); silence the migration nudge here rather
-// than churn the seed suites. New code: see docs/MIGRATION.md.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-
 namespace mira {
 namespace {
 
@@ -358,10 +349,13 @@ TEST(CacheStoreTest, ConcurrentWritersNeverProduceTornReads) {
 // ------------------------------------------------------- model serializer
 
 core::AnalysisResult analyzeOrDie(const std::string &source) {
-  DiagnosticEngine diags;
-  auto result = core::analyzeSource(source, "test.mc", {}, diags);
-  EXPECT_TRUE(result.has_value()) << diags.str();
-  return std::move(*result);
+  core::AnalysisSpec spec;
+  spec.name = "test.mc";
+  spec.source = source;
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics;
+  core::Artifacts artifacts = core::analyze(spec);
+  EXPECT_TRUE(artifacts.ok && artifacts.resultV1) << artifacts.diagnostics;
+  return *artifacts.resultV1;
 }
 
 TEST(ModelSerializeTest, RoundTripIsByteIdentical) {

@@ -14,17 +14,22 @@
 #include "workloads/coverage_suite.h"
 #include "workloads/workloads.h"
 
-// This file deliberately exercises the deprecated v1 API surface
-// (core::analyzeSource and friends are compatibility shims whose
-// behavior these tests pin); silence the migration nudge here rather
-// than churn the seed suites. New code: see docs/MIGRATION.md.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-
 namespace mira::driver {
 namespace {
+
+/// One-shot model analysis through the v2 artifact API, returned in the
+/// v1 result shape these tests consume (null on failure).
+std::shared_ptr<const core::AnalysisResult>
+analyzeModel(const std::string &source, const std::string &name,
+             const core::MiraOptions &options, DiagnosticEngine &diags) {
+  core::AnalysisSpec spec;
+  spec.name = name;
+  spec.source = source;
+  spec.options = options;
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics;
+  core::Artifacts artifacts = core::analyze(spec, diags);
+  return artifacts.ok ? artifacts.resultV1 : nullptr;
+}
 
 // ------------------------------------------------------------------ hash
 
@@ -204,18 +209,16 @@ TEST(MetricGeneratorTest, PoolAndSerialModelsAgreeIncludingDiagnostics) {
   core::MiraOptions options;
 
   DiagnosticEngine serialDiags;
-  auto serial = core::analyzeSource(source, "listings.mc", options,
-                                    serialDiags);
-  ASSERT_TRUE(serial.has_value()) << serialDiags.str();
+  auto serial = analyzeModel(source, "listings.mc", options, serialDiags);
+  ASSERT_TRUE(serial != nullptr) << serialDiags.str();
 
   for (std::size_t threads : {2u, 8u}) {
     ThreadPool pool(threads);
     core::MiraOptions pooled = options;
     pooled.modelPool = &pool;
     DiagnosticEngine poolDiags;
-    auto parallel =
-        core::analyzeSource(source, "listings.mc", pooled, poolDiags);
-    ASSERT_TRUE(parallel.has_value()) << poolDiags.str();
+    auto parallel = analyzeModel(source, "listings.mc", pooled, poolDiags);
+    ASSERT_TRUE(parallel != nullptr) << poolDiags.str();
     EXPECT_EQ(model::emitPython(parallel->model),
               model::emitPython(serial->model));
     EXPECT_EQ(poolDiags.str(), serialDiags.str());
@@ -344,9 +347,9 @@ TEST(BatchAnalyzerTest, CachedModelStillEvaluates) {
 
   DiagnosticEngine diags;
   core::MiraOptions options;
-  auto serial = core::analyzeSource(workloads::fig5Source(), "fig5.mc",
-                                    options, diags);
-  ASSERT_TRUE(serial.has_value()) << diags.str();
+  auto serial = analyzeModel(workloads::fig5Source(), "fig5.mc", options,
+                             diags);
+  ASSERT_TRUE(serial != nullptr) << diags.str();
 
   model::Env env{{"total", 8}, {"y", 16}};
   auto cached = second[0].analysis->model.evaluate("fig5_main", env);

@@ -3,18 +3,29 @@
 
 #include "arch/arch.h"
 #include "baseline/pbound.h"
+#include "core/artifacts.h"
 #include "core/mira.h"
 #include "model/model.h"
 #include "model/python_emitter.h"
 
-// This file deliberately exercises the deprecated v1 API surface
-// (core::analyzeSource and friends are compatibility shims whose
-// behavior these tests pin); silence the migration nudge here rather
-// than churn the seed suites. New code: see docs/MIGRATION.md.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
+namespace mira {
+namespace {
 
+/// Full static pipeline via the v2 artifact API, in the v1 result shape
+/// (model + live program) these tests consume; null on failure.
+std::shared_ptr<const core::AnalysisResult>
+analyzeFull(const std::string &src, DiagnosticEngine &diags) {
+  core::AnalysisSpec spec;
+  spec.name = "t.mc";
+  spec.source = src;
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                   core::kArtifactProgram;
+  core::Artifacts artifacts = core::analyze(spec, diags);
+  return artifacts.ok ? artifacts.resultV1 : nullptr;
+}
+
+} // namespace
+} // namespace mira
 
 namespace mira::model {
 namespace {
@@ -205,9 +216,8 @@ TEST(Baseline, OverestimatesVectorizedFPI) {
                     "  return y[0];\n"
                     "}";
   DiagnosticEngine diags;
-  core::MiraOptions options;
-  auto analysis = core::analyzeSource(src, "t.mc", options, diags);
-  ASSERT_TRUE(analysis.has_value()) << diags.str();
+  auto analysis = analyzeFull(src, diags);
+  ASSERT_TRUE(analysis != nullptr) << diags.str();
   auto srcOnly = generateSourceOnlyModel(*analysis->program->unit,
                                          analysis->program->sema.callGraph,
                                          diags);
@@ -231,9 +241,8 @@ TEST(Baseline, MatchesSourceOpCountsOnScalarCode) {
                     "  return a * b + a / b;\n"
                     "}";
   DiagnosticEngine diags;
-  core::MiraOptions options;
-  auto analysis = core::analyzeSource(src, "t.mc", options, diags);
-  ASSERT_TRUE(analysis.has_value());
+  auto analysis = analyzeFull(src, diags);
+  ASSERT_TRUE(analysis != nullptr);
   auto srcOnly = generateSourceOnlyModel(*analysis->program->unit,
                                          analysis->program->sema.callGraph,
                                          diags);
@@ -257,9 +266,8 @@ TEST(Bridge, LineQueriesAreConsistent) {
                     "  return s;\n"
                     "}";
   DiagnosticEngine diags;
-  core::MiraOptions options;
-  auto analysis = core::analyzeSource(src, "t.mc", options, diags);
-  ASSERT_TRUE(analysis.has_value()) << diags.str();
+  auto analysis = analyzeFull(src, diags);
+  ASSERT_TRUE(analysis != nullptr) << diags.str();
   const FunctionBridge *fb = analysis->program->bridge->of("f");
   ASSERT_NE(fb, nullptr);
 

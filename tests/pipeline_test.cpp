@@ -4,17 +4,9 @@
 // model's FPI count matches the dynamically retired FPI count.
 #include <gtest/gtest.h>
 
+#include "core/artifacts.h"
 #include "core/mira.h"
 #include "workloads/workloads.h"
-
-// This file deliberately exercises the deprecated v1 API surface
-// (core::analyzeSource and friends are compatibility shims whose
-// behavior these tests pin); silence the migration nudge here rather
-// than churn the seed suites. New code: see docs/MIGRATION.md.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 
 namespace mira::core {
 namespace {
@@ -23,11 +15,25 @@ std::string workloadFig5() { return workloads::fig5Source(); }
 
 using sim::Value;
 
-std::optional<AnalysisResult> analyzeOk(const std::string &src) {
+/// Full static pipeline via the v2 artifact API, in the v1 result shape
+/// (model + live program) these tests consume; null on failure.
+std::shared_ptr<const AnalysisResult>
+analyzeFull(const std::string &src, const std::string &name,
+            const MiraOptions &options, DiagnosticEngine &diags) {
+  AnalysisSpec spec;
+  spec.name = name;
+  spec.source = src;
+  spec.options = options;
+  spec.artifacts = kArtifactModel | kArtifactDiagnostics | kArtifactProgram;
+  Artifacts artifacts = analyze(spec, diags);
+  return artifacts.ok ? artifacts.resultV1 : nullptr;
+}
+
+std::shared_ptr<const AnalysisResult> analyzeOk(const std::string &src) {
   DiagnosticEngine diags;
   MiraOptions options;
-  auto result = analyzeSource(src, "pipeline_test.mc", options, diags);
-  EXPECT_TRUE(result.has_value()) << diags.str();
+  auto result = analyzeFull(src, "pipeline_test.mc", options, diags);
+  EXPECT_TRUE(result != nullptr) << diags.str();
   return result;
 }
 
@@ -291,10 +297,10 @@ TEST(Pipeline, OptimizationChangesBinaryNotSemantics) {
   DiagnosticEngine d1, d2;
   MiraOptions opt;
   opt.compile.compiler.optimize = true;
-  auto optimized = analyzeSource(src, "t.mc", opt, d1);
+  auto optimized = analyzeFull(src, "t.mc", opt, d1);
   opt.compile.compiler.optimize = false;
   opt.compile.compiler.vectorize = false;
-  auto plain = analyzeSource(src, "t.mc", opt, d2);
+  auto plain = analyzeFull(src, "t.mc", opt, d2);
   ASSERT_TRUE(optimized && plain);
   auto r1 = simulate(*optimized->program, "f", {Value::ofInt(8)});
   auto r2 = simulate(*plain->program, "f", {Value::ofInt(8)});

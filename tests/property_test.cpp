@@ -8,22 +8,26 @@
 #include <random>
 #include <sstream>
 
+#include "core/artifacts.h"
 #include "core/mira.h"
-
-// This file deliberately exercises the deprecated v1 API surface
-// (core::analyzeSource and friends are compatibility shims whose
-// behavior these tests pin); silence the migration nudge here rather
-// than churn the seed suites. New code: see docs/MIGRATION.md.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
 
 namespace mira {
 namespace {
 
-using core::MiraOptions;
 using sim::Value;
+
+/// Full static pipeline via the v2 artifact API, in the v1 result shape
+/// (model + live program) these tests consume; null on failure.
+std::shared_ptr<const core::AnalysisResult>
+analyzeFull(const std::string &src, DiagnosticEngine &diags) {
+  core::AnalysisSpec spec;
+  spec.name = "random.mc";
+  spec.source = src;
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                   core::kArtifactProgram;
+  core::Artifacts artifacts = core::analyze(spec, diags);
+  return artifacts.ok ? artifacts.resultV1 : nullptr;
+}
 
 /// A random but well-formed kernel: up to 3 nested affine loops over a
 /// parametric bound, an optional affine or congruence guard, and a body
@@ -108,9 +112,8 @@ TEST_P(RandomKernelFPI, StaticEqualsDynamic) {
     std::string src = makeKernel(rng);
     SCOPED_TRACE(src);
     DiagnosticEngine diags;
-    MiraOptions options;
-    auto analysis = core::analyzeSource(src, "random.mc", options, diags);
-    ASSERT_TRUE(analysis.has_value()) << diags.str();
+    auto analysis = analyzeFull(src, diags);
+    ASSERT_TRUE(analysis != nullptr) << diags.str();
     for (std::int64_t n : {1, 2, 7, 13}) {
       auto staticFPI = analysis->staticFPI("kernel", {{"n", n}});
       ASSERT_TRUE(staticFPI.has_value()) << "n=" << n;
@@ -164,9 +167,8 @@ TEST_P(RandomArrayKernelFPI, StaticEqualsDynamicVectorizedOrNot) {
     std::string src = makeArrayKernel(rng);
     SCOPED_TRACE(src);
     DiagnosticEngine diags;
-    MiraOptions options;
-    auto analysis = core::analyzeSource(src, "random.mc", options, diags);
-    ASSERT_TRUE(analysis.has_value()) << diags.str();
+    auto analysis = analyzeFull(src, diags);
+    ASSERT_TRUE(analysis != nullptr) << diags.str();
     for (std::int64_t n : {1, 2, 3, 16, 31}) {
       auto staticFPI = analysis->staticFPI("driver", {{"n", n}});
       ASSERT_TRUE(staticFPI.has_value());

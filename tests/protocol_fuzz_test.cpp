@@ -133,6 +133,54 @@ TEST(ProtocolFuzz, RandomRequestsRoundTripBothVersions) {
   }
 }
 
+TEST(ProtocolFuzz, RandomBusyAndMetricsRepliesRoundTrip) {
+  std::mt19937_64 rng(kSeed ^ 0x5);
+  for (int i = 0; i < 200; ++i) {
+    {
+      BusyReply busy;
+      busy.retryAfterMillis = static_cast<std::uint32_t>(rng());
+      const std::string wire = encodeBusyReply(busy);
+      bio::Reader r{wire, 0};
+      MessageType type{};
+      std::string error;
+      ASSERT_TRUE(readHeader(r, type, error)) << error;
+      EXPECT_EQ(type, MessageType::busyReply);
+      BusyReply decoded;
+      ASSERT_TRUE(decodeBusyReply(r, decoded));
+      EXPECT_EQ(decoded.retryAfterMillis, busy.retryAfterMillis);
+    }
+    {
+      std::vector<MetricSample> samples;
+      const std::size_t count = rng() % 24;
+      for (std::size_t j = 0; j < count; ++j)
+        samples.push_back({randomBytes(rng, 60), rng()});
+      const std::string wire = encodeMetricsReply(samples);
+      bio::Reader r{wire, 0};
+      MessageType type{};
+      std::string error;
+      ASSERT_TRUE(readHeader(r, type, error)) << error;
+      EXPECT_EQ(type, MessageType::metricsReply);
+      std::vector<MetricSample> decoded;
+      ASSERT_TRUE(decodeMetricsReply(r, decoded));
+      ASSERT_EQ(decoded.size(), samples.size());
+      for (std::size_t j = 0; j < samples.size(); ++j) {
+        EXPECT_EQ(decoded[j].name, samples[j].name);
+        EXPECT_EQ(decoded[j].value, samples[j].value);
+      }
+    }
+    {
+      // The metrics request itself is an empty-body v2 message.
+      const std::string wire = encodeMetricsRequest();
+      bio::Reader r{wire, 0};
+      MessageType type{};
+      std::string error;
+      ASSERT_TRUE(readHeader(r, type, error)) << error;
+      EXPECT_EQ(type, MessageType::metrics);
+      EXPECT_EQ(r.remaining(), 0u);
+    }
+  }
+}
+
 TEST(ProtocolFuzz, RandomManifestDiffMessagesRoundTrip) {
   std::mt19937_64 rng(kSeed ^ 0x1);
   for (int i = 0; i < 100; ++i) {
@@ -234,6 +282,17 @@ void decodeLikeTheServer(const std::string &message) {
     }
     break;
   }
+  // Reply types: mutated server frames exercise the client decoders.
+  case MessageType::busyReply: {
+    BusyReply busy;
+    (void)decodeBusyReply(r, busy);
+    break;
+  }
+  case MessageType::metricsReply: {
+    std::vector<MetricSample> samples;
+    (void)decodeMetricsReply(r, samples);
+    break;
+  }
   default:
     break;
   }
@@ -254,6 +313,10 @@ TEST(ProtocolFuzz, MutatedFramesNeverCrashTheDecoders) {
                                 corpus::serializeManifest({})),
       encodeEmptyMessage(MessageType::ping),
       encodeEmptyMessage(MessageType::cacheStats),
+      encodeEmptyMessage(MessageType::metrics),
+      encodeBusyReply({12345}),
+      encodeMetricsReply({{"server_requests_served_total", 7},
+                          {"server_uptime_micros", 1ull << 40}}),
   };
   for (int i = 0; i < 3000; ++i) {
     std::string bytes = seeds[rng() % seeds.size()];

@@ -717,18 +717,15 @@ TEST(AnalysisServerTest, V1ClientIsServedV1PayloadsByTheV2Daemon) {
   // The v1 reference payload for this (source, options, name).
   DiagnosticEngine diags;
   core::MiraOptions options;
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  auto direct = core::analyzeSource(workloads::fig5Source(), "@fig5",
-                                    options, diags);
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-  ASSERT_TRUE(direct.has_value()) << diags.str();
+  core::AnalysisSpec spec;
+  spec.name = "@fig5";
+  spec.source = workloads::fig5Source();
+  spec.options = options;
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics;
+  core::Artifacts direct = core::analyze(spec, diags);
+  ASSERT_TRUE(direct.ok && direct.resultV1) << diags.str();
   const std::string expected = driver::serializeOutcomePayloadV1(
-      &*direct, diags.str(), "@fig5");
+      direct.resultV1.get(), diags.str(), "@fig5");
 
   Client v1;
   v1.setProtocolVersion(1);
@@ -838,6 +835,200 @@ TEST(ProtocolCodec, CoverageAndSimulateRepliesRoundTrip) {
   EXPECT_EQ(decodedSim.args[1].f, 2.5);
   EXPECT_TRUE(decodedSim.options.fastForward);
   EXPECT_EQ(decodedSim.options.maxInstructions, 123456789u);
+}
+
+// --------------------------------------------- pipelining / backpressure
+
+/// Small distinct kernels so every pipelined reply is distinguishable
+/// by payload bytes, making reordering impossible to miss.
+std::vector<SourceItem> distinctKernels(std::size_t count) {
+  std::vector<SourceItem> items;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string k = std::to_string(i);
+    items.push_back({"pipe" + k + ".mc",
+                     "double f" + k + "(double x) {\n"
+                     "  double s = 0.0;\n"
+                     "  for (int i = 0; i < " + std::to_string(3 + i) +
+                         "; i++) {\n"
+                     "    s = s + x * " + k + ".0;\n"
+                     "  }\n"
+                     "  return s;\n"
+                     "}"});
+  }
+  return items;
+}
+
+TEST(AnalysisServerTest, PipelinedRepliesArriveInOrderByteIdenticalToOneShots) {
+  DaemonFixture daemon;
+  ASSERT_TRUE(daemon.started());
+  const std::vector<SourceItem> items = distinctKernels(6);
+
+  // Reference: the same items as sequential one-shot requests.
+  std::vector<std::string> reference;
+  {
+    Client sequential;
+    ASSERT_TRUE(sequential.connect(daemon.socketPath()))
+        << sequential.lastError();
+    for (const SourceItem &item : items) {
+      ClientOutcome outcome;
+      ASSERT_TRUE(sequential.analyze(item.name, item.source,
+                                     core::MiraOptions(), outcome))
+          << sequential.lastError();
+      EXPECT_TRUE(outcome.ok) << outcome.diagnostics;
+      reference.push_back(outcome.payload);
+    }
+  }
+
+  // All six requests in flight on one connection; replies must come
+  // back in request order with byte-identical payloads.
+  Client pipelined;
+  ASSERT_TRUE(pipelined.connect(daemon.socketPath()))
+      << pipelined.lastError();
+  std::vector<ClientOutcome> outcomes;
+  ASSERT_TRUE(pipelined.analyzePipelined(items, core::MiraOptions(), outcomes))
+      << pipelined.lastError();
+  ASSERT_EQ(outcomes.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].diagnostics;
+    EXPECT_EQ(outcomes[i].name, items[i].name) << "reply order broke at " << i;
+    EXPECT_EQ(outcomes[i].payload, reference[i]) << "payload differs at " << i;
+  }
+  // The connection survived the whole exchange (Busy never closes, and
+  // nothing here should have errored).
+  EXPECT_TRUE(pipelined.ping()) << pipelined.lastError();
+}
+
+TEST(AnalysisServerTest, BusyRefusalsAreRetriedUntilAllSucceed) {
+  ServerOptions options;
+  options.threads = 2;
+  options.maxInflight = 1;    // one request at a time: the rest get Busy
+  options.busyRetryMillis = 5; // keep the retry rounds fast
+  DaemonFixture daemon(options);
+  ASSERT_TRUE(daemon.started());
+
+  // Four real workloads under a capacity of one: the frames all land
+  // before the first finishes computing, so later ones are refused with
+  // Busy, and the client's retry rounds must eventually land them all.
+  std::vector<SourceItem> items;
+  for (int i = 0; i < 4; ++i)
+    items.push_back({"busy" + std::to_string(i) + ".mc",
+                     workloads::streamSource()});
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
+  std::vector<ClientOutcome> outcomes;
+  ASSERT_TRUE(client.analyzePipelined(items, core::MiraOptions(), outcomes))
+      << client.lastError();
+  ASSERT_EQ(outcomes.size(), items.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes[i].ok) << outcomes[i].diagnostics;
+    EXPECT_EQ(outcomes[i].name, items[i].name);
+  }
+
+  // The daemon must actually have refused work (not just queued it):
+  // the busy-rejection counter is the proof the backpressure engaged.
+  std::vector<MetricSample> samples;
+  ASSERT_TRUE(client.metrics(samples)) << client.lastError();
+  std::uint64_t busyRejections = 0;
+  for (const MetricSample &sample : samples)
+    if (sample.name == "server_busy_rejections_total")
+      busyRejections = sample.value;
+  EXPECT_GE(busyRejections, 1u);
+}
+
+TEST(AnalysisServerTest, GracefulDrainAnswersInFlightRequestThenExits) {
+  ServerOptions options;
+  options.drainTimeoutMillis = 10000; // generous: the drain must finish
+  DaemonFixture daemon(options);
+  ASSERT_TRUE(daemon.started());
+
+  // A raw connection with an analyze request in flight when the stop
+  // lands. Raw so the reply can be read after requestStop without the
+  // Client's reconnect logic getting in the way.
+  std::string error;
+  net::Socket raw = net::connectUnix(daemon.socketPath(), error);
+  ASSERT_TRUE(raw.valid()) << error;
+  ASSERT_TRUE(net::writeFrame(
+      raw.fd(),
+      encodeAnalyzeRequest({"@drain", workloads::streamSource()}, 0)));
+
+  // Wait until the daemon has actually dispatched the request —
+  // stopping earlier would race the reader and test nothing.
+  Client poll;
+  ASSERT_TRUE(poll.connect(daemon.socketPath())) << poll.lastError();
+  bool dispatched = false;
+  for (int attempt = 0; attempt < 200 && !dispatched; ++attempt) {
+    std::vector<MetricSample> samples;
+    ASSERT_TRUE(poll.metrics(samples)) << poll.lastError();
+    for (const MetricSample &sample : samples)
+      if (sample.name == "server_analyze_requests_total" && sample.value >= 1)
+        dispatched = true;
+    if (!dispatched)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(dispatched);
+  poll.disconnect();
+
+  daemon.server().requestStop();
+
+  // The in-flight request is answered before the connection closes.
+  std::string reply;
+  ASSERT_EQ(net::readFrame(raw.fd(), reply, kMaxFrameBytes),
+            net::FrameStatus::ok);
+  bio::Reader r{reply, 0};
+  MessageType type{};
+  std::string headerError;
+  ASSERT_TRUE(readHeader(r, type, headerError)) << headerError;
+  EXPECT_EQ(type, MessageType::analyzeReply);
+  AnalyzeReply decoded;
+  ASSERT_TRUE(decodeAnalyzeReply(r, decoded));
+  EXPECT_FALSE(decoded.payload.empty());
+
+  // ... then EOF, serve() returns, and the socket file is gone.
+  EXPECT_EQ(net::readFrame(raw.fd(), reply, kMaxFrameBytes),
+            net::FrameStatus::closed);
+  daemon.join();
+  EXPECT_FALSE(std::filesystem::exists(daemon.socketPath()));
+}
+
+TEST(AnalysisServerTest, MetricsAndCacheStatsRenderTheSameRegistry) {
+  DaemonFixture daemon;
+  ASSERT_TRUE(daemon.started());
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
+
+  // One computed item and one memory hit to make the counters move.
+  ClientOutcome outcome;
+  ASSERT_TRUE(client.analyze("@fig5", workloads::fig5Source(),
+                             core::MiraOptions(), outcome))
+      << client.lastError();
+  ASSERT_TRUE(client.analyze("@fig5", workloads::fig5Source(),
+                             core::MiraOptions(), outcome))
+      << client.lastError();
+
+  ServerStats stats;
+  ASSERT_TRUE(client.cacheStats(stats)) << client.lastError();
+  std::vector<MetricSample> samples;
+  ASSERT_TRUE(client.metrics(samples)) << client.lastError();
+
+  auto sampleValue = [&](const std::string &name) -> std::uint64_t {
+    for (const MetricSample &sample : samples)
+      if (sample.name == name)
+        return sample.value;
+    ADD_FAILURE() << "metrics reply is missing " << name;
+    return ~0ull;
+  };
+  // Both views are rendered from the one MetricsRegistry, so the
+  // numbers must agree (no request ran between the two reads that
+  // would bump these counters).
+  EXPECT_EQ(sampleValue("server_cache_hits_total"), stats.cacheHits);
+  EXPECT_EQ(sampleValue("server_computed_total"), stats.computed);
+  EXPECT_EQ(sampleValue("server_analyze_requests_total"),
+            stats.analyzeRequests);
+  EXPECT_EQ(sampleValue("server_connections_accepted_total"),
+            stats.connectionsAccepted);
+  // The sorted-name contract the text renderer relies on.
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_LT(samples[i - 1].name, samples[i].name);
 }
 
 TEST(AnalysisServerTest, RefusesSecondDaemonOnSamePath) {

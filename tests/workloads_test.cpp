@@ -5,36 +5,31 @@
 // benches to use fast-forward at paper-scale sizes.
 #include <gtest/gtest.h>
 
+#include "core/artifacts.h"
 #include "core/mira.h"
 #include "frontend/parser.h"
 #include "sema/ast_stats.h"
 #include "workloads/coverage_suite.h"
 #include "workloads/workloads.h"
 
-// This file deliberately exercises the deprecated v1 API surface
-// (core::analyzeSource and friends are compatibility shims whose
-// behavior these tests pin); silence the migration nudge here rather
-// than churn the seed suites. New code: see docs/MIGRATION.md.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-
-
 namespace mira {
 namespace {
 
 using core::AnalysisResult;
-using core::MiraOptions;
 using core::relativeError;
 using sim::SimOptions;
 using sim::Value;
 
 AnalysisResult analyze(const std::string &src, const char *name) {
   DiagnosticEngine diags;
-  MiraOptions options;
-  auto result = core::analyzeSource(src, name, options, diags);
-  EXPECT_TRUE(result.has_value()) << diags.str();
-  return std::move(*result);
+  core::AnalysisSpec spec;
+  spec.name = name;
+  spec.source = src;
+  spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics |
+                   core::kArtifactProgram;
+  core::Artifacts artifacts = core::analyze(spec, diags);
+  EXPECT_TRUE(artifacts.ok && artifacts.resultV1) << diags.str();
+  return *artifacts.resultV1;
 }
 
 sim::SimResult run(const AnalysisResult &a, const std::string &fn,
@@ -331,11 +326,12 @@ TEST(Listings, Listing3NeedsAndUsesAnnotation) {
 TEST(CoverageSuite, AllKernelsCompile) {
   for (const auto &kernel : workloads::coverageSuite()) {
     DiagnosticEngine diags;
-    MiraOptions options;
-    auto result =
-        core::analyzeSource(kernel.source, kernel.name + ".mc", options,
-                            diags);
-    EXPECT_TRUE(result.has_value()) << kernel.name << ": " << diags.str();
+    core::AnalysisSpec spec;
+    spec.name = kernel.name + ".mc";
+    spec.source = kernel.source;
+    spec.artifacts = core::kArtifactModel | core::kArtifactDiagnostics;
+    core::Artifacts artifacts = core::analyze(spec, diags);
+    EXPECT_TRUE(artifacts.ok) << kernel.name << ": " << diags.str();
   }
 }
 
