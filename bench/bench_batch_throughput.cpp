@@ -8,8 +8,12 @@
 // must be pure disk hits, with hit/miss counts printed, (d) the
 // serving daemon: per-request latency of the one-shot path (a fresh
 // analyzer per request — the work every new CLI process repeats) vs.
-// round-trips to one warm in-process daemon over its Unix socket, and
-// (e) the coverage artifact ladder: a full cold compute vs. the
+// round-trips to one warm in-process daemon over its Unix socket,
+// (e) manifest batches: the same corpus manifest executed locally vs.
+// shipped to the daemon as one ManifestBatch request (cold compute and
+// the warm fresh-process-vs-warm-daemon gap, with the two cold reports
+// checked byte-identical), and
+// (f) the coverage artifact ladder: a full cold compute vs. the
 // recompile-on-demand path (what a schema-v1 cache entry degrades to)
 // vs. the schema-v2 summary served from a warm disk cache vs. a warm
 // daemon answering over the wire (BM_CoverageWarmDaemon). On
@@ -21,10 +25,12 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include <unistd.h>
 
+#include "corpus/manifest.h"
 #include "driver/batch.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -218,6 +224,195 @@ void printSpeedupTable() {
   if (daemonHits + 1 < kRepeats)
     std::printf("  WARNING: warm daemon recomputed %d requests\n",
                 static_cast<int>(kRepeats - 1 - daemonHits));
+  bench::printRule();
+}
+
+/// Write the bench corpus as .mc files under `dir` and build its
+/// manifest; false (with a message on stdout) when the host refuses.
+bool writeBenchCorpus(const std::filesystem::path &dir,
+                      corpus::Manifest &manifest) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  auto requests = batchRequests();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "src_%02zu.mc", i);
+    std::ofstream out(dir / name, std::ios::binary);
+    out << requests[i].source;
+    if (!out) {
+      std::printf("manifest phase skipped: cannot write %s\n", name);
+      return false;
+    }
+  }
+  std::string error;
+  if (!corpus::buildManifest(dir.string(), manifest, error)) {
+    std::printf("manifest phase skipped: %s\n", error.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Manifest-batch phase: the same corpus manifest executed by a local
+/// BatchAnalyzer vs. shipped to the daemon as one ManifestBatch
+/// request. Cold runs use separate empty cache directories and their
+/// reports must be byte-identical (the differential invariant
+/// tests/fault_injection_test.cpp pins); the warm comparison is the
+/// deployment question — a fresh process paying disk hits vs. a warm
+/// daemon answering from memory.
+void printManifestBatchPhase() {
+  bench::printHeader(
+      "Manifest batch: one corpus request, local vs. daemon\n"
+      "(same manifest and options; cold reports checked byte-identical)");
+  const std::filesystem::path corpusDir =
+      std::filesystem::temp_directory_path() / "mira_bench_manifest_corpus";
+  corpus::Manifest manifest;
+  if (!writeBenchCorpus(corpusDir, manifest)) {
+    bench::printRule();
+    return;
+  }
+  const std::string manifestBytes = corpus::serializeManifest(manifest);
+  const core::MiraOptions options;
+  const driver::ManifestSelection selection =
+      driver::selectManifestEntries(manifest, nullptr, options,
+                                    driver::ShardSpec{});
+
+  auto now = [] { return std::chrono::steady_clock::now(); };
+  auto elapsed = [](std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  // One local manifest run, exactly as `mira-cli batch --manifest`
+  // builds it: selection order, manifest-path names, report keys from
+  // the manifest content hashes. A fresh analyzer per call stands in
+  // for a fresh process.
+  auto runLocal = [&](const std::string &cacheDir) {
+    std::vector<driver::AnalysisRequest> local;
+    local.reserve(selection.entries.size());
+    for (const auto &entry : selection.entries) {
+      driver::AnalysisRequest request;
+      request.name = entry.path;
+      std::ifstream in(corpusDir / entry.path, std::ios::binary);
+      request.source.assign(std::istreambuf_iterator<char>(in), {});
+      local.push_back(std::move(request));
+    }
+    driver::BatchOptions batchOptions;
+    batchOptions.threads = 2;
+    batchOptions.cacheDir = cacheDir;
+    driver::BatchAnalyzer analyzer(batchOptions);
+    auto outcomes = analyzer.run(local);
+    driver::BatchReport report;
+    report.stats = analyzer.stats();
+    report.entries.reserve(outcomes.size());
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (!outcomes[i].ok)
+        std::abort();
+      report.entries.push_back(
+          {outcomes[i].name,
+           driver::requestKeyFromContentHash(selection.entries[i].contentHash,
+                                             options),
+           outcomes[i].ok});
+    }
+    return driver::serializeBatchReport(report);
+  };
+
+  const std::string localCache =
+      (std::filesystem::temp_directory_path() / "mira_bench_manifest_local")
+          .string();
+  std::filesystem::remove_all(localCache);
+  auto start = now();
+  const std::string localReport = runLocal(localCache);
+  const double localColdSeconds = elapsed(start);
+
+  const std::string daemonCache =
+      (std::filesystem::temp_directory_path() / "mira_bench_manifest_daemon")
+          .string();
+  std::filesystem::remove_all(daemonCache);
+  const std::string socketPath =
+      (std::filesystem::temp_directory_path() /
+       ("mira_bench_manifest_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  server::ServerOptions serverOptions;
+  serverOptions.socketPath = socketPath;
+  serverOptions.threads = 2;
+  serverOptions.cacheDir = daemonCache;
+  server::AnalysisServer daemon(serverOptions);
+  std::string error;
+  if (!daemon.start(error)) {
+    std::printf("daemon side skipped: %s\n", error.c_str());
+    std::filesystem::remove_all(localCache);
+    bench::printRule();
+    return;
+  }
+  std::thread serveThread([&daemon] { daemon.serve(); });
+  server::Client client;
+  if (!client.connect(socketPath)) {
+    std::printf("daemon side skipped: %s\n", client.lastError().c_str());
+    daemon.requestStop();
+    serveThread.join();
+    std::filesystem::remove_all(localCache);
+    bench::printRule();
+    return;
+  }
+
+  std::string daemonColdReport;
+  start = now();
+  if (!client.manifestBatch(manifestBytes, "", "", driver::ShardSpec{},
+                            options, nullptr, daemonColdReport)) {
+    std::printf("daemon manifest batch failed: %s\n",
+                client.lastError().c_str());
+    std::abort();
+  }
+  const double daemonColdSeconds = elapsed(start);
+
+  // Warm gap: a fresh local analyzer pays disk hits per corpus pass;
+  // the daemon answers the identical request from its memory cache.
+  constexpr int kCorpusRepeats = 5;
+  double localWarmSeconds = 0;
+  for (int i = 0; i < kCorpusRepeats; ++i) {
+    start = now();
+    benchmark::DoNotOptimize(runLocal(localCache).size());
+    localWarmSeconds += elapsed(start);
+  }
+  double daemonWarmSeconds = 0;
+  std::string daemonWarmReport;
+  for (int i = 0; i < kCorpusRepeats; ++i) {
+    start = now();
+    if (!client.manifestBatch(manifestBytes, "", "", driver::ShardSpec{},
+                              options, nullptr, daemonWarmReport))
+      std::abort();
+    daemonWarmSeconds += elapsed(start);
+  }
+  if (!client.shutdownServer())
+    daemon.requestStop();
+  serveThread.join();
+
+  const bool identical = daemonColdReport == localReport;
+  std::printf("%zu sources, one request per corpus:\n",
+              selection.entries.size());
+  std::printf("  cold: local %.4f s vs daemon %.4f s\n", localColdSeconds,
+              daemonColdSeconds);
+  std::printf("  warm: fresh-process local (disk hits) %.4f ms vs warm "
+              "daemon (memory hits) %.4f ms (%.1fx)\n",
+              1e3 * localWarmSeconds / kCorpusRepeats,
+              1e3 * daemonWarmSeconds / kCorpusRepeats,
+              daemonWarmSeconds > 0 ? localWarmSeconds / daemonWarmSeconds
+                                    : 0.0);
+  if (std::thread::hardware_concurrency() < 4)
+    std::printf("note: <4 hardware threads; cold local and daemon compute "
+                "the same work at the same width here\n");
+  if (identical)
+    std::printf("cold reports: byte-identical (%zu bytes)\n",
+                localReport.size());
+  else
+    std::printf("  WARNING: cold local and daemon reports differ "
+                "(%zu vs %zu bytes)\n",
+                localReport.size(), daemonColdReport.size());
+  std::filesystem::remove_all(corpusDir);
+  std::filesystem::remove_all(localCache);
+  std::filesystem::remove_all(daemonCache);
   bench::printRule();
 }
 
@@ -460,6 +655,58 @@ void BM_DaemonWarmAnalyze(benchmark::State &state) {
 }
 BENCHMARK(BM_DaemonWarmAnalyze)->Unit(benchmark::kMillisecond);
 
+void BM_ManifestBatchWarmDaemon(benchmark::State &state) {
+  // Steady-state corpus latency: one ManifestBatch round-trip against a
+  // warm daemon — selection planning, a memory hit per entry, and one
+  // merged report on the wire. The per-item rate is what a polling CI
+  // loop re-running an unchanged corpus pays.
+  const std::filesystem::path corpusDir =
+      std::filesystem::temp_directory_path() / "mira_bench_manifest_bm";
+  corpus::Manifest manifest;
+  if (!writeBenchCorpus(corpusDir, manifest)) {
+    state.SkipWithError("corpus setup failed");
+    return;
+  }
+  const std::string manifestBytes = corpus::serializeManifest(manifest);
+  const std::string socketPath =
+      (std::filesystem::temp_directory_path() /
+       ("mira_bench_manifest_bm_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  server::ServerOptions options;
+  options.socketPath = socketPath;
+  options.threads = 2;
+  server::AnalysisServer daemon(options);
+  std::string error;
+  if (!daemon.start(error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  std::thread serveThread([&daemon] { daemon.serve(); });
+  server::Client client;
+  std::string reportBytes;
+  if (!client.connect(socketPath) ||
+      !client.manifestBatch(manifestBytes, "", "", driver::ShardSpec{},
+                            core::MiraOptions(), nullptr, reportBytes)) {
+    daemon.requestStop();
+    serveThread.join();
+    state.SkipWithError("daemon warmup failed");
+    return;
+  }
+  for (auto _ : state) {
+    if (!client.manifestBatch(manifestBytes, "", "", driver::ShardSpec{},
+                              core::MiraOptions(), nullptr, reportBytes))
+      std::abort();
+    benchmark::DoNotOptimize(reportBytes.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(manifest.entries.size()));
+  if (!client.shutdownServer())
+    daemon.requestStop();
+  serveThread.join();
+  std::filesystem::remove_all(corpusDir);
+}
+BENCHMARK(BM_ManifestBatchWarmDaemon)->Unit(benchmark::kMillisecond);
+
 void BM_BatchAnalyzeWarmDiskCache(benchmark::State &state) {
   auto requests = batchRequests();
   const std::string cacheDir =
@@ -523,6 +770,7 @@ BENCHMARK(BM_BatchAnalyzeWarmCache)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char **argv) {
   printSpeedupTable();
+  printManifestBatchPhase();
   printCoveragePhase();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

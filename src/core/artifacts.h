@@ -136,6 +136,18 @@ struct Artifacts {
   bool ok = false;           ///< source compiled (and modeled, if asked)
   bool cacheHit = false;     ///< served without running the full pipeline
   bool recompiled = false;   ///< this request performed a deferred recompile
+  // Per-request fulfillment provenance, set by the batch layer: each
+  // flag marks the one request whose producer did the corresponding
+  // disk-level work (duplicate requests sharing the value carry false),
+  // so summing flags over any request set reproduces the counter deltas
+  // a dedicated registry would show — without assuming the registry is
+  // private to the run. This is what lets the serving daemon assemble a
+  // BatchReport byte-identical to a local run while other traffic
+  // shares its metrics (driver::tallyBatchStats).
+  bool diskHit = false;          ///< producer restored this value from disk
+  bool diskMiss = false;         ///< producer consulted the disk level and missed
+  bool diskStored = false;       ///< producer persisted this value to disk
+  bool coverageFromCache = false; ///< coverage answered from a cached summary
   ArtifactMask requested = 0; ///< echoed AnalysisSpec::artifacts
   /// Rendered diagnostics: warnings on success, errors on failure.
   /// Cache hits under a different name are prefixed with their producer.

@@ -6,8 +6,11 @@
 #include <condition_variable>
 #include <cstdlib>
 
+#include <stdexcept>
+
 #include "model/serialize.h"
 #include "support/binary_io.h"
+#include "support/fault_injection.h"
 #include "support/hash.h"
 
 namespace mira::driver {
@@ -90,6 +93,36 @@ bool keyInShard(std::uint64_t key, const ShardSpec &shard) {
   return key % shard.count == shard.index;
 }
 
+ManifestSelection selectManifestEntries(const corpus::Manifest &manifest,
+                                        const corpus::Manifest *since,
+                                        const core::MiraOptions &options,
+                                        const ShardSpec &shard) {
+  ManifestSelection selection;
+  std::vector<corpus::ManifestEntry> candidates;
+  if (since) {
+    const corpus::ManifestDiff diff = corpus::diffManifests(*since, manifest);
+    selection.added = diff.added.size();
+    selection.changed = diff.changed.size();
+    selection.removed = diff.removed.size();
+    // Both diff vectors are path-sorted; merging keeps manifest order,
+    // which is what makes reports byte-comparable across invocations.
+    std::merge(diff.added.begin(), diff.added.end(), diff.changed.begin(),
+               diff.changed.end(), std::back_inserter(candidates),
+               [](const corpus::ManifestEntry &a,
+                  const corpus::ManifestEntry &b) { return a.path < b.path; });
+  } else {
+    candidates = manifest.entries;
+    selection.added = candidates.size();
+  }
+  selection.candidates = candidates.size();
+  for (corpus::ManifestEntry &entry : candidates) {
+    if (keyInShard(requestKeyFromContentHash(entry.contentHash, options),
+                   shard))
+      selection.entries.push_back(std::move(entry));
+  }
+  return selection;
+}
+
 // ------------------------------------------- stats & report merging
 
 BatchStats mergeBatchStats(const std::vector<BatchStats> &parts) {
@@ -113,6 +146,41 @@ BatchStats mergeBatchStats(const std::vector<BatchStats> &parts) {
     merged.wallSeconds = std::max(merged.wallSeconds, part.wallSeconds);
   }
   return merged;
+}
+
+BatchStats tallyBatchStats(const std::vector<core::Artifacts> &results,
+                           bool useCache) {
+  BatchStats stats;
+  stats.requests = results.size();
+  for (const core::Artifacts &artifacts : results) {
+    if (!artifacts.ok)
+      ++stats.failures;
+    if (useCache) {
+      if (artifacts.cacheHit)
+        ++stats.cacheHits;
+      else
+        ++stats.cacheMisses;
+    }
+    if ((artifacts.requested & core::kArtifactModel) && artifacts.model)
+      ++stats.modelArtifacts;
+    if ((artifacts.requested & core::kArtifactProgram) && artifacts.program)
+      ++stats.programArtifacts;
+    if ((artifacts.requested & core::kArtifactCoverage) && artifacts.coverage)
+      ++stats.coverageArtifacts;
+    if (artifacts.simulation)
+      ++stats.simulationArtifacts;
+    if (artifacts.coverageFromCache)
+      ++stats.coverageFromCache;
+    if (artifacts.recompiled)
+      ++stats.recompiles;
+    if (artifacts.diskHit)
+      ++stats.diskHits;
+    if (artifacts.diskMiss)
+      ++stats.diskMisses;
+    if (artifacts.diskStored)
+      ++stats.diskStores;
+  }
+  return stats;
 }
 
 namespace {
@@ -411,6 +479,10 @@ BatchAnalyzer::computeValue(const core::AnalysisSpec &spec) {
   // The pipeline reports through diagnostics, but an escaping exception
   // (e.g. bad_alloc) must fail one request, not terminate the pool.
   try {
+    // Injection point: exercises the transient-failure path (and, under
+    // a crash rule, death at an arbitrary point mid-batch).
+    if (fault::shouldFail("compute"))
+      throw std::runtime_error("injected compute fault");
     core::AnalysisSpec full = spec;
     if (options_.useCache) {
       // Full compute populates every cache layer regardless of the
@@ -492,8 +564,10 @@ BatchAnalyzer::produceValue(const core::AnalysisSpec &spec,
     const std::string payload = serializeArtifactPayload(
         value.model.get(), value.coverage ? &*value.coverage : nullptr,
         value.diagnostics, value.producerName);
-    if (disk_->store(key, payload))
+    if (disk_->store(key, payload)) {
       disk_stores_.increment();
+      value.stored = true;
+    }
   }
   return value;
 }
@@ -541,8 +615,10 @@ core::Artifacts BatchAnalyzer::fulfill(const core::AnalysisSpec &spec,
   if (spec.artifacts & core::kArtifactCoverage) {
     if (value.coverage) {
       artifacts.coverage = *value.coverage;
-      if (cacheHit)
+      if (cacheHit) {
         coverage_from_cache_.increment();
+        artifacts.coverageFromCache = true;
+      }
     } else if (auto program = materialize()) {
       // v1 disk entry: no stored summary — recompile-on-demand.
       artifacts.coverage = sema::computeLoopCoverage(*program->unit);
@@ -650,6 +726,14 @@ core::Artifacts BatchAnalyzer::analyzeSpec(const core::AnalysisSpec &spec) {
   }
   const bool cacheHit = !producer || value->fromDisk;
   core::Artifacts artifacts = fulfill(spec, *value, cacheHit);
+  if (producer) {
+    // Disk-level provenance belongs to exactly one request per value —
+    // the producer — so flag sums over any result set equal the
+    // registry deltas (tallyBatchStats relies on this).
+    artifacts.diskHit = value->fromDisk;
+    artifacts.diskMiss = disk_ != nullptr && !value->fromDisk;
+    artifacts.diskStored = value->stored;
+  }
   artifacts.seconds = secondsSince(start);
   record(artifacts);
   return artifacts;
@@ -693,16 +777,6 @@ std::vector<core::Artifacts>
 BatchAnalyzer::runArtifacts(const std::vector<core::AnalysisSpec> &specs) {
   auto start = std::chrono::steady_clock::now();
   std::vector<core::Artifacts> results(specs.size());
-  // The registry counters are monotonic over the analyzer's lifetime; the
-  // per-run BatchStats view is the delta across this call. runArtifacts is
-  // not itself called concurrently, so the deltas are well-defined even
-  // though the counters are shared with analyzeArtifacts traffic.
-  const std::uint64_t diskHits0 = disk_hits_.value();
-  const std::uint64_t diskMisses0 = disk_misses_.value();
-  const std::uint64_t diskStores0 = disk_stores_.value();
-  const std::uint64_t coverageFromCache0 = coverage_from_cache_.value();
-  const std::uint64_t recompiles0 = recompiles_.value();
-
   for (std::size_t i = 0; i < specs.size(); ++i) {
     pool_.submit([this, &specs, &results, i] {
       results[i] = analyzeSpec(specs[i]);
@@ -710,31 +784,11 @@ BatchAnalyzer::runArtifacts(const std::vector<core::AnalysisSpec> &specs) {
   }
   pool_.waitIdle();
 
-  stats_ = BatchStats{};
-  stats_.requests = specs.size();
-  for (const core::Artifacts &artifacts : results) {
-    if (!artifacts.ok)
-      ++stats_.failures;
-    if (options_.useCache) {
-      if (artifacts.cacheHit)
-        ++stats_.cacheHits;
-      else
-        ++stats_.cacheMisses;
-    }
-    if ((artifacts.requested & core::kArtifactModel) && artifacts.model)
-      ++stats_.modelArtifacts;
-    if ((artifacts.requested & core::kArtifactProgram) && artifacts.program)
-      ++stats_.programArtifacts;
-    if ((artifacts.requested & core::kArtifactCoverage) && artifacts.coverage)
-      ++stats_.coverageArtifacts;
-    if (artifacts.simulation)
-      ++stats_.simulationArtifacts;
-  }
-  stats_.coverageFromCache = coverage_from_cache_.value() - coverageFromCache0;
-  stats_.recompiles = recompiles_.value() - recompiles0;
-  stats_.diskHits = disk_hits_.value() - diskHits0;
-  stats_.diskMisses = disk_misses_.value() - diskMisses0;
-  stats_.diskStores = disk_stores_.value() - diskStores0;
+  // Per-result provenance flags, not registry deltas: the flags sum to
+  // the same numbers for this (non-concurrent) call, and they keep the
+  // per-run view correct even when the registry is shared with daemon
+  // traffic — the same tally the daemon's ManifestBatch reports.
+  stats_ = tallyBatchStats(results, options_.useCache);
   stats_.wallSeconds = secondsSince(start);
   return results;
 }

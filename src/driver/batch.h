@@ -43,6 +43,7 @@
 #include "core/artifacts.h"
 #include "core/metrics_registry.h"
 #include "core/mira.h"
+#include "corpus/manifest.h"
 #include "support/cache_store.h"
 #include "support/thread_pool.h"
 
@@ -173,12 +174,44 @@ bool parseShardSpec(const std::string &text, ShardSpec &shard);
 /// True when `key` belongs to `shard` (key % count == index).
 bool keyInShard(std::uint64_t key, const ShardSpec &shard);
 
+/// The work one manifest-batch invocation owns, plus the diff view it
+/// was derived from.
+struct ManifestSelection {
+  /// Entries to analyze, in manifest (path) order.
+  std::vector<corpus::ManifestEntry> entries;
+  std::size_t candidates = 0; ///< added + changed (pre-shard-filter)
+  std::size_t added = 0;      ///< diff view; == entries.size() pre-shard
+  std::size_t changed = 0;    ///< when no baseline, all count as added
+  std::size_t removed = 0;    ///< baseline-only paths (never analyzed)
+};
+
+/// Select the entries `manifest` obliges this invocation to analyze:
+/// diff against an optional `since` baseline (keep added + changed, in
+/// path order), then keep only the keys of `shard`. A pure function of
+/// its inputs — local `batch --manifest` and the daemon's ManifestBatch
+/// request both plan through this, which is what makes their selections
+/// (and therefore their reports) identical by construction.
+ManifestSelection selectManifestEntries(const corpus::Manifest &manifest,
+                                        const corpus::Manifest *since,
+                                        const core::MiraOptions &options,
+                                        const ShardSpec &shard);
+
 // ------------------------------------------- stats & report merging
 
 /// Sum per-shard counter blocks into one batch-wide view. Every counter
 /// adds; wallSeconds is the max (shards run concurrently, so their wall
 /// clocks overlap rather than accumulate).
 BatchStats mergeBatchStats(const std::vector<BatchStats> &parts);
+
+/// Derive a per-run BatchStats from per-result provenance flags (see
+/// core::Artifacts::diskHit and friends). Agrees exactly with the
+/// registry-delta view for a non-concurrent run — runArtifacts() is
+/// implemented on top of this — and stays correct when other traffic
+/// shares the registry, which is how the daemon's ManifestBatch builds
+/// a report byte-identical to a local run. wallSeconds is left 0 (the
+/// caller owns the clock).
+BatchStats tallyBatchStats(const std::vector<core::Artifacts> &results,
+                           bool useCache);
 
 /// One line of a shard report: which request, under which cache key,
 /// with what outcome. Deliberately excludes timing so reports are
@@ -342,6 +375,7 @@ private:
     std::string diagnostics;
     std::string producerName; // request whose analysis populated the entry
     bool fromDisk = false;    // restored from the disk level, not computed
+    bool stored = false;      // this value was persisted to the disk level
     /// Failure came from a caught exception (bad_alloc, resource
     /// exhaustion), not from deterministic diagnostics. Never persisted:
     /// a transient failure written to disk would replay forever.

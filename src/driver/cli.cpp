@@ -73,8 +73,17 @@
 //       Talk to a running daemon over the wire protocol
 //       (docs/PROTOCOL.md). --wire-version 1 speaks the v1 dialect
 //       (compatibility checks); coverage/simulate/manifest-diff/metrics
-//       need v2. Busy refusals are retried with the daemon's backoff
-//       hint up to --busy-retries times.
+//       and batch --manifest need v2. Busy refusals are retried with
+//       the daemon's backoff hint up to --busy-retries times.
+//       `client batch --manifest FILE [--since OLD] [--shard I/N]
+//       [--root DIR] [--report FILE] [--progress]` executes a whole
+//       corpus on the daemon: report and cache directory come out
+//       byte-identical to the local `batch --manifest` run, and
+//       --progress streams per-chunk progress lines to stderr.
+//       Failure diagnostics are uniform: one `mira-cli client: ...`
+//       line on stderr, exit 3 when no daemon answered the socket,
+//       exit 4 when the connection died mid-conversation, exit 1 when
+//       the daemon or the analysis failed.
 //
 // '@name' pulls an embedded workload (stream, dgemm, minife, fig5,
 // listings) instead of reading a file. See docs/CLI.md for a full tour,
@@ -142,6 +151,8 @@ int usage(const char *argv0) {
       "          [--no-optimize] [--no-vectorize] [--emit-python]\n"
       "          [--wire-version N] [--busy-retries N]\n"
       "          [--function NAME] [--sim-arg V] [--fast-forward]\n"
+      "  client batch --manifest FILE [--since OLD] [--shard I/N]\n"
+      "          [--root DIR] [--report FILE] [--progress] --socket PATH\n"
       "workloads: @stream @dgemm @minife @fig5 @listings\n"
       "--cache-limit accepts plain bytes or a K/M/G suffix (e.g. 64M)\n"
       "--sim-arg parses integers (8) and doubles (2.5) positionally\n"
@@ -233,6 +244,7 @@ struct CommonFlags {
   std::string reportPath;       ///< batch --report (deterministic report)
   driver::ShardSpec shard;      ///< batch --shard I/N (default: unsharded)
   bool shardGiven = false;      ///< --shard appeared (even as 1/1)
+  bool progress = false;        ///< client batch --progress (stream frames)
 };
 
 /// Parse "1048576", "64K", "64M", "2G" into bytes; false on junk or on
@@ -421,6 +433,8 @@ bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
           std::max(1LL, std::atoll(args[++i].c_str())));
     } else if (a == "--fast-forward") {
       flags.sim.options.fastForward = true;
+    } else if (a == "--progress") {
+      flags.progress = true;
     } else if (a == "--via-daemon") {
       flags.viaDaemon = true;
     } else if (a == "--no-cache") {
@@ -712,38 +726,20 @@ int runManifestBatch(const CommonFlags &flags) {
     return 1;
   }
 
-  std::vector<corpus::ManifestEntry> selected;
-  std::size_t added = 0, changed = 0, removed = 0;
-  if (!flags.sincePath.empty()) {
-    corpus::Manifest old;
-    if (!corpus::loadManifestFile(flags.sincePath, old, error)) {
-      std::fprintf(stderr, "%s\n", error.c_str());
-      return 1;
-    }
-    corpus::ManifestDiff diff = corpus::diffManifests(old, manifest);
-    added = diff.added.size();
-    changed = diff.changed.size();
-    removed = diff.removed.size();
-    // Both diff lists are path-sorted; keep the merged selection sorted
-    // so shard reports stay in manifest order.
-    std::merge(diff.added.begin(), diff.added.end(), diff.changed.begin(),
-               diff.changed.end(), std::back_inserter(selected),
-               [](const corpus::ManifestEntry &a,
-                  const corpus::ManifestEntry &b) { return a.path < b.path; });
-  } else {
-    selected = manifest.entries;
+  corpus::Manifest old;
+  const bool haveSince = !flags.sincePath.empty();
+  if (haveSince && !corpus::loadManifestFile(flags.sincePath, old, error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
   }
 
-  // Shard by the predicted cache key (manifest hash + options), so the
-  // partition is identical in every process given the same inputs, and
-  // duplicate sources land in one shard (docs/MANIFESTS.md).
+  // Diff, merge, and shard via the one selection routine the daemon's
+  // manifestBatch handler uses too, so both paths pick the same entries
+  // in the same (manifest path) order.
   const core::MiraOptions options = optionsFor(flags);
-  std::vector<corpus::ManifestEntry> mine;
-  for (const auto &entry : selected)
-    if (driver::keyInShard(
-            driver::requestKeyFromContentHash(entry.contentHash, options),
-            flags.shard))
-      mine.push_back(entry);
+  const driver::ManifestSelection selection = driver::selectManifestEntries(
+      manifest, haveSince ? &old : nullptr, options, flags.shard);
+  const std::vector<corpus::ManifestEntry> &mine = selection.entries;
 
   const std::string root =
       flags.rootOverride.empty() ? manifest.root : flags.rootOverride;
@@ -766,9 +762,9 @@ int runManifestBatch(const CommonFlags &flags) {
       printOutcomes(outcomes, analyzer.stats(), flags.threads, false);
   std::printf("manifest: %zu of %zu entries selected", mine.size(),
               manifest.entries.size());
-  if (!flags.sincePath.empty())
-    std::printf(" (%zu added, %zu changed, %zu removed skipped)", added,
-                changed, removed);
+  if (haveSince)
+    std::printf(" (%zu added, %zu changed, %zu removed skipped)",
+                selection.added, selection.changed, selection.removed);
   if (flags.shard.count > 1)
     std::printf(" [shard %zu/%zu]", flags.shard.index + 1,
                 flags.shard.count);
@@ -1335,16 +1331,34 @@ int cmdServe(std::vector<std::string> args) {
 
 // ------------------------------------------------------------- client
 
+/// Unified `mira-cli client` failure diagnostic: every daemon
+/// conversation that fails prints one `mira-cli client: <reason>` line
+/// to stderr, and the exit status tells scripts which class of failure
+/// it was without parsing that text: 3 = could not connect (no daemon
+/// there), 4 = the connection died or broke protocol mid-conversation,
+/// 1 = the daemon (or the analysis itself) refused or failed.
+/// tests/server_test.cpp pins both the format and the codes.
+int clientFailure(const server::Client &client) {
+  std::fprintf(stderr, "mira-cli client: %s\n", client.lastError().c_str());
+  switch (client.lastErrorKind()) {
+  case server::Client::ErrorKind::connect:
+    return 3;
+  case server::Client::ErrorKind::transport:
+  case server::Client::ErrorKind::protocol:
+    return 4;
+  default:
+    return 1;
+  }
+}
+
 int requireClientConnection(server::Client &client,
                             const CommonFlags &flags) {
   if (flags.socketPath.empty()) {
     std::fprintf(stderr, "client requires --socket PATH\n");
     return 2;
   }
-  if (!client.connect(flags.socketPath)) {
-    std::fprintf(stderr, "%s\n", client.lastError().c_str());
-    return 1;
-  }
+  if (!client.connect(flags.socketPath))
+    return clientFailure(client);
   return 0;
 }
 
@@ -1377,10 +1391,8 @@ int cmdClient(std::vector<std::string> args) {
   if (action == "ping") {
     if (int rc = requireClientConnection(client, flags))
       return rc;
-    if (!client.ping()) {
-      std::fprintf(stderr, "%s\n", client.lastError().c_str());
-      return 1;
-    }
+    if (!client.ping())
+      return clientFailure(client);
     std::printf("daemon at %s is alive\n", flags.socketPath.c_str());
     return 0;
   }
@@ -1388,10 +1400,8 @@ int cmdClient(std::vector<std::string> args) {
   if (action == "shutdown") {
     if (int rc = requireClientConnection(client, flags))
       return rc;
-    if (!client.shutdownServer()) {
-      std::fprintf(stderr, "%s\n", client.lastError().c_str());
-      return 1;
-    }
+    if (!client.shutdownServer())
+      return clientFailure(client);
     std::printf("daemon at %s acknowledged shutdown\n",
                 flags.socketPath.c_str());
     return 0;
@@ -1401,10 +1411,8 @@ int cmdClient(std::vector<std::string> args) {
     if (int rc = requireClientConnection(client, flags))
       return rc;
     server::ServerStats stats;
-    if (!client.cacheStats(stats)) {
-      std::fprintf(stderr, "%s\n", client.lastError().c_str());
-      return 1;
-    }
+    if (!client.cacheStats(stats))
+      return clientFailure(client);
     // Field meanings: docs/PROTOCOL.md, CacheStatsReply.
     std::printf("uptime          : %.1f s\n",
                 static_cast<double>(stats.uptimeMicros) / 1e6);
@@ -1447,10 +1455,8 @@ int cmdClient(std::vector<std::string> args) {
     if (int rc = requireClientConnection(client, flags))
       return rc;
     std::vector<server::MetricSample> samples;
-    if (!client.metrics(samples)) {
-      std::fprintf(stderr, "%s\n", client.lastError().c_str());
-      return 1;
-    }
+    if (!client.metrics(samples))
+      return clientFailure(client);
     // Same names and `mira_` prefix as the --metrics-file dump; the
     // wire reply does not carry the counter/gauge kind, so no # TYPE
     // comment lines here.
@@ -1472,10 +1478,8 @@ int cmdClient(std::vector<std::string> args) {
       return rc;
     server::ClientOutcome outcome;
     if (!client.analyze(request.name, request.source, optionsFor(flags),
-                        outcome)) {
-      std::fprintf(stderr, "%s\n", client.lastError().c_str());
-      return 1;
-    }
+                        outcome))
+      return clientFailure(client);
     if (!outcome.ok) {
       std::fprintf(stderr, "analysis of %s failed:\n%s\n",
                    outcome.name.c_str(), outcome.diagnostics.c_str());
@@ -1491,6 +1495,65 @@ int cmdClient(std::vector<std::string> args) {
   }
 
   if (action == "batch") {
+    if (!flags.manifestPaths.empty()) {
+      // --manifest: the daemon executes the whole corpus and answers
+      // one deterministic report — byte-identical (report and cache
+      // dir) to a local `mira-cli batch --manifest` over the same
+      // manifest, options, and cache directory.
+      if (!args.empty()) {
+        std::fprintf(stderr,
+                     "client batch --manifest takes no positional sources\n");
+        return 2;
+      }
+      if (flags.manifestPaths.size() > 1) {
+        std::fprintf(stderr, "client batch takes exactly one --manifest\n");
+        return 2;
+      }
+      std::string manifestBytes, sinceBytes;
+      if (!readFileBytes(flags.manifestPaths[0], manifestBytes))
+        return 1;
+      if (!flags.sincePath.empty() &&
+          !readFileBytes(flags.sincePath, sinceBytes))
+        return 1;
+      if (int rc = requireClientConnection(client, flags))
+        return rc;
+      server::Client::ProgressFn onProgress;
+      if (flags.progress)
+        onProgress = [](const server::BatchProgress &p) {
+          // Progress is operator feedback, not results: stderr, so
+          // stdout stays byte-comparable with and without --progress.
+          std::fprintf(stderr,
+                       "progress: %u/%u analyzed, %u failures, "
+                       "%u cache hits\n",
+                       p.done, p.total, p.failures, p.cacheHits);
+        };
+      std::string reportBytes;
+      if (!client.manifestBatch(manifestBytes, sinceBytes,
+                                flags.rootOverride, flags.shard,
+                                optionsFor(flags), onProgress, reportBytes))
+        return clientFailure(client);
+      driver::BatchReport report;
+      std::string error;
+      if (!driver::deserializeBatchReport(reportBytes, report, error)) {
+        std::fprintf(stderr, "mira-cli client: malformed report from "
+                             "daemon: %s\n",
+                     error.c_str());
+        return 4;
+      }
+      std::printf("%-24s | %-6s | %16s\n", "source", "status", "key");
+      for (const auto &entry : report.entries)
+        std::printf("%-24s | %-6s | %016llx\n", entry.name.c_str(),
+                    entry.ok ? "ok" : "FAILED",
+                    static_cast<unsigned long long>(entry.key));
+      printReportSummary(report);
+      // The daemon's report bytes go to disk untouched: `manifest
+      // merge` and byte-comparisons see exactly what a local shard
+      // run would have written.
+      if (!flags.reportPath.empty() &&
+          !writeFileBytes(flags.reportPath, reportBytes))
+        return 1;
+      return report.stats.failures == 0 ? 0 : 1;
+    }
     if (args.empty()) {
       std::fprintf(stderr, "client batch needs at least one source\n");
       return 2;
@@ -1505,10 +1568,8 @@ int cmdClient(std::vector<std::string> args) {
     if (int rc = requireClientConnection(client, flags))
       return rc;
     std::vector<server::ClientOutcome> outcomes;
-    if (!client.analyzeBatch(items, optionsFor(flags), outcomes)) {
-      std::fprintf(stderr, "%s\n", client.lastError().c_str());
-      return 1;
-    }
+    if (!client.analyzeBatch(items, optionsFor(flags), outcomes))
+      return clientFailure(client);
     bool allOk = true;
     std::printf("%-24s | %-6s | %-5s | %9s\n", "source", "status", "cache",
                 "seconds");
@@ -1540,10 +1601,8 @@ int cmdClient(std::vector<std::string> args) {
         return 1;
       server::CoverageReply reply;
       if (!client.coverage(request.name, request.source, optionsFor(flags),
-                           reply)) {
-        std::fprintf(stderr, "%s\n", client.lastError().c_str());
-        return 1;
-      }
+                           reply))
+        return clientFailure(client);
       if (!reply.ok) {
         allOk = false;
         std::printf("%-24s | analysis FAILED\n", request.name.c_str());
@@ -1578,7 +1637,10 @@ int cmdClient(std::vector<std::string> args) {
       return kExitTrouble;
     server::ManifestDiffReply reply;
     if (!client.manifestDiff(oldBytes, newBytes, reply)) {
-      std::fprintf(stderr, "%s\n", client.lastError().c_str());
+      // Same one-line diagnostic format as every other client failure,
+      // but the diff/cmp exit convention wins over the 3/4 split here.
+      std::fprintf(stderr, "mira-cli client: %s\n",
+                   client.lastError().c_str());
       return kExitTrouble;
     }
     return printManifestDiff(reply.added, reply.changed, reply.removed) == 0
@@ -1602,10 +1664,8 @@ int cmdClient(std::vector<std::string> args) {
       return rc;
     server::SimulateReply reply;
     if (!client.simulate(request.name, request.source, optionsFor(flags),
-                         flags.sim, reply)) {
-      std::fprintf(stderr, "%s\n", client.lastError().c_str());
-      return 1;
-    }
+                         flags.sim, reply))
+      return clientFailure(client);
     if (!reply.ok) {
       std::fprintf(stderr, "simulate of %s failed:\n%s\n",
                    request.name.c_str(), reply.diagnostics.c_str());

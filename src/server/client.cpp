@@ -7,7 +7,8 @@
 
 namespace mira::server {
 
-bool Client::fail(const std::string &message) {
+bool Client::fail(ErrorKind kind, const std::string &message) {
+  kind_ = kind;
   error_ = message;
   return false;
 }
@@ -17,7 +18,8 @@ bool Client::connect(const std::string &path) {
   std::string error;
   socket_ = net::connectUnix(path, error);
   if (!socket_.valid())
-    return fail(error);
+    return fail(ErrorKind::connect, error);
+  kind_ = ErrorKind::none;
   return true;
 }
 
@@ -30,28 +32,29 @@ bool Client::receiveReply(MessageType &type, std::string &reply) {
     disconnect();
     switch (status) {
     case net::FrameStatus::closed:
-      return fail("daemon closed the connection");
+      return fail(ErrorKind::transport, "daemon closed the connection");
     case net::FrameStatus::truncated:
-      return fail("daemon closed the connection mid-reply");
+      return fail(ErrorKind::transport,
+                  "daemon closed the connection mid-reply");
     case net::FrameStatus::oversized:
-      return fail("reply frame exceeds the frame cap");
+      return fail(ErrorKind::protocol, "reply frame exceeds the frame cap");
     default:
-      return fail("receive failed");
+      return fail(ErrorKind::transport, "receive failed");
     }
   }
   bio::Reader r{reply, 0};
   std::string headerError;
   if (!readHeader(r, type, headerError)) {
     disconnect();
-    return fail("malformed reply: " + headerError);
+    return fail(ErrorKind::protocol, "malformed reply: " + headerError);
   }
   if (type == MessageType::error) {
     std::string message;
     // The daemon closes the connection after an Error reply.
     disconnect();
     if (decodeErrorReply(r, message))
-      return fail("daemon error: " + message);
-    return fail("daemon error (unreadable message)");
+      return fail(ErrorKind::daemon, "daemon error: " + message);
+    return fail(ErrorKind::protocol, "daemon error (unreadable message)");
   }
   // Strip the consumed header so callers decode the body only.
   reply.erase(0, r.offset);
@@ -61,18 +64,19 @@ bool Client::receiveReply(MessageType &type, std::string &reply) {
 bool Client::roundTrip(const std::string &request, MessageType expected,
                        std::string &reply) {
   if (!socket_.valid())
-    return fail("not connected");
+    return fail(ErrorKind::connect, "not connected");
   // The frame cap is a protocol MUST for both peers: refuse to send an
   // over-cap request up front, with the actionable message the daemon
   // could never deliver (it would close the connection mid-send).
   if (request.size() > kMaxFrameBytes)
-    return fail("request of " + std::to_string(request.size()) +
-                " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
-                "-byte frame cap; split the request");
+    return fail(ErrorKind::protocol,
+                "request of " + std::to_string(request.size()) +
+                    " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                    "-byte frame cap; split the request");
   for (std::size_t attempt = 0;; ++attempt) {
     if (!net::writeFrame(socket_.fd(), request)) {
       disconnect();
-      return fail("send failed (daemon gone?)");
+      return fail(ErrorKind::transport, "send failed (daemon gone?)");
     }
     MessageType type{};
     if (!receiveReply(type, reply))
@@ -84,19 +88,21 @@ bool Client::roundTrip(const std::string &request, MessageType expected,
       BusyReply busy;
       if (!decodeBusyReply(r, busy)) {
         disconnect();
-        return fail("malformed busy reply");
+        return fail(ErrorKind::protocol, "malformed busy reply");
       }
       if (attempt >= busy_retries_)
-        return fail("daemon at capacity (gave up after " +
-                    std::to_string(busy_retries_) + " retries)");
+        return fail(ErrorKind::busy,
+                    "daemon at capacity (gave up after " +
+                        std::to_string(busy_retries_) + " retries)");
       std::this_thread::sleep_for(std::chrono::milliseconds(
           busy.retryAfterMillis ? busy.retryAfterMillis : 10));
       continue;
     }
     if (type != expected) {
       disconnect();
-      return fail("unexpected reply type " +
-                  std::to_string(static_cast<unsigned>(type)));
+      return fail(ErrorKind::protocol,
+                  "unexpected reply type " +
+                      std::to_string(static_cast<unsigned>(type)));
     }
     return true;
   }
@@ -126,7 +132,7 @@ bool Client::decodeOutcome(const AnalyzeReply &wire, ClientOutcome &outcome) {
                                                 outcome.diagnostics,
                                                 outcome.name);
   if (!parsed)
-    return fail("malformed result payload in reply");
+    return fail(ErrorKind::protocol, "malformed result payload in reply");
   outcome.analysis = std::move(analysis);
   outcome.ok = outcome.analysis != nullptr;
   return true;
@@ -144,7 +150,7 @@ bool Client::analyze(const std::string &name, const std::string &source,
   AnalyzeReply wire;
   if (!decodeAnalyzeReply(r, wire)) {
     disconnect();
-    return fail("malformed analyze reply");
+    return fail(ErrorKind::protocol, "malformed analyze reply");
   }
   return decodeOutcome(wire, outcome);
 }
@@ -160,10 +166,10 @@ bool Client::analyzeBatch(const std::vector<SourceItem> &items,
   std::vector<AnalyzeReply> wires;
   if (!decodeBatchReply(r, wires)) {
     disconnect();
-    return fail("malformed batch reply");
+    return fail(ErrorKind::protocol, "malformed batch reply");
   }
   if (wires.size() != items.size())
-    return fail("batch reply count mismatch");
+    return fail(ErrorKind::protocol, "batch reply count mismatch");
   // Decode into a local vector so a mid-loop failure leaves the
   // caller's outcomes untouched (the documented all-or-nothing
   // contract).
@@ -183,7 +189,7 @@ bool Client::analyzePipelined(const std::vector<SourceItem> &items,
                               const core::MiraOptions &options,
                               std::vector<ClientOutcome> &outcomes) {
   if (!socket_.valid())
-    return fail("not connected");
+    return fail(ErrorKind::connect, "not connected");
   std::vector<ClientOutcome> decoded(items.size());
   std::vector<std::size_t> pending(items.size());
   for (std::size_t i = 0; i < items.size(); ++i)
@@ -193,7 +199,7 @@ bool Client::analyzePipelined(const std::vector<SourceItem> &items,
   for (std::size_t round = 0; !pending.empty(); ++round) {
     if (round > 0) {
       if (round > busy_retries_)
-        return fail("daemon at capacity (gave up after " +
+        return fail(ErrorKind::busy, "daemon at capacity (gave up after " +
                     std::to_string(busy_retries_) + " retries)");
       std::this_thread::sleep_for(std::chrono::milliseconds(
           retryHintMillis ? retryHintMillis : 10));
@@ -205,12 +211,12 @@ bool Client::analyzePipelined(const std::vector<SourceItem> &items,
       const std::string request =
           encodeAnalyzeRequest(items[idx], packOptions(options), version_);
       if (request.size() > kMaxFrameBytes)
-        return fail("request of " + std::to_string(request.size()) +
+        return fail(ErrorKind::protocol, "request of " + std::to_string(request.size()) +
                     " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
                     "-byte frame cap; split the request");
       if (!net::writeFrame(socket_.fd(), request)) {
         disconnect();
-        return fail("send failed (daemon gone?)");
+        return fail(ErrorKind::transport, "send failed (daemon gone?)");
       }
     }
     std::vector<std::size_t> refused;
@@ -226,7 +232,7 @@ bool Client::analyzePipelined(const std::vector<SourceItem> &items,
         BusyReply busy;
         if (!decodeBusyReply(r, busy)) {
           disconnect();
-          return fail("malformed busy reply");
+          return fail(ErrorKind::protocol, "malformed busy reply");
         }
         retryHintMillis = busy.retryAfterMillis;
         refused.push_back(idx);
@@ -234,14 +240,14 @@ bool Client::analyzePipelined(const std::vector<SourceItem> &items,
       }
       if (type != MessageType::analyzeReply) {
         disconnect();
-        return fail("unexpected reply type " +
+        return fail(ErrorKind::protocol, "unexpected reply type " +
                     std::to_string(static_cast<unsigned>(type)));
       }
       bio::Reader r{reply, 0};
       AnalyzeReply wire;
       if (!decodeAnalyzeReply(r, wire)) {
         disconnect();
-        return fail("malformed analyze reply");
+        return fail(ErrorKind::protocol, "malformed analyze reply");
       }
       if (!decodeOutcome(wire, decoded[idx]))
         return false;
@@ -256,7 +262,7 @@ bool Client::coverage(const std::string &name, const std::string &source,
                       const core::MiraOptions &options,
                       CoverageReply &reply) {
   if (version_ < 2)
-    return fail("coverage requires protocol version 2");
+    return fail(ErrorKind::protocol, "coverage requires protocol version 2");
   SourceItem item{name, source};
   std::string wire;
   if (!roundTrip(encodeCoverageRequest(item, packOptions(options)),
@@ -265,7 +271,7 @@ bool Client::coverage(const std::string &name, const std::string &source,
   bio::Reader r{wire, 0};
   if (!decodeCoverageReply(r, reply)) {
     disconnect();
-    return fail("malformed coverage reply");
+    return fail(ErrorKind::protocol, "malformed coverage reply");
   }
   return true;
 }
@@ -274,7 +280,7 @@ bool Client::simulate(const std::string &name, const std::string &source,
                       const core::MiraOptions &options,
                       const core::SimulationArgs &sim, SimulateReply &reply) {
   if (version_ < 2)
-    return fail("simulate requires protocol version 2");
+    return fail(ErrorKind::protocol, "simulate requires protocol version 2");
   SourceItem item{name, source};
   std::string wire;
   if (!roundTrip(encodeSimulateRequest(item, packOptions(options), sim),
@@ -283,7 +289,7 @@ bool Client::simulate(const std::string &name, const std::string &source,
   bio::Reader r{wire, 0};
   if (!decodeSimulateReply(r, reply)) {
     disconnect();
-    return fail("malformed simulate reply");
+    return fail(ErrorKind::protocol, "malformed simulate reply");
   }
   return true;
 }
@@ -292,7 +298,7 @@ bool Client::manifestDiff(const std::string &oldManifestBytes,
                           const std::string &newManifestBytes,
                           ManifestDiffReply &reply) {
   if (version_ < 2)
-    return fail("manifest-diff requires protocol version 2");
+    return fail(ErrorKind::protocol, "manifest-diff requires protocol version 2");
   std::string wire;
   if (!roundTrip(encodeManifestDiffRequest(oldManifestBytes, newManifestBytes),
                  MessageType::manifestDiffReply, wire))
@@ -300,9 +306,97 @@ bool Client::manifestDiff(const std::string &oldManifestBytes,
   bio::Reader r{wire, 0};
   if (!decodeManifestDiffReply(r, reply)) {
     disconnect();
-    return fail("malformed manifest-diff reply");
+    return fail(ErrorKind::protocol, "malformed manifest-diff reply");
   }
   return true;
+}
+
+bool Client::manifestBatch(const std::string &manifestBytes,
+                           const std::string &sinceBytes,
+                           const std::string &root,
+                           const driver::ShardSpec &shard,
+                           const core::MiraOptions &options,
+                           const ProgressFn &onProgress,
+                           std::string &reportBytes) {
+  if (version_ < 2)
+    return fail(ErrorKind::protocol,
+                "manifest-batch requires protocol version 2");
+  if (!socket_.valid())
+    return fail(ErrorKind::connect, "not connected");
+  ManifestBatchRequest request;
+  request.flags = packOptions(options);
+  request.progress = onProgress != nullptr;
+  request.shardIndex = static_cast<std::uint32_t>(shard.index);
+  request.shardCount = static_cast<std::uint32_t>(shard.count);
+  request.root = root;
+  request.manifestBytes = manifestBytes;
+  request.sinceBytes = sinceBytes;
+  const std::string wire = encodeManifestBatchRequest(request);
+  if (wire.size() > kMaxFrameBytes)
+    return fail(ErrorKind::protocol,
+                "request of " + std::to_string(wire.size()) +
+                    " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+                    "-byte frame cap; split the request");
+  // Not roundTrip: the final reply may be preceded by any number of
+  // batchProgress frames, the second reply type (after Busy) that does
+  // not end the conversation.
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (!net::writeFrame(socket_.fd(), wire)) {
+      disconnect();
+      return fail(ErrorKind::transport, "send failed (daemon gone?)");
+    }
+    bool resend = false;
+    for (;;) {
+      MessageType type{};
+      std::string reply;
+      if (!receiveReply(type, reply))
+        return false;
+      if (type == MessageType::busyReply) {
+        // Refused without queueing: nothing ran, resending is safe.
+        bio::Reader r{reply, 0};
+        BusyReply busy;
+        if (!decodeBusyReply(r, busy)) {
+          disconnect();
+          return fail(ErrorKind::protocol, "malformed busy reply");
+        }
+        if (attempt >= busy_retries_)
+          return fail(ErrorKind::busy,
+                      "daemon at capacity (gave up after " +
+                          std::to_string(busy_retries_) + " retries)");
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            busy.retryAfterMillis ? busy.retryAfterMillis : 10));
+        resend = true;
+        break;
+      }
+      if (type == MessageType::batchProgress) {
+        bio::Reader r{reply, 0};
+        BatchProgress progress;
+        if (!decodeBatchProgress(r, progress)) {
+          disconnect();
+          return fail(ErrorKind::protocol, "malformed progress frame");
+        }
+        if (onProgress)
+          onProgress(progress);
+        continue;
+      }
+      if (type != MessageType::manifestBatchReply) {
+        disconnect();
+        return fail(ErrorKind::protocol,
+                    "unexpected reply type " +
+                        std::to_string(static_cast<unsigned>(type)));
+      }
+      bio::Reader r{reply, 0};
+      ManifestBatchReply decoded;
+      if (!decodeManifestBatchReply(r, decoded)) {
+        disconnect();
+        return fail(ErrorKind::protocol, "malformed manifest-batch reply");
+      }
+      reportBytes = std::move(decoded.reportBytes);
+      return true;
+    }
+    if (!resend)
+      return false; // unreachable; inner loop always returns or resends
+  }
 }
 
 bool Client::cacheStats(ServerStats &stats) {
@@ -313,21 +407,21 @@ bool Client::cacheStats(ServerStats &stats) {
   bio::Reader r{reply, 0};
   if (!decodeCacheStatsReply(r, stats, version_)) {
     disconnect();
-    return fail("malformed cache-stats reply");
+    return fail(ErrorKind::protocol, "malformed cache-stats reply");
   }
   return true;
 }
 
 bool Client::metrics(std::vector<MetricSample> &samples) {
   if (version_ < 2)
-    return fail("metrics requires protocol version 2");
+    return fail(ErrorKind::protocol, "metrics requires protocol version 2");
   std::string reply;
   if (!roundTrip(encodeMetricsRequest(), MessageType::metricsReply, reply))
     return false;
   bio::Reader r{reply, 0};
   if (!decodeMetricsReply(r, samples)) {
     disconnect();
-    return fail("malformed metrics reply");
+    return fail(ErrorKind::protocol, "malformed metrics reply");
   }
   return true;
 }

@@ -13,11 +13,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/mira.h"
+#include "driver/batch.h"
 #include "server/protocol.h"
 #include "support/socket.h"
 
@@ -43,6 +45,18 @@ struct ClientOutcome {
 class Client {
 public:
   Client() = default;
+
+  /// Coarse classification of the most recent failure, so callers (the
+  /// CLI in particular) can distinguish "no daemon there" from "the
+  /// daemon vanished mid-conversation" without parsing lastError() text.
+  enum class ErrorKind {
+    none,      ///< no failure recorded
+    connect,   ///< could not establish (or never had) a connection
+    transport, ///< the connection died mid-conversation (EOF, send/recv)
+    protocol,  ///< the peer spoke the protocol wrong (or a frame-cap hit)
+    daemon,    ///< the daemon answered with an Error reply
+    busy,      ///< gave up after the configured Busy retries
+  };
 
   /// Wire dialect to speak: kProtocolVersion (default) or, for
   /// compatibility testing against older daemons and the v1-client CI
@@ -113,6 +127,26 @@ public:
                     const std::string &newManifestBytes,
                     ManifestDiffReply &reply);
 
+  /// Called for each BatchProgress frame a manifestBatch() streams back
+  /// (cumulative counts; the daemon sends one per executed chunk).
+  using ProgressFn = std::function<void(const BatchProgress &)>;
+
+  /// Execute a whole corpus manifest on the daemon (protocol v2): the
+  /// daemon diffs against `sinceBytes` (when non-empty), keeps shard
+  /// `shard` of the result, analyzes on its compute pool, and answers
+  /// one serialized BatchReport (driver::deserializeBatchReport bytes)
+  /// that is byte-identical to a local `mira-cli batch --manifest` over
+  /// the same manifest, options, and cache. `root` overrides the
+  /// manifest's recorded source root; empty keeps it. With `onProgress`
+  /// set the request asks for streaming progress frames and invokes the
+  /// callback as they arrive. A Busy refusal is retried like every
+  /// other request (the daemon has not started the batch).
+  bool manifestBatch(const std::string &manifestBytes,
+                     const std::string &sinceBytes, const std::string &root,
+                     const driver::ShardSpec &shard,
+                     const core::MiraOptions &options,
+                     const ProgressFn &onProgress, std::string &reportBytes);
+
   /// Fetch the daemon's counter block.
   bool cacheStats(ServerStats &stats);
 
@@ -129,6 +163,10 @@ public:
   /// decode, or an Error reply's message).
   const std::string &lastError() const { return error_; }
 
+  /// Classification of the most recent failure; ErrorKind::none after a
+  /// success.
+  ErrorKind lastErrorKind() const { return kind_; }
+
 private:
   /// Send `request`, receive one reply frame, validate its header and
   /// check for Error replies. A Busy refusal is retried up to
@@ -140,10 +178,11 @@ private:
   /// replies as failures; `reply` is left holding the body only.
   bool receiveReply(MessageType &type, std::string &reply);
   bool decodeOutcome(const AnalyzeReply &wire, ClientOutcome &outcome);
-  bool fail(const std::string &message);
+  bool fail(ErrorKind kind, const std::string &message);
 
   net::Socket socket_;
   std::string error_;
+  ErrorKind kind_ = ErrorKind::none;
   std::uint32_t version_ = kProtocolVersion;
   std::size_t busy_retries_ = 8;
 };

@@ -251,6 +251,36 @@ std::string encodeMetricsRequest() {
   return encodeEmptyMessage(MessageType::metrics, kProtocolVersion);
 }
 
+std::string encodeManifestBatchRequest(const ManifestBatchRequest &request) {
+  std::string out;
+  beginMessage(out, MessageType::manifestBatch, kProtocolVersion);
+  bio::putU8(out, request.flags);
+  bio::putU8(out, request.progress ? 1 : 0);
+  bio::putU32(out, request.shardIndex);
+  bio::putU32(out, request.shardCount);
+  bio::putString(out, request.root);
+  bio::putString(out, request.manifestBytes);
+  bio::putString(out, request.sinceBytes);
+  return out;
+}
+
+std::string encodeBatchProgress(const BatchProgress &progress) {
+  std::string out;
+  beginMessage(out, MessageType::batchProgress, kProtocolVersion);
+  bio::putU32(out, progress.done);
+  bio::putU32(out, progress.total);
+  bio::putU32(out, progress.failures);
+  bio::putU32(out, progress.cacheHits);
+  return out;
+}
+
+std::string encodeManifestBatchReply(const ManifestBatchReply &reply) {
+  std::string out;
+  beginMessage(out, MessageType::manifestBatchReply, kProtocolVersion);
+  bio::putString(out, reply.reportBytes);
+  return out;
+}
+
 std::string encodeBusyReply(const BusyReply &reply) {
   std::string out;
   beginMessage(out, MessageType::busyReply, kProtocolVersion);
@@ -481,6 +511,35 @@ bool decodeManifestDiffRequest(bio::Reader &r, std::string &oldManifestBytes,
                                std::string &newManifestBytes) {
   return r.str(oldManifestBytes) && r.str(newManifestBytes) &&
          r.remaining() == 0;
+}
+
+bool decodeManifestBatchRequest(bio::Reader &r,
+                                ManifestBatchRequest &request) {
+  request = ManifestBatchRequest{};
+  std::uint8_t progress = 0;
+  if (!r.u8(request.flags) || !r.u8(progress) || progress > 1 ||
+      !r.u32(request.shardIndex) || !r.u32(request.shardCount) ||
+      !r.str(request.root) || !r.str(request.manifestBytes) ||
+      !r.str(request.sinceBytes))
+    return false;
+  request.progress = progress == 1;
+  // A zero shard count divides by zero downstream; an out-of-range index
+  // would silently select nothing. Both are structural errors.
+  if (request.shardCount < 1 || request.shardIndex >= request.shardCount)
+    return false;
+  return r.remaining() == 0;
+}
+
+bool decodeBatchProgress(bio::Reader &r, BatchProgress &progress) {
+  progress = BatchProgress{};
+  return r.u32(progress.done) && r.u32(progress.total) &&
+         r.u32(progress.failures) && r.u32(progress.cacheHits) &&
+         r.remaining() == 0;
+}
+
+bool decodeManifestBatchReply(bio::Reader &r, ManifestBatchReply &reply) {
+  reply = ManifestBatchReply{};
+  return r.str(reply.reportBytes) && r.remaining() == 0;
 }
 
 bool decodeErrorReply(bio::Reader &r, std::string &message) {

@@ -19,13 +19,15 @@
 /// message carries its version, requests are accepted from
 /// kProtocolVersionMin up, and replies are encoded in the requester's
 /// version (v1 clients get v1 payload bytes, and never see v2-only
-/// message types or stats fields). The ManifestDiff request and the
-/// Metrics/Busy messages are additive late-v2 extensions (new message
-/// types, no layout changes); older v2 daemons answer them with
-/// Error-and-close like any unknown type, which clients must treat as
-/// "not supported". Busy is the one reply that does NOT close the
-/// connection: it reports the in-flight cap was hit and carries a
-/// retry-after hint. See docs/PROTOCOL.md, "Compatibility".
+/// message types or stats fields). The ManifestDiff and ManifestBatch
+/// requests and the Metrics/Busy/BatchProgress messages are additive
+/// late-v2 extensions (new message types, no layout changes); older v2
+/// daemons answer them with Error-and-close like any unknown type,
+/// which clients must treat as "not supported". Busy and BatchProgress
+/// are the two replies that do NOT close the connection: Busy reports
+/// the in-flight cap was hit and carries a retry-after hint;
+/// BatchProgress precedes a manifestBatchReply on the same request. See
+/// docs/PROTOCOL.md, "Compatibility".
 ///
 /// Analysis results travel as the canonical artifact payload of
 /// driver::serializeArtifactPayload — the same bytes the disk cache
@@ -78,6 +80,7 @@ enum class MessageType : std::uint8_t {
   simulate = 7,   ///< (v2) run the simulator: analyze body + sim args
   manifestDiff = 8, ///< (v2) diff two corpus manifests: [old str][new str]
   metrics = 9,    ///< (v2) named counter/gauge snapshot; empty body
+  manifestBatch = 10, ///< (v2) run a whole manifest (ManifestBatchRequest)
 
   // Replies (server -> client).
   error = 100,           ///< [message str]; connection closes after
@@ -91,6 +94,10 @@ enum class MessageType : std::uint8_t {
   manifestDiffReply = 108, ///< (v2) added/changed/removed entry lists
   busyReply = 109,       ///< (v2) over the in-flight cap; [retryMillis u32]
   metricsReply = 110,    ///< (v2) [count u32][count x (name str, value u64)]
+  manifestBatchReply = 111, ///< (v2) one merged report: [report str]
+  batchProgress = 112,   ///< (v2) streamed before manifestBatchReply; the
+                         ///< second reply type that does NOT close the
+                         ///< connection (see BatchProgress)
 };
 
 /// Model-affecting option bits carried by analyze/batch requests —
@@ -164,6 +171,48 @@ struct ManifestDiffReply {
   std::vector<corpus::ManifestEntry> changed; ///< new-side entries whose
                                               ///< content hash differs
   std::vector<std::string> removed;           ///< paths only in `old`
+};
+
+/// A manifestBatch request (v2, additive late extension): run a whole
+/// corpus manifest on the daemon's compute pool — the serving-side
+/// equivalent of local `mira-cli batch --manifest`, with the same
+/// incremental (`--since`) and sharding (`--shard I/N`) planning, and a
+/// reply whose report bytes are identical to the local run's by
+/// construction.
+/// Body: [flags u8][progress u8][shardIndex u32][shardCount u32]
+/// [root str][manifest str][since str]. `manifest` and `since` are raw
+/// corpus::serializeManifest blobs (`since` empty = no baseline; the
+/// daemon validates both and answers Error on malformed bytes). Empty
+/// `root` resolves entries against the manifest's recorded root. When
+/// `progress` is 1 the daemon streams cumulative BatchProgress frames
+/// before the final manifestBatchReply.
+struct ManifestBatchRequest {
+  std::uint8_t flags = 0;       ///< OptionFlags for every entry
+  bool progress = false;        ///< stream batchProgress frames
+  std::uint32_t shardIndex = 0; ///< 0-based; < shardCount
+  std::uint32_t shardCount = 1; ///< 1 = unsharded
+  std::string root;             ///< resolve base override; empty = manifest's
+  std::string manifestBytes;    ///< corpus::serializeManifest bytes
+  std::string sinceBytes;       ///< optional baseline manifest; empty = full
+};
+
+/// One cumulative progress frame of a manifestBatch execution (v2).
+/// Streamed after each chunk when the request asked for progress; like
+/// Busy, it does NOT close the connection — the final reply follows.
+/// Body: [done u32][total u32][failures u32][cacheHits u32].
+struct BatchProgress {
+  std::uint32_t done = 0;      ///< entries finished so far
+  std::uint32_t total = 0;     ///< entries selected for this request
+  std::uint32_t failures = 0;  ///< failed entries so far
+  std::uint32_t cacheHits = 0; ///< cache-served entries so far
+};
+
+/// The final answer to a manifestBatch request (v2): one merged,
+/// byte-stable batch report. Body: [report str] — raw
+/// driver::serializeBatchReport bytes, so a client can write them to a
+/// `--report` file that compares byte-identical to a local run's.
+struct ManifestBatchReply {
+  std::string reportBytes; ///< driver::serializeBatchReport bytes
 };
 
 /// The daemon's answer when a request would exceed its `--max-inflight`
@@ -252,6 +301,12 @@ std::string encodeManifestDiffRequest(const std::string &oldManifestBytes,
                                       const std::string &newManifestBytes);
 /// Build a metrics request (v2): header only, like ping.
 std::string encodeMetricsRequest();
+/// Build a manifestBatch request (v2).
+std::string encodeManifestBatchRequest(const ManifestBatchRequest &request);
+/// Build a batchProgress frame (v2).
+std::string encodeBatchProgress(const BatchProgress &progress);
+/// Build a manifestBatchReply (v2) carrying the merged report bytes.
+std::string encodeManifestBatchReply(const ManifestBatchReply &reply);
 /// Build a busyReply (v2) carrying the retry-after hint.
 std::string encodeBusyReply(const BusyReply &reply);
 /// Build a metricsReply (v2) from a name-sorted sample list.
@@ -297,6 +352,15 @@ bool decodeSimulateRequest(bio::Reader &r, SourceItem &item,
 /// Error on blobs that fail validation there).
 bool decodeManifestDiffRequest(bio::Reader &r, std::string &oldManifestBytes,
                                std::string &newManifestBytes);
+/// Decode a manifestBatch request body. Validates the scalar fields
+/// (progress byte <= 1, shardCount >= 1, shardIndex < shardCount) but
+/// not the manifest blobs — the caller runs corpus::deserializeManifest
+/// on each, answering Error on blobs that fail validation there.
+bool decodeManifestBatchRequest(bio::Reader &r, ManifestBatchRequest &request);
+/// Decode a batchProgress frame body.
+bool decodeBatchProgress(bio::Reader &r, BatchProgress &progress);
+/// Decode a manifestBatchReply body.
+bool decodeManifestBatchReply(bio::Reader &r, ManifestBatchReply &reply);
 /// Decode an Error reply body.
 bool decodeErrorReply(bio::Reader &r, std::string &message);
 /// Decode an analyzeReply body.

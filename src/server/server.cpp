@@ -1,11 +1,16 @@
 #include "server/server.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <utility>
+#include <vector>
 
 #include <fcntl.h>
 #include <poll.h>
@@ -51,12 +56,21 @@ struct AnalysisServer::Session {
   std::uint64_t nextToWrite = 0;
   /// Replies that finished out of order, keyed by sequence number.
   std::map<std::uint64_t, std::string> pending;
+  /// Progress frames that arrived before their request reached the head
+  /// of the sequencer, keyed by sequence number; flushed (in emission
+  /// order) just before the final reply to that request.
+  std::map<std::uint64_t, std::vector<std::string>> progress;
   /// Once the reply at this seq is flushed the connection is cut
   /// (protocol errors, shutdown acks, and v1 capacity refusals must be
   /// the last frame the peer sees).
   std::uint64_t closeAfterSeq = kNoCloseSeq;
   /// A write failed or closeAfterSeq was flushed: stop writing.
   bool aborted = false;
+  /// The reader loop exited: the peer closed, vanished, or the daemon is
+  /// draining. Long-running manifest batches poll this between chunks so
+  /// a disconnected client's work is abandoned instead of computed into
+  /// the void.
+  std::atomic<bool> peerGone{false};
 };
 
 AnalysisServer::AnalysisServer(ServerOptions options)
@@ -73,7 +87,11 @@ AnalysisServer::AnalysisServer(ServerOptions options)
       failures_(metrics_.counter("server_failures_total")),
       recompiles_(metrics_.counter("server_recompiles_total")),
       protocol_errors_(metrics_.counter("server_protocol_errors_total")),
-      busy_rejections_(metrics_.counter("server_busy_rejections_total")) {
+      busy_rejections_(metrics_.counter("server_busy_rejections_total")),
+      manifest_batch_requests_(
+          metrics_.counter("server_manifest_batch_requests_total")),
+      manifest_batch_cancelled_(
+          metrics_.counter("server_manifest_batch_cancelled_total")) {
   driver::BatchOptions batchOptions;
   // Batch requests fan their items across the analyzer's own pool
   // (analyzeMany), so size it like the compute pool. modelThreads
@@ -232,6 +250,7 @@ void AnalysisServer::handleConnection(std::shared_ptr<Session> session) {
     if (!handleFrame(session, seq, message))
       break;
   }
+  session->peerGone.store(true, std::memory_order_release);
   // The socket stays open until the last reply flushes: compute workers
   // hold their own reference to the Session, and the fd closes when the
   // final reference (reader or worker) drops.
@@ -403,6 +422,52 @@ bool AnalysisServer::handleFrame(const std::shared_ptr<Session> &session,
     return true;
   }
 
+  case MessageType::manifestBatch: {
+    if (version < 2) {
+      sendErrorAt(session, seq, "manifest-batch requires protocol version 2",
+                  version);
+      return false;
+    }
+    ManifestBatchRequest request;
+    if (!decodeManifestBatchRequest(r, request)) {
+      sendErrorAt(session, seq, "malformed manifest-batch request", version);
+      return false;
+    }
+    // Same contract as manifestDiff: the manifest blobs are validated
+    // application payloads, and a bad one gets Error-then-close so a
+    // refusal can never look like an empty corpus. Parsing is cheap and
+    // runs on the reader; only the analysis is dispatched.
+    corpus::Manifest manifest, since;
+    std::string manifestError;
+    if (!corpus::deserializeManifest(request.manifestBytes, manifest,
+                                     manifestError)) {
+      sendErrorAt(session, seq, "malformed manifest: " + manifestError,
+                  version);
+      return false;
+    }
+    const bool haveSince = !request.sinceBytes.empty();
+    if (haveSince &&
+        !corpus::deserializeManifest(request.sinceBytes, since,
+                                     manifestError)) {
+      sendErrorAt(session, seq, "malformed manifest: " + manifestError,
+                  version);
+      return false;
+    }
+    manifest_batch_requests_.increment();
+    // One in-flight slot for the whole corpus, like batch: the entries
+    // fan across the analyzer's own pool chunk by chunk.
+    if (!admitOrRefuse(session, seq, version))
+      return true;
+    compute_->submit([this, session, seq, version,
+                      request = std::move(request),
+                      manifest = std::move(manifest), since = std::move(since),
+                      haveSince] {
+      runManifestBatch(session, seq, version, request, manifest,
+                       haveSince ? &since : nullptr);
+    });
+    return true;
+  }
+
   case MessageType::cacheStats:
     enqueueReply(session, seq, encodeCacheStatsReply(snapshotStats(), version),
                  false);
@@ -452,6 +517,20 @@ void AnalysisServer::enqueueReply(const std::shared_ptr<Session> &session,
   // session mutex serializes frames per connection only; other
   // connections' workers are unaffected.
   while (!s.aborted) {
+    // Buffered progress frames for the head request precede its final
+    // reply (and follow the reply to seq-1 by construction).
+    auto pit = s.progress.find(s.nextToWrite);
+    if (pit != s.progress.end()) {
+      for (std::string &frame : pit->second) {
+        if (!net::writeFrame(s.sock.fd(), frame)) {
+          s.aborted = true;
+          break;
+        }
+      }
+      s.progress.erase(pit);
+      if (s.aborted)
+        break;
+    }
     auto it = s.pending.find(s.nextToWrite);
     if (it == s.pending.end())
       break;
@@ -496,6 +575,38 @@ void AnalysisServer::sendErrorAt(const std::shared_ptr<Session> &session,
                                  std::uint32_t version) {
   protocol_errors_.increment();
   enqueueReply(session, seq, encodeErrorReply(text, version), true);
+}
+
+void AnalysisServer::sendProgressAt(const std::shared_ptr<Session> &session,
+                                    std::uint64_t seq, std::string frame) {
+  Session &s = *session;
+  std::lock_guard<std::mutex> lock(s.mutex);
+  if (s.aborted)
+    return;
+  if (seq == s.nextToWrite) {
+    // This request is at the head of the sequencer: the frame can go
+    // straight out without reordering anything.
+    if (!net::writeFrame(s.sock.fd(), frame))
+      s.aborted = true;
+  } else {
+    s.progress[seq].push_back(std::move(frame));
+  }
+}
+
+bool AnalysisServer::batchCancelled(
+    const std::shared_ptr<Session> &session) {
+  {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    if (session->aborted)
+      return true; // write side is dead; no one can receive the reply
+  }
+  if (!session->peerGone.load(std::memory_order_acquire))
+    return false;
+  // The reader also exits when a graceful drain shuts the read side
+  // down; in-flight requests are promised the drain window, so only a
+  // genuine peer departure cancels.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  return !stopping_;
 }
 
 bool AnalysisServer::admitOrRefuse(const std::shared_ptr<Session> &session,
@@ -621,6 +732,123 @@ SimulateReply AnalysisServer::simulateItem(const SourceItem &item,
   if (reply.ok)
     reply.result = *artifacts.simulation;
   return reply;
+}
+
+namespace {
+
+bool readSourceFile(const std::string &path, std::string &out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in && !in.eof())
+    return false;
+  out = buffer.str();
+  return true;
+}
+
+} // namespace
+
+void AnalysisServer::runManifestBatch(const std::shared_ptr<Session> &session,
+                                      std::uint64_t seq, std::uint32_t version,
+                                      const ManifestBatchRequest &request,
+                                      const corpus::Manifest &manifest,
+                                      const corpus::Manifest *since) {
+  const core::MiraOptions options = unpackOptions(request.flags);
+  driver::ShardSpec shard;
+  shard.index = request.shardIndex;
+  shard.count = request.shardCount;
+  // Same selection the local driver uses: diff against `since` when
+  // given, then keep this shard's keys, in manifest (path) order — the
+  // order the report's entries must come out in for byte-identity with
+  // `mira-cli batch --manifest`.
+  const driver::ManifestSelection selection =
+      driver::selectManifestEntries(manifest, since, options, shard);
+
+  // Resolve sources against the request's root override or the root the
+  // manifest was built from. All-or-nothing, like the local driver: a
+  // report over a partial corpus would be misleading, not degraded.
+  const std::filesystem::path root =
+      request.root.empty() ? manifest.root : request.root;
+  std::vector<std::string> sources(selection.entries.size());
+  for (std::size_t i = 0; i < selection.entries.size(); ++i) {
+    const std::string path = (root / selection.entries[i].path).string();
+    if (!readSourceFile(path, sources[i])) {
+      releaseInflight();
+      sendErrorAt(session, seq, "cannot read source '" + path + "'", version);
+      return;
+    }
+  }
+
+  // Chunked execution: each chunk fans across the analyzer's pool, and
+  // chunk boundaries are where progress goes out and cancellation is
+  // honored. Chunks of 2x the pool keep every worker busy while still
+  // bounding how much work a vanished client can waste.
+  const std::size_t total = selection.entries.size();
+  const std::size_t chunkSize =
+      std::max<std::size_t>(std::size_t{1}, options_.threads * 2);
+  std::vector<core::Artifacts> results;
+  results.reserve(total);
+  std::uint32_t failures = 0, cacheHits = 0;
+  for (std::size_t begin = 0; begin < total; begin += chunkSize) {
+    if (batchCancelled(session)) {
+      manifest_batch_cancelled_.increment();
+      releaseInflight();
+      return; // the peer is gone; there is no one to answer
+    }
+    const std::size_t end = std::min(total, begin + chunkSize);
+    std::vector<core::AnalysisSpec> specs;
+    specs.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      core::AnalysisSpec spec;
+      spec.name = selection.entries[i].path;
+      spec.source = std::move(sources[i]);
+      spec.options = options;
+      spec.artifacts = core::kArtifactDefault;
+      specs.push_back(std::move(spec));
+    }
+    std::vector<core::Artifacts> chunkResults =
+        analyzer_->analyzeArtifactsMany(specs);
+    for (core::Artifacts &artifacts : chunkResults) {
+      recordServed(artifacts);
+      if (!artifacts.ok)
+        ++failures;
+      if (artifacts.cacheHit)
+        ++cacheHits;
+      results.push_back(std::move(artifacts));
+    }
+    if (request.progress) {
+      BatchProgress progress;
+      progress.done = static_cast<std::uint32_t>(results.size());
+      progress.total = static_cast<std::uint32_t>(total);
+      progress.failures = failures;
+      progress.cacheHits = cacheHits;
+      sendProgressAt(session, seq, encodeBatchProgress(progress));
+    }
+  }
+
+  // The report a local `mira-cli batch --manifest` over the same
+  // manifest, options, and cache would write: entries in selection
+  // order, keys from the manifest's content hashes, stats tallied from
+  // per-result provenance flags (immune to concurrent registry
+  // traffic from other sessions).
+  driver::BatchReport report;
+  report.stats = driver::tallyBatchStats(results, /*useCache=*/true);
+  report.entries.reserve(results.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    driver::BatchReportEntry entry;
+    entry.name = selection.entries[i].path;
+    entry.key =
+        driver::requestKeyFromContentHash(selection.entries[i].contentHash,
+                                          options);
+    entry.ok = results[i].ok;
+    report.entries.push_back(std::move(entry));
+  }
+  ManifestBatchReply reply;
+  reply.reportBytes = driver::serializeBatchReport(report);
+  releaseInflight();
+  sendReplyAt(session, seq, encodeManifestBatchReply(reply), version);
 }
 
 void AnalysisServer::refreshGauges() const {

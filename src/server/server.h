@@ -149,6 +149,26 @@ private:
   void sendErrorAt(const std::shared_ptr<Session> &session,
                    std::uint64_t seq, const std::string &text,
                    std::uint32_t version);
+  /// Write (or buffer) a batchProgress frame for request `seq`. The
+  /// sequencer keeps the stream legal: progress frames go out after the
+  /// reply to seq-1 and before the final reply to seq, in emission
+  /// order. Progress frames are not replies — they do not count toward
+  /// requests_served.
+  void sendProgressAt(const std::shared_ptr<Session> &session,
+                      std::uint64_t seq, std::string frame);
+  /// True when a manifest batch on this session should abandon its
+  /// remaining work: the peer disconnected (and the daemon is not
+  /// draining — during a drain in-flight requests finish and answer) or
+  /// the write side already aborted.
+  bool batchCancelled(const std::shared_ptr<Session> &session);
+  /// Execute one admitted manifestBatch request on a compute worker:
+  /// chunked fan-out over the analyzer, optional progress frames,
+  /// cancellation between chunks, one merged byte-stable report.
+  void runManifestBatch(const std::shared_ptr<Session> &session,
+                        std::uint64_t seq, std::uint32_t version,
+                        const ManifestBatchRequest &request,
+                        const corpus::Manifest &manifest,
+                        const corpus::Manifest *since);
   /// Try to reserve an in-flight slot. At capacity the request is
   /// answered Busy (v2, connection keeps going) or Error (v1, which
   /// cannot decode Busy; the connection closes) and false is returned.
@@ -216,6 +236,12 @@ private:
   core::MetricsRegistry::Counter &recompiles_;
   core::MetricsRegistry::Counter &protocol_errors_;
   core::MetricsRegistry::Counter &busy_rejections_;
+  // ManifestBatch counters live in the registry only (Metrics reply and
+  // --metrics-file): the cacheStatsReply wire block is frozen — its
+  // decoder rejects trailing bytes, so growing it would break deployed
+  // v2 clients.
+  core::MetricsRegistry::Counter &manifest_batch_requests_;
+  core::MetricsRegistry::Counter &manifest_batch_cancelled_;
 };
 
 } // namespace mira::server

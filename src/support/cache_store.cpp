@@ -17,6 +17,7 @@
 #endif
 
 #include "support/binary_io.h"
+#include "support/fault_injection.h"
 #include "support/hash.h"
 
 namespace mira {
@@ -246,6 +247,10 @@ bool CacheStore::remove(std::uint64_t key) {
 
 bool CacheStore::store(std::uint64_t key, const std::string &payload) {
   if (!usable_)
+    return false;
+  // Injection point: a failed store means "not cached" and callers
+  // degrade to recompute, exactly like a full disk or unwritable dir.
+  if (fault::shouldFail("cache-write"))
     return false;
 
   std::string bytes;

@@ -1,0 +1,144 @@
+#include "support/fault_injection.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <csignal>
+#include <unistd.h>
+
+namespace mira::fault {
+namespace {
+
+enum class RuleAction { fail, crash, stall };
+
+struct Rule {
+  std::string site;
+  RuleAction action = RuleAction::fail;
+  std::uint64_t ordinal = 1; ///< 1-based hit that triggers
+  bool sticky = false;       ///< trailing '+': ordinal-th and later hits
+  std::uint64_t durationMs = 2000;
+  std::atomic<std::uint64_t> hits{0};
+};
+
+// Parsed once per process; rules never change afterwards, so hit() can
+// walk the container lock-free. A deque because Rule's atomic counter
+// makes it immovable.
+std::deque<Rule> *g_rules = nullptr;
+std::atomic<bool> g_armed{false};
+std::once_flag g_once;
+
+std::vector<std::string> split(const std::string &text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+void parseSpec(const char *spec) {
+  auto rules = new std::deque<Rule>();
+  for (const std::string &clause : split(spec, ',')) {
+    if (clause.empty())
+      continue;
+    std::vector<std::string> fields = split(clause, ':');
+    if (fields.size() < 3 || fields[0].empty())
+      continue; // malformed clauses are ignored, never fatal
+    Rule rule;
+    rule.site = fields[0];
+    if (fields[1] == "fail")
+      rule.action = RuleAction::fail;
+    else if (fields[1] == "crash")
+      rule.action = RuleAction::crash;
+    else if (fields[1] == "stall")
+      rule.action = RuleAction::stall;
+    else
+      continue;
+    std::string ordinal = fields[2];
+    if (!ordinal.empty() && ordinal.back() == '+') {
+      rule.sticky = true;
+      ordinal.pop_back();
+    }
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(ordinal.c_str(), &end, 10);
+    if (ordinal.empty() || (end && *end != '\0') || value == 0)
+      continue;
+    rule.ordinal = value;
+    if (fields.size() >= 4) {
+      unsigned long long duration = std::strtoull(fields[3].c_str(), &end, 10);
+      if (!fields[3].empty() && end && *end == '\0')
+        rule.durationMs = duration;
+    }
+    rules->emplace_back();
+    Rule &stored = rules->back();
+    stored.site = rule.site;
+    stored.action = rule.action;
+    stored.ordinal = rule.ordinal;
+    stored.sticky = rule.sticky;
+    stored.durationMs = rule.durationMs;
+  }
+  if (!rules->empty()) {
+    g_rules = rules;
+    g_armed.store(true, std::memory_order_release);
+  } else {
+    delete rules;
+  }
+}
+
+void initOnce() {
+  std::call_once(g_once, [] {
+    if (const char *spec = std::getenv("MIRA_FAULT"))
+      parseSpec(spec);
+  });
+}
+
+} // namespace
+
+bool armed() {
+  initOnce();
+  return g_armed.load(std::memory_order_acquire);
+}
+
+Action hit(const char *site) {
+  if (!armed())
+    return Action::none;
+  for (Rule &rule : *g_rules) {
+    if (rule.site != site)
+      continue;
+    const std::uint64_t count =
+        rule.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool triggered =
+        rule.sticky ? count >= rule.ordinal : count == rule.ordinal;
+    if (!triggered)
+      continue;
+    switch (rule.action) {
+    case RuleAction::fail:
+      return Action::fail;
+    case RuleAction::crash:
+      // Simulate kill -9 / power loss at exactly this point: no atexit
+      // handlers, no stack unwinding, no buffered-IO flush.
+      ::kill(::getpid(), SIGKILL);
+      ::pause(); // unreachable; SIGKILL cannot be handled
+      break;
+    case RuleAction::stall:
+      std::this_thread::sleep_for(std::chrono::milliseconds(rule.durationMs));
+      return Action::none;
+    }
+  }
+  return Action::none;
+}
+
+} // namespace mira::fault

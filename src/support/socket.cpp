@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "support/fault_injection.h"
+
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -182,6 +184,10 @@ FrameStatus recvAll(int fd, char *data, std::size_t size, bool &sawAnyByte) {
 } // namespace
 
 bool writeFrame(int fd, const std::string &payload) {
+  // Injection point: a failing/stalling frame write models a wedged or
+  // vanished peer at an arbitrary point in the reply stream.
+  if (fault::shouldFail("frame-write"))
+    return false;
   char header[4];
   const auto size = static_cast<std::uint32_t>(payload.size());
   for (int i = 0; i < 4; ++i)

@@ -335,5 +335,104 @@ TEST(BatchReport, MergeStatsSumCountersAndMaxWallClock) {
   EXPECT_EQ(merged.wallSeconds, 2.5);
 }
 
+TEST(BatchReport, EmptyShardsAreMergeIdentity) {
+  // A shard can legitimately select zero entries (--since with nothing
+  // changed, or an unlucky key split): merging it in must change
+  // nothing, including the serialized bytes.
+  driver::BatchReport work;
+  work.entries = {entry("a.mc", 0x1, true), entry("b.mc", 0x2, false)};
+  work.stats.requests = 2;
+  work.stats.failures = 1;
+  const driver::BatchReport empty;
+
+  const std::string alone =
+      driver::serializeBatchReport(driver::mergeBatchReports({work}));
+  EXPECT_EQ(driver::serializeBatchReport(
+                driver::mergeBatchReports({empty, work, empty})),
+            alone);
+  // All-empty input merges to the empty report, which round-trips.
+  const driver::BatchReport nothing =
+      driver::mergeBatchReports({empty, empty});
+  EXPECT_TRUE(nothing.entries.empty());
+  EXPECT_EQ(nothing.stats.requests, 0u);
+  driver::BatchReport decoded;
+  std::string error;
+  ASSERT_TRUE(driver::deserializeBatchReport(
+      driver::serializeBatchReport(nothing), decoded, error))
+      << error;
+  EXPECT_TRUE(decoded.entries.empty());
+}
+
+TEST(BatchReport, DuplicateKeysAcrossShardsMergeDeterministically) {
+  // Overlapping shard runs (operator error: the same shard executed
+  // twice) must not silently drop or dedup entries — the merged report
+  // shows the duplicate work, in an input-order-independent order.
+  driver::BatchReport first, second;
+  first.entries = {entry("dup.mc", 0xD, true), entry("x.mc", 0x1, true)};
+  first.stats.requests = 2;
+  second.entries = {entry("dup.mc", 0xD, true), entry("y.mc", 0x2, true)};
+  second.stats.requests = 2;
+
+  const driver::BatchReport merged =
+      driver::mergeBatchReports({first, second});
+  ASSERT_EQ(merged.entries.size(), 4u);
+  EXPECT_EQ(merged.entries[0].name, "dup.mc");
+  EXPECT_EQ(merged.entries[1].name, "dup.mc");
+  EXPECT_EQ(merged.stats.requests, 4u);
+  EXPECT_EQ(driver::serializeBatchReport(merged),
+            driver::serializeBatchReport(
+                driver::mergeBatchReports({second, first})));
+
+  // Same name under different keys (same path, two option configs)
+  // orders by key — the serialize-stable tiebreak.
+  driver::BatchReport opts;
+  opts.entries = {entry("dup.mc", 0xF, true)};
+  const driver::BatchReport withOpts =
+      driver::mergeBatchReports({opts, merged});
+  ASSERT_EQ(withOpts.entries.size(), 5u);
+  EXPECT_EQ(withOpts.entries[2].key, 0xFu);
+}
+
+TEST(BatchReport, MergeIsCommutativeAndAssociativeProperty) {
+  // Seeded property: for random shard splits, any merge order and any
+  // merge tree produce the same serialized report. This is what lets
+  // CI merge shard reports in whatever order the jobs finish.
+  std::mt19937_64 rng(0x4d657267ull); // "Merg"
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t parts = 2 + rng() % 4;
+    std::vector<driver::BatchReport> shards(parts);
+    for (std::size_t p = 0; p < parts; ++p) {
+      const std::size_t n = rng() % 8;
+      for (std::size_t i = 0; i < n; ++i) {
+        char name[32];
+        std::snprintf(name, sizeof(name), "s%zu_%02zu.mc", p, i);
+        shards[p].entries.push_back(entry(name, rng(), (rng() & 3) != 0));
+      }
+      shards[p].stats.requests = n;
+      shards[p].stats.failures = rng() % (n + 1);
+      shards[p].stats.wallSeconds = static_cast<double>(rng() % 100) / 10.0;
+    }
+
+    const std::string flat =
+        driver::serializeBatchReport(driver::mergeBatchReports(shards));
+
+    // Commutativity: a random permutation merges to the same bytes.
+    std::vector<driver::BatchReport> shuffled = shards;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    EXPECT_EQ(driver::serializeBatchReport(
+                  driver::mergeBatchReports(shuffled)),
+              flat);
+
+    // Associativity: fold pairwise left-to-right instead of all at
+    // once. wallSeconds folds through max, so nesting cannot skew it.
+    driver::BatchReport folded = shards[0];
+    for (std::size_t p = 1; p < parts; ++p)
+      folded = driver::mergeBatchReports({folded, shards[p]});
+    EXPECT_EQ(driver::serializeBatchReport(folded), flat);
+    EXPECT_EQ(folded.stats.wallSeconds,
+              driver::mergeBatchReports(shards).stats.wallSeconds);
+  }
+}
+
 } // namespace
 } // namespace mira::corpus

@@ -222,6 +222,63 @@ TEST(ProtocolFuzz, RandomManifestDiffMessagesRoundTrip) {
   }
 }
 
+TEST(ProtocolFuzz, RandomManifestBatchMessagesRoundTrip) {
+  std::mt19937_64 rng(kSeed ^ 0x6);
+  for (int i = 0; i < 200; ++i) {
+    ManifestBatchRequest request;
+    request.flags = static_cast<std::uint8_t>(rng() & 0x7);
+    request.progress = (rng() & 1) != 0;
+    request.shardCount = 1 + static_cast<std::uint32_t>(rng() % 16);
+    request.shardIndex = static_cast<std::uint32_t>(rng()) % request.shardCount;
+    request.root = randomBytes(rng, 60);
+    request.manifestBytes = randomBytes(rng, 400);
+    request.sinceBytes = randomBytes(rng, 400);
+    const std::string wire = encodeManifestBatchRequest(request);
+    bio::Reader r{wire, 0};
+    MessageType type{};
+    std::uint32_t version = 0;
+    std::string error;
+    ASSERT_TRUE(readHeader(r, type, version, error)) << error;
+    EXPECT_EQ(type, MessageType::manifestBatch);
+    EXPECT_EQ(version, kProtocolVersion);
+    ManifestBatchRequest decoded;
+    ASSERT_TRUE(decodeManifestBatchRequest(r, decoded));
+    EXPECT_EQ(decoded.flags, request.flags);
+    EXPECT_EQ(decoded.progress, request.progress);
+    EXPECT_EQ(decoded.shardIndex, request.shardIndex);
+    EXPECT_EQ(decoded.shardCount, request.shardCount);
+    EXPECT_EQ(decoded.root, request.root);
+    EXPECT_EQ(decoded.manifestBytes, request.manifestBytes);
+    EXPECT_EQ(decoded.sinceBytes, request.sinceBytes);
+
+    BatchProgress progress;
+    progress.done = static_cast<std::uint32_t>(rng());
+    progress.total = static_cast<std::uint32_t>(rng());
+    progress.failures = static_cast<std::uint32_t>(rng());
+    progress.cacheHits = static_cast<std::uint32_t>(rng());
+    const std::string progressWire = encodeBatchProgress(progress);
+    bio::Reader pr{progressWire, 0};
+    ASSERT_TRUE(readHeader(pr, type, error)) << error;
+    EXPECT_EQ(type, MessageType::batchProgress);
+    BatchProgress decodedProgress;
+    ASSERT_TRUE(decodeBatchProgress(pr, decodedProgress));
+    EXPECT_EQ(decodedProgress.done, progress.done);
+    EXPECT_EQ(decodedProgress.total, progress.total);
+    EXPECT_EQ(decodedProgress.failures, progress.failures);
+    EXPECT_EQ(decodedProgress.cacheHits, progress.cacheHits);
+
+    ManifestBatchReply reply;
+    reply.reportBytes = randomBytes(rng, 600);
+    const std::string replyWire = encodeManifestBatchReply(reply);
+    bio::Reader rr{replyWire, 0};
+    ASSERT_TRUE(readHeader(rr, type, error)) << error;
+    EXPECT_EQ(type, MessageType::manifestBatchReply);
+    ManifestBatchReply decodedReply;
+    ASSERT_TRUE(decodeManifestBatchReply(rr, decodedReply));
+    EXPECT_EQ(decodedReply.reportBytes, reply.reportBytes);
+  }
+}
+
 // --------------------------------------------- decoder mutation fuzz
 
 /// Apply one random mutation: truncate, flip a byte, or append junk.
@@ -282,7 +339,32 @@ void decodeLikeTheServer(const std::string &message) {
     }
     break;
   }
+  case MessageType::manifestBatch: {
+    ManifestBatchRequest request;
+    if (decodeManifestBatchRequest(r, request)) {
+      // The server validates both blobs before touching the compute
+      // pool; a mutated manifest must fail cleanly, never crash.
+      corpus::Manifest manifest;
+      std::string manifestError;
+      (void)corpus::deserializeManifest(request.manifestBytes, manifest,
+                                        manifestError);
+      if (!request.sinceBytes.empty())
+        (void)corpus::deserializeManifest(request.sinceBytes, manifest,
+                                          manifestError);
+    }
+    break;
+  }
   // Reply types: mutated server frames exercise the client decoders.
+  case MessageType::batchProgress: {
+    BatchProgress progress;
+    (void)decodeBatchProgress(r, progress);
+    break;
+  }
+  case MessageType::manifestBatchReply: {
+    ManifestBatchReply reply;
+    (void)decodeManifestBatchReply(r, reply);
+    break;
+  }
   case MessageType::busyReply: {
     BusyReply busy;
     (void)decodeBusyReply(r, busy);
@@ -314,6 +396,25 @@ TEST(ProtocolFuzz, MutatedFramesNeverCrashTheDecoders) {
       encodeEmptyMessage(MessageType::ping),
       encodeEmptyMessage(MessageType::cacheStats),
       encodeEmptyMessage(MessageType::metrics),
+      [] {
+        ManifestBatchRequest request;
+        request.flags = 0x3;
+        request.progress = true;
+        request.shardIndex = 1;
+        request.shardCount = 3;
+        request.root = "/tmp/corpus";
+        request.manifestBytes = corpus::serializeManifest({});
+        return encodeManifestBatchRequest(request);
+      }(),
+      encodeBatchProgress({3, 9, 1, 2}),
+      [] {
+        driver::BatchReport fuzzReport;
+        fuzzReport.entries.push_back({"seed.mc", 0xfeed, true});
+        fuzzReport.stats.requests = 1;
+        ManifestBatchReply reply;
+        reply.reportBytes = driver::serializeBatchReport(fuzzReport);
+        return encodeManifestBatchReply(reply);
+      }(),
       encodeBusyReply({12345}),
       encodeMetricsReply({{"server_requests_served_total", 7},
                           {"server_uptime_micros", 1ull << 40}}),
@@ -581,6 +682,58 @@ TEST(ServerFuzz, MalformedManifestBlobsAnswerErrorThenClose) {
   EXPECT_TRUE(reply.added.empty());
   EXPECT_TRUE(reply.changed.empty());
   EXPECT_TRUE(reply.removed.empty());
+  client.disconnect();
+}
+
+TEST(ServerFuzz, MalformedManifestBatchBlobsAnswerErrorThenClose) {
+  ServerFixture fixture;
+  corpus::Manifest manifest;
+  manifest.root = "/nowhere";
+  manifest.entries = {{"a.mc", 1, 2}};
+  const std::string good = corpus::serializeManifest(manifest);
+
+  std::mt19937_64 rng(kSeed ^ 0x7);
+  for (int round = 0; round < 20; ++round) {
+    // Mutated manifest blob inside a perfectly framed request: the
+    // reader thread must validate and answer Error before anything
+    // reaches the compute pool, then close.
+    std::string bad = mutate(rng, good);
+    if (bad == good)
+      bad += "x";
+    ManifestBatchRequest request;
+    request.manifestBytes = bad;
+    const auto replies = rawExchange(fixture.options.socketPath,
+                                     encodeManifestBatchRequest(request));
+    ASSERT_EQ(replies.size(), 1u) << "expected exactly Error-then-close";
+    EXPECT_TRUE(isErrorReply(replies[0]));
+  }
+  {
+    // A corrupt --since baseline is rejected the same way even when the
+    // manifest itself is fine.
+    ManifestBatchRequest request;
+    request.manifestBytes = good;
+    request.sinceBytes = "not a manifest";
+    const auto replies = rawExchange(fixture.options.socketPath,
+                                     encodeManifestBatchRequest(request));
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_TRUE(isErrorReply(replies[0]));
+  }
+  {
+    // Well-formed blobs whose sources do not exist on this machine:
+    // the batch is admitted, fails at the read stage, and still answers
+    // a clean Error instead of wedging the session.
+    ManifestBatchRequest request;
+    request.manifestBytes = good;
+    const auto replies = rawExchange(fixture.options.socketPath,
+                                     encodeManifestBatchRequest(request));
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_TRUE(isErrorReply(replies[0]));
+  }
+
+  // The daemon survives all of it.
+  Client client;
+  ASSERT_TRUE(client.connect(fixture.options.socketPath));
+  EXPECT_TRUE(client.ping()) << client.lastError();
   client.disconnect();
 }
 

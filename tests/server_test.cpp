@@ -13,9 +13,11 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "core/artifacts.h"
+#include "corpus/manifest.h"
 #include "driver/batch.h"
 #include "model/python_emitter.h"
 #include "server/client.h"
@@ -1029,6 +1031,293 @@ TEST(AnalysisServerTest, MetricsAndCacheStatsRenderTheSameRegistry) {
   // The sorted-name contract the text renderer relies on.
   for (std::size_t i = 1; i < samples.size(); ++i)
     EXPECT_LT(samples[i - 1].name, samples[i].name);
+}
+
+// ----------------------------------------------- manifest batch (v2)
+
+TEST(ProtocolCodec, ManifestBatchMessagesRoundTrip) {
+  ManifestBatchRequest request;
+  request.flags = 0x5;
+  request.progress = true;
+  request.shardIndex = 2;
+  request.shardCount = 4;
+  request.root = "/corpora/nightly";
+  request.manifestBytes = std::string("MirM\x01raw manifest\x00bytes", 21);
+  request.sinceBytes = "older manifest";
+  std::string wire = encodeManifestBatchRequest(request);
+
+  bio::Reader r{wire, 0};
+  MessageType type{};
+  std::uint32_t version = 0;
+  std::string error;
+  ASSERT_TRUE(readHeader(r, type, version, error)) << error;
+  EXPECT_EQ(type, MessageType::manifestBatch);
+  EXPECT_EQ(version, kProtocolVersion);
+  ManifestBatchRequest decoded;
+  ASSERT_TRUE(decodeManifestBatchRequest(r, decoded));
+  EXPECT_EQ(decoded.flags, 0x5);
+  EXPECT_TRUE(decoded.progress);
+  EXPECT_EQ(decoded.shardIndex, 2u);
+  EXPECT_EQ(decoded.shardCount, 4u);
+  EXPECT_EQ(decoded.root, request.root);
+  EXPECT_EQ(decoded.manifestBytes, request.manifestBytes);
+  EXPECT_EQ(decoded.sinceBytes, request.sinceBytes);
+
+  BatchProgress progress;
+  progress.done = 7;
+  progress.total = 32;
+  progress.failures = 1;
+  progress.cacheHits = 4;
+  std::string progressWire = encodeBatchProgress(progress);
+  bio::Reader pr{progressWire, 0};
+  ASSERT_TRUE(readHeader(pr, type, error)) << error;
+  EXPECT_EQ(type, MessageType::batchProgress);
+  BatchProgress decodedProgress;
+  ASSERT_TRUE(decodeBatchProgress(pr, decodedProgress));
+  EXPECT_EQ(decodedProgress.done, 7u);
+  EXPECT_EQ(decodedProgress.total, 32u);
+  EXPECT_EQ(decodedProgress.failures, 1u);
+  EXPECT_EQ(decodedProgress.cacheHits, 4u);
+
+  ManifestBatchReply reply;
+  reply.reportBytes = std::string("MirR\x01report\x00bytes", 16);
+  std::string replyWire = encodeManifestBatchReply(reply);
+  bio::Reader rr{replyWire, 0};
+  ASSERT_TRUE(readHeader(rr, type, error)) << error;
+  EXPECT_EQ(type, MessageType::manifestBatchReply);
+  ManifestBatchReply decodedReply;
+  ASSERT_TRUE(decodeManifestBatchReply(rr, decodedReply));
+  EXPECT_EQ(decodedReply.reportBytes, reply.reportBytes);
+}
+
+TEST(ProtocolCodec, ManifestBatchDecoderRejectsBadScalarFields) {
+  ManifestBatchRequest good;
+  good.manifestBytes = "m";
+  const std::string wire = encodeManifestBatchRequest(good);
+  const std::size_t headerSize = [] {
+    std::string h;
+    beginMessage(h, MessageType::manifestBatch, kProtocolVersion);
+    return h.size();
+  }();
+
+  auto decodeBody = [&](std::string bytes) {
+    bio::Reader r{bytes, 0};
+    MessageType type{};
+    std::string error;
+    EXPECT_TRUE(readHeader(r, type, error)) << error;
+    ManifestBatchRequest decoded;
+    return decodeManifestBatchRequest(r, decoded);
+  };
+
+  EXPECT_TRUE(decodeBody(wire));
+  {
+    std::string bad = wire;
+    bad[headerSize + 1] = 2; // progress flag: only 0/1 are legal
+    EXPECT_FALSE(decodeBody(bad));
+  }
+  {
+    ManifestBatchRequest shard;
+    shard.manifestBytes = "m";
+    shard.shardIndex = 3;
+    shard.shardCount = 3; // index must be < count
+    EXPECT_FALSE(decodeBody(encodeManifestBatchRequest(shard)));
+  }
+  {
+    ManifestBatchRequest zero;
+    zero.manifestBytes = "m";
+    zero.shardCount = 0; // at least one shard
+    EXPECT_FALSE(decodeBody(encodeManifestBatchRequest(zero)));
+  }
+  EXPECT_FALSE(decodeBody(wire + "junk")); // trailing garbage
+}
+
+/// A corpus on disk plus its serialized manifest, for manifest-batch
+/// round trips against an in-process daemon.
+struct CorpusFixture {
+  std::filesystem::path root;
+  std::string manifestBytes;
+  std::size_t count;
+
+  explicit CorpusFixture(std::size_t sources) : count(sources) {
+    static std::atomic<int> counter{0};
+    root = std::filesystem::temp_directory_path() /
+           ("mira_server_test_corpus_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)));
+    std::filesystem::remove_all(root);
+    std::filesystem::create_directories(root);
+    for (std::size_t i = 0; i < sources; ++i) {
+      const std::string k = std::to_string(i);
+      std::ofstream out(root / ("entry_" + k + ".mc"));
+      out << "int entry_" + k + "(int n) {\n"
+             "  int s = " + k + ";\n"
+             "  for (int i = 0; i < n; i++) {\n"
+             "    s = s + i * " + std::to_string(i + 2) + ";\n"
+             "  }\n"
+             "  return s;\n"
+             "}\n";
+    }
+    corpus::Manifest manifest;
+    std::string error;
+    EXPECT_TRUE(corpus::buildManifest(root.string(), manifest, error))
+        << error;
+    manifestBytes = corpus::serializeManifest(manifest);
+  }
+
+  ~CorpusFixture() { std::filesystem::remove_all(root); }
+};
+
+TEST(AnalysisServerTest, ManifestBatchStreamsProgressAndServesWarmReruns) {
+  DaemonFixture daemon;
+  ASSERT_TRUE(daemon.started());
+  CorpusFixture corpus(3);
+
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
+
+  // Cold run with progress streaming: frames are cumulative and the
+  // last one accounts for the whole selection.
+  std::vector<BatchProgress> frames;
+  std::string reportBytes;
+  ASSERT_TRUE(client.manifestBatch(
+      corpus.manifestBytes, /*sinceBytes=*/"", /*root=*/"",
+      driver::ShardSpec{}, core::MiraOptions(),
+      [&](const BatchProgress &frame) { frames.push_back(frame); },
+      reportBytes))
+      << client.lastError();
+  ASSERT_FALSE(frames.empty());
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_GE(frames[i].done, frames[i - 1].done);
+    EXPECT_EQ(frames[i].total, frames[0].total);
+  }
+  EXPECT_EQ(frames.back().done, corpus.count);
+  EXPECT_EQ(frames.back().total, corpus.count);
+
+  driver::BatchReport report;
+  std::string error;
+  ASSERT_TRUE(driver::deserializeBatchReport(reportBytes, report, error))
+      << error;
+  ASSERT_EQ(report.entries.size(), corpus.count);
+  EXPECT_EQ(report.entries[0].name, "entry_0.mc"); // manifest path order
+  for (const auto &entry : report.entries)
+    EXPECT_TRUE(entry.ok) << entry.name;
+  EXPECT_EQ(report.stats.requests, corpus.count);
+  EXPECT_EQ(report.stats.cacheHits, 0u);
+
+  // Warm rerun on the same daemon, no progress requested: every entry
+  // comes from the memory cache and no frame is streamed.
+  std::string warmBytes;
+  ASSERT_TRUE(client.manifestBatch(corpus.manifestBytes, "", "",
+                                   driver::ShardSpec{}, core::MiraOptions(),
+                                   /*onProgress=*/nullptr, warmBytes))
+      << client.lastError();
+  driver::BatchReport warm;
+  ASSERT_TRUE(driver::deserializeBatchReport(warmBytes, warm, error)) << error;
+  EXPECT_EQ(warm.stats.cacheHits, corpus.count);
+  EXPECT_EQ(warm.stats.requests, corpus.count);
+  for (std::size_t i = 0; i < warm.entries.size(); ++i)
+    EXPECT_EQ(warm.entries[i].key, report.entries[i].key);
+
+  // An unchanged --since baseline selects nothing: empty report, and
+  // the connection stays usable afterwards.
+  std::string emptyBytes;
+  ASSERT_TRUE(client.manifestBatch(corpus.manifestBytes,
+                                   /*sinceBytes=*/corpus.manifestBytes, "",
+                                   driver::ShardSpec{}, core::MiraOptions(),
+                                   nullptr, emptyBytes))
+      << client.lastError();
+  driver::BatchReport empty;
+  ASSERT_TRUE(driver::deserializeBatchReport(emptyBytes, empty, error))
+      << error;
+  EXPECT_TRUE(empty.entries.empty());
+  EXPECT_TRUE(client.ping()) << client.lastError();
+}
+
+TEST(AnalysisServerTest, ManifestBatchRejectsMalformedManifestBlob) {
+  DaemonFixture daemon;
+  ASSERT_TRUE(daemon.started());
+
+  Client client;
+  ASSERT_TRUE(client.connect(daemon.socketPath())) << client.lastError();
+  std::string reportBytes;
+  EXPECT_FALSE(client.manifestBatch("definitely not a manifest", "", "",
+                                    driver::ShardSpec{}, core::MiraOptions(),
+                                    nullptr, reportBytes));
+  EXPECT_EQ(client.lastErrorKind(), Client::ErrorKind::daemon);
+  EXPECT_NE(client.lastError().find("malformed manifest"), std::string::npos)
+      << client.lastError();
+
+  // Error replies close the connection; the daemon itself stays up.
+  Client fresh;
+  ASSERT_TRUE(fresh.connect(daemon.socketPath())) << fresh.lastError();
+  EXPECT_TRUE(fresh.ping()) << fresh.lastError();
+}
+
+// ------------------------------------------- CLI client exit contract
+
+/// Fork/exec the real mira-cli and return its exit code; stdout+stderr
+/// land in `log`. The binary path is compiled in by CMake.
+int runClientCli(const std::vector<std::string> &args,
+                 const std::filesystem::path &log) {
+  std::string command = MIRA_CLI_PATH;
+  for (const std::string &arg : args)
+    command += " '" + arg + "'";
+  command += " > '" + log.string() + "' 2>&1";
+  const int status = std::system(command.c_str());
+  return status == -1 ? -1 : (WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+}
+
+std::string slurp(const std::filesystem::path &path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(ClientCliExitContract, ConnectFailureIsExitThreeWithUnifiedDiagnostic) {
+  // No daemon at the socket: the unified "mira-cli client:" diagnostic
+  // on stderr and exit 3 ("no daemon there"), distinct from transport
+  // failures so scripts can tell "start one" from "it died".
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto log = dir / ("mira_server_test_exit3_" +
+                          std::to_string(::getpid()) + ".log");
+  const auto socket = dir / "mira_server_test_no_such_daemon.sock";
+  std::filesystem::remove(socket);
+  EXPECT_EQ(runClientCli({"client", "ping", "--socket", socket.string()},
+                         log),
+            3);
+  const std::string output = slurp(log);
+  EXPECT_NE(output.find("mira-cli client: "), std::string::npos) << output;
+  std::filesystem::remove(log);
+}
+
+TEST(ClientCliExitContract, MidStreamEofIsExitFourWithUnifiedDiagnostic) {
+  // A "daemon" that accepts, reads the request, and hangs up without
+  // replying: the connection died mid-conversation — exit 4, same
+  // unified stderr prefix.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto socket = dir / ("mira_server_test_eof_" +
+                             std::to_string(::getpid()) + ".sock");
+  const auto log = dir / ("mira_server_test_exit4_" +
+                          std::to_string(::getpid()) + ".log");
+  std::filesystem::remove(socket);
+  std::string error;
+  net::Socket listener = net::listenUnix(socket.string(), error);
+  ASSERT_TRUE(listener.valid()) << error;
+  std::thread fake([&] {
+    net::Socket peer = net::acceptConnection(listener);
+    if (!peer.valid())
+      return;
+    std::string request;
+    net::readFrame(peer.fd(), request, kMaxFrameBytes);
+    peer.close(); // EOF instead of a reply
+  });
+  EXPECT_EQ(runClientCli({"client", "ping", "--socket", socket.string()},
+                         log),
+            4);
+  fake.join();
+  const std::string output = slurp(log);
+  EXPECT_NE(output.find("mira-cli client: "), std::string::npos) << output;
+  std::filesystem::remove(socket);
+  std::filesystem::remove(log);
 }
 
 TEST(AnalysisServerTest, RefusesSecondDaemonOnSamePath) {
