@@ -90,7 +90,17 @@ bool parseShardSpec(const std::string &text, ShardSpec &shard) {
 bool keyInShard(std::uint64_t key, const ShardSpec &shard) {
   if (shard.count <= 1)
     return true;
-  return key % shard.count == shard.index;
+  // Finalize (splitmix64) before the modulo: request keys have low-bit
+  // structure (whole corpora share key % 4), and a raw `key % count`
+  // then leaves entire shards empty — fatal for a fleet run, where an
+  // empty shard means an idle worker and a loaded one does everything.
+  std::uint64_t mixed = key;
+  mixed ^= mixed >> 30;
+  mixed *= 0xbf58476d1ce4e5b9ull;
+  mixed ^= mixed >> 27;
+  mixed *= 0x94d049bb133111ebull;
+  mixed ^= mixed >> 31;
+  return mixed % shard.count == shard.index;
 }
 
 ManifestSelection selectManifestEntries(const corpus::Manifest &manifest,

@@ -171,7 +171,11 @@ struct ShardSpec {
 /// 0-based ShardSpec. False on junk, I < 1, N < 1, or I > N.
 bool parseShardSpec(const std::string &text, ShardSpec &shard);
 
-/// True when `key` belongs to `shard` (key % count == index).
+/// True when `key` belongs to `shard`: the key is bit-mixed (splitmix64
+/// finalizer) and reduced modulo the shard count, so shards stay
+/// balanced even though raw request keys share low-bit structure. A
+/// pure function of (key, shard) — every participant in a fleet run
+/// computes the same partition with no coordination.
 bool keyInShard(std::uint64_t key, const ShardSpec &shard);
 
 /// The work one manifest-batch invocation owns, plus the diff view it

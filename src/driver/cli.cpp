@@ -53,22 +53,28 @@
 //       entries; prune removes entries no given manifest's sources can
 //       produce (union over manifests and all option-flag combos).
 //
-//   mira-cli serve --socket PATH [--threads N] [--model-threads N]
+//   mira-cli serve [--socket PATH] [--listen HOST:PORT] [--secret S]
+//            [--threads N] [--model-threads N]
 //            [--cache-dir DIR] [--cache-limit BYTES] [--max-inflight N]
 //            [--drain-timeout SECONDS] [--metrics-file PATH]
-//       Long-lived analysis daemon on a Unix-domain socket: the
-//       in-memory cache stays hot across requests, so repeat analyses
-//       cost one socket round-trip instead of a process start plus a
-//       cold pipeline. Connections are pipelined (replies in request
-//       order); --max-inflight bounds concurrent analyses (excess gets
-//       a Busy reply, not an unbounded queue); --metrics-file keeps a
-//       Prometheus-style dump fresh on disk. Stops on SIGINT/SIGTERM or
-//       a client shutdown, draining in-flight work for up to
-//       --drain-timeout seconds.
+//       Long-lived analysis daemon on a Unix-domain socket and/or a TCP
+//       endpoint (--listen, port 0 = kernel-assigned, printed in the
+//       readiness line): the in-memory cache stays hot across requests,
+//       so repeat analyses cost one socket round-trip instead of a
+//       process start plus a cold pipeline. --secret demands a
+//       shared-secret Hello handshake before any request is served (a
+//       stray port scan triggers no compute). Connections are pipelined
+//       (replies in request order); --max-inflight bounds concurrent
+//       analyses (excess gets a Busy reply, not an unbounded queue);
+//       --metrics-file keeps a Prometheus-style dump fresh on disk.
+//       Stops on SIGINT/SIGTERM or a client shutdown, draining
+//       in-flight work for up to --drain-timeout seconds.
 //
 //   mira-cli client <analyze|batch|coverage|simulate|manifest-diff|
-//            cache-stats|metrics|ping|shutdown> --socket PATH
-//            [sources...] [--no-optimize] [--no-vectorize]
+//            cache-stats|metrics|ping|shutdown>
+//            (--socket PATH | --connect HOST:PORT) [sources...]
+//            [--secret S] [--connect-timeout SECONDS]
+//            [--no-optimize] [--no-vectorize]
 //            [--emit-python] [--wire-version N] [--busy-retries N]
 //       Talk to a running daemon over the wire protocol
 //       (docs/PROTOCOL.md). --wire-version 1 speaks the v1 dialect
@@ -84,6 +90,20 @@
 //       line on stderr, exit 3 when no daemon answered the socket,
 //       exit 4 when the connection died mid-conversation, exit 1 when
 //       the daemon or the analysis failed.
+//
+//   mira-cli coordinate --manifest FILE --workers host:port[,...]
+//            [--shard-count N] [--since OLD] [--root DIR] [--report FILE]
+//            [--lease-timeout SECONDS] [--connect-timeout SECONDS]
+//            [--secret S] [--metrics-file PATH] [--progress]
+//       Drive a corpus manifest across a fleet of TCP worker daemons
+//       (docs/FLEET.md): shards are handed out as epoch-stamped leases
+//       over the ManifestBatch request, progress frames double as
+//       heartbeats, a dead or stalled worker's lease is re-issued under
+//       a bumped epoch (stale replies are fenced), and the per-shard
+//       reports merge into bytes identical to a 1-process local `batch
+//       --manifest` run. Exit codes follow the client contract: 0 ok,
+//       1 daemon/analysis failure, 3 no worker reachable, 4 the fleet
+//       died mid-run.
 //
 // '@name' pulls an embedded workload (stream, dgemm, minife, fig5,
 // listings) instead of reading a file. See docs/CLI.md for a full tour,
@@ -107,10 +127,12 @@
 
 #include "corpus/manifest.h"
 #include "driver/batch.h"
+#include "fleet/coordinator.h"
 #include "model/python_emitter.h"
 #include "support/binary_io.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "support/socket.h"
 #include "support/cache_store.h"
 #include "support/string_utils.h"
 #include "sema/ast_stats.h"
@@ -125,7 +147,7 @@ int usage(const char *argv0) {
   std::fprintf(
       stderr,
       "usage: %s <analyze|batch|coverage|simulate|manifest|cache|serve|"
-      "client> [args]\n"
+      "client|coordinate> [args]\n"
       "  analyze <file.mc|@workload> [--no-optimize] [--no-vectorize]\n"
       "          [--emit-python] [--model-threads N] [--cache-dir DIR]\n"
       "  batch <files/@workloads...> [--threads N] [--no-cache]\n"
@@ -143,16 +165,23 @@ int usage(const char *argv0) {
       "  manifest merge --out FILE <reports...>\n"
       "  cache <stats|clear|prune> --cache-dir DIR [--schema vN]\n"
       "          [--manifest FILE]...\n"
-      "  serve --socket PATH [--threads N] [--model-threads N]\n"
+      "  serve [--socket PATH] [--listen HOST:PORT] [--secret S]\n"
+      "          [--threads N] [--model-threads N]\n"
       "          [--cache-dir DIR] [--cache-limit BYTES] [--max-inflight N]\n"
       "          [--drain-timeout SECONDS] [--metrics-file PATH]\n"
       "  client <analyze|batch|coverage|simulate|manifest-diff|cache-stats|\n"
-      "          metrics|ping|shutdown> --socket PATH [sources...]\n"
+      "          metrics|ping|shutdown> (--socket PATH | --connect HOST:PORT)\n"
+      "          [sources...] [--secret S] [--connect-timeout SECONDS]\n"
       "          [--no-optimize] [--no-vectorize] [--emit-python]\n"
       "          [--wire-version N] [--busy-retries N]\n"
       "          [--function NAME] [--sim-arg V] [--fast-forward]\n"
       "  client batch --manifest FILE [--since OLD] [--shard I/N]\n"
       "          [--root DIR] [--report FILE] [--progress] --socket PATH\n"
+      "  coordinate --manifest FILE --workers host:port[,host:port...]\n"
+      "          [--shard-count N] [--since OLD] [--root DIR] [--report FILE]\n"
+      "          [--lease-timeout SECONDS] [--connect-timeout SECONDS]\n"
+      "          [--secret S] [--metrics-file PATH] [--progress]\n"
+      "          [--no-optimize] [--no-vectorize]\n"
       "workloads: @stream @dgemm @minife @fig5 @listings\n"
       "--cache-limit accepts plain bytes or a K/M/G suffix (e.g. 64M)\n"
       "--sim-arg parses integers (8) and doubles (2.5) positionally\n"
@@ -245,6 +274,13 @@ struct CommonFlags {
   driver::ShardSpec shard;      ///< batch --shard I/N (default: unsharded)
   bool shardGiven = false;      ///< --shard appeared (even as 1/1)
   bool progress = false;        ///< client batch --progress (stream frames)
+  std::string listenSpec;       ///< serve --listen HOST:PORT (TCP endpoint)
+  std::string connectSpec;      ///< client --connect HOST:PORT (TCP daemon)
+  std::string secret;           ///< shared-secret handshake (both sides)
+  std::string workersSpec;      ///< coordinate --workers h:p,... (repeatable)
+  std::size_t shardCount = 0;   ///< coordinate --shard-count (0 = #workers)
+  double leaseTimeoutSeconds = 10.0;  ///< coordinate --lease-timeout
+  double connectTimeoutSeconds = 5.0; ///< TCP connect bound (client too)
 };
 
 /// Parse "1048576", "64K", "64M", "2G" into bytes; false on junk or on
@@ -394,6 +430,53 @@ bool parseFlags(std::vector<std::string> &args, CommonFlags &flags) {
         return false;
       }
       flags.metricsFile = args[++i];
+    } else if (a == "--listen") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--listen requires HOST:PORT\n");
+        return false;
+      }
+      flags.listenSpec = args[++i];
+    } else if (a == "--connect") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--connect requires HOST:PORT\n");
+        return false;
+      }
+      flags.connectSpec = args[++i];
+    } else if (a == "--secret") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--secret requires a value\n");
+        return false;
+      }
+      flags.secret = args[++i];
+    } else if (a == "--workers") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--workers requires host:port[,host:port...]\n");
+        return false;
+      }
+      // Repeatable; occurrences accumulate into one comma-joined list.
+      if (!flags.workersSpec.empty())
+        flags.workersSpec += ',';
+      flags.workersSpec += args[++i];
+    } else if (a == "--shard-count") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--shard-count requires a value\n");
+        return false;
+      }
+      flags.shardCount = static_cast<std::size_t>(
+          std::max(0L, std::atol(args[++i].c_str())));
+    } else if (a == "--lease-timeout") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--lease-timeout requires seconds\n");
+        return false;
+      }
+      flags.leaseTimeoutSeconds = std::max(0.05, std::atof(args[++i].c_str()));
+    } else if (a == "--connect-timeout") {
+      if (i + 1 == args.size()) {
+        std::fprintf(stderr, "--connect-timeout requires seconds\n");
+        return false;
+      }
+      flags.connectTimeoutSeconds =
+          std::max(0.05, std::atof(args[++i].c_str()));
     } else if (a == "--busy-retries") {
       if (i + 1 == args.size()) {
         std::fprintf(stderr, "--busy-retries requires a value\n");
@@ -1282,13 +1365,24 @@ int cmdServe(std::vector<std::string> args) {
   CommonFlags flags;
   if (!parseFlags(args, flags) || !args.empty())
     return 2;
-  if (flags.socketPath.empty()) {
-    std::fprintf(stderr, "serve requires --socket PATH\n");
+  if (flags.socketPath.empty() && flags.listenSpec.empty()) {
+    std::fprintf(stderr,
+                 "serve requires --socket PATH and/or --listen HOST:PORT\n");
     return 2;
   }
 
   server::ServerOptions options;
   options.socketPath = flags.socketPath;
+  if (!flags.listenSpec.empty()) {
+    std::string parseError;
+    if (!net::parseHostPort(flags.listenSpec, options.tcpHost,
+                            options.tcpPortRequested, parseError)) {
+      std::fprintf(stderr, "--listen: %s\n", parseError.c_str());
+      return 2;
+    }
+    options.tcpListen = true;
+  }
+  options.secret = flags.secret;
   options.threads = flags.threads;
   options.modelThreads = flags.modelThreads;
   options.cacheDir = flags.cacheDir;
@@ -1309,8 +1403,18 @@ int cmdServe(std::vector<std::string> args) {
   std::signal(SIGINT, onStopSignal);
   std::signal(SIGTERM, onStopSignal);
 
+  // The readiness line names every endpoint; a --listen port of 0 is
+  // printed as the kernel-assigned port so supervisors and tests can
+  // parse `tcp HOST:PORT` out of it instead of racing for a fixed port.
+  std::string endpoints = options.socketPath;
+  if (options.tcpListen) {
+    if (!endpoints.empty())
+      endpoints += " and ";
+    endpoints +=
+        "tcp " + options.tcpHost + ":" + std::to_string(daemon.tcpPort());
+  }
   std::printf("mira daemon listening on %s (%zu session threads%s%s)\n",
-              options.socketPath.c_str(), options.threads,
+              endpoints.c_str(), options.threads,
               options.cacheDir.empty() ? "" : ", disk cache at ",
               options.cacheDir.c_str());
   std::fflush(stdout); // supervisors tail this line to detect readiness
@@ -1353,9 +1457,28 @@ int clientFailure(const server::Client &client) {
 
 int requireClientConnection(server::Client &client,
                             const CommonFlags &flags) {
-  if (flags.socketPath.empty()) {
-    std::fprintf(stderr, "client requires --socket PATH\n");
+  if (flags.socketPath.empty() && flags.connectSpec.empty()) {
+    std::fprintf(stderr,
+                 "client requires --socket PATH or --connect HOST:PORT\n");
     return 2;
+  }
+  if (!flags.socketPath.empty() && !flags.connectSpec.empty()) {
+    std::fprintf(stderr, "--socket and --connect are mutually exclusive\n");
+    return 2;
+  }
+  client.setConnectTimeoutMillis(
+      static_cast<int>(flags.connectTimeoutSeconds * 1000.0));
+  client.setSecret(flags.secret);
+  if (!flags.connectSpec.empty()) {
+    std::string host, parseError;
+    std::uint16_t port = 0;
+    if (!net::parseHostPort(flags.connectSpec, host, port, parseError)) {
+      std::fprintf(stderr, "--connect: %s\n", parseError.c_str());
+      return 2;
+    }
+    if (!client.connectTcp(host, port))
+      return clientFailure(client);
+    return 0;
   }
   if (!client.connect(flags.socketPath))
     return clientFailure(client);
@@ -1393,7 +1516,9 @@ int cmdClient(std::vector<std::string> args) {
       return rc;
     if (!client.ping())
       return clientFailure(client);
-    std::printf("daemon at %s is alive\n", flags.socketPath.c_str());
+    std::printf("daemon at %s is alive\n",
+                flags.socketPath.empty() ? flags.connectSpec.c_str()
+                                         : flags.socketPath.c_str());
     return 0;
   }
 
@@ -1403,7 +1528,8 @@ int cmdClient(std::vector<std::string> args) {
     if (!client.shutdownServer())
       return clientFailure(client);
     std::printf("daemon at %s acknowledged shutdown\n",
-                flags.socketPath.c_str());
+                flags.socketPath.empty() ? flags.connectSpec.c_str()
+                                         : flags.socketPath.c_str());
     return 0;
   }
 
@@ -1684,6 +1810,84 @@ int cmdClient(std::vector<std::string> args) {
   return 2;
 }
 
+// -------------------------------------------------------- coordinator
+
+/// `mira-cli coordinate`: run a corpus manifest across TCP worker
+/// daemons with shard leases and failover (src/fleet/coordinator.h,
+/// docs/FLEET.md). Exit codes follow the client contract: 0 ok, 1 the
+/// work itself failed (daemon rejection or failing entries in the
+/// merged report), 3 no worker was ever reachable, 4 the fleet died
+/// mid-run.
+int cmdCoordinate(std::vector<std::string> args) {
+  CommonFlags flags;
+  if (!parseFlags(args, flags) || !args.empty())
+    return 2;
+  if (flags.manifestPaths.size() != 1) {
+    std::fprintf(stderr, "coordinate requires exactly one --manifest FILE\n");
+    return 2;
+  }
+  if (flags.workersSpec.empty()) {
+    std::fprintf(stderr,
+                 "coordinate requires --workers host:port[,host:port...]\n");
+    return 2;
+  }
+
+  fleet::CoordinatorOptions options;
+  std::string error;
+  if (!fleet::parseWorkerList(flags.workersSpec, options.workers, error)) {
+    std::fprintf(stderr, "--workers: %s\n", error.c_str());
+    return 2;
+  }
+  if (!readFileBytes(flags.manifestPaths[0], options.manifestBytes))
+    return kExitTrouble;
+  if (!flags.sincePath.empty() &&
+      !readFileBytes(flags.sincePath, options.sinceBytes))
+    return kExitTrouble;
+  options.root = flags.rootOverride;
+  options.options = optionsFor(flags);
+  options.shardCount = flags.shardCount;
+  options.leaseTimeoutMillis =
+      static_cast<std::uint32_t>(flags.leaseTimeoutSeconds * 1000.0);
+  options.connectTimeoutMillis =
+      static_cast<int>(flags.connectTimeoutSeconds * 1000.0);
+  options.secret = flags.secret;
+  options.metricsFile = flags.metricsFile;
+  if (flags.progress)
+    options.onEvent = [](const std::string &line) {
+      // Lease traffic is operator feedback, not results: stderr, so
+      // stdout stays byte-comparable with and without --progress.
+      std::fprintf(stderr, "fleet: %s\n", line.c_str());
+    };
+
+  core::MetricsRegistry metrics;
+  const fleet::CoordinatorResult result =
+      fleet::runCoordinator(options, metrics);
+  if (result.status != fleet::CoordinatorStatus::ok) {
+    // Same one-line diagnostic discipline as `mira-cli client`.
+    std::fprintf(stderr, "mira-cli coordinate: %s\n", result.error.c_str());
+    switch (result.status) {
+    case fleet::CoordinatorStatus::connectFailed:
+      return 3;
+    case fleet::CoordinatorStatus::transportFailed:
+      return 4;
+    default:
+      return 1;
+    }
+  }
+
+  for (const auto &entry : result.report.entries)
+    std::printf("%-24s | %-6s | %016llx\n", entry.name.c_str(),
+                entry.ok ? "ok" : "FAILED",
+                static_cast<unsigned long long>(entry.key));
+  printReportSummary(result.report);
+  // The merged bytes go to disk untouched: byte-identical to a local
+  // 1-process `batch --manifest --report` run by the fleet contract.
+  if (!flags.reportPath.empty() &&
+      !writeFileBytes(flags.reportPath, result.reportBytes))
+    return 1;
+  return result.report.stats.failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -1708,6 +1912,8 @@ int main(int argc, char **argv) {
     result = cmdServe(std::move(args));
   else if (command == "client")
     result = cmdClient(std::move(args));
+  else if (command == "coordinate")
+    result = cmdCoordinate(std::move(args));
   if (result == kExitTrouble)
     return 2; // specific message already printed; no usage dump
   return result == 2 ? usage(argv[0]) : result;

@@ -19,6 +19,32 @@ bool Client::connect(const std::string &path) {
   socket_ = net::connectUnix(path, error);
   if (!socket_.valid())
     return fail(ErrorKind::connect, error);
+  return finishConnect("'" + path + "'");
+}
+
+bool Client::connectTcp(const std::string &host, std::uint16_t port) {
+  disconnect();
+  std::string error;
+  socket_ = net::connectTcp(host, port, connect_timeout_, error);
+  if (!socket_.valid())
+    return fail(ErrorKind::connect, error);
+  return finishConnect(host + ":" + std::to_string(port));
+}
+
+bool Client::finishConnect(const std::string &where) {
+  if (read_timeout_ > 0)
+    net::setReadTimeout(socket_.fd(), read_timeout_);
+  if (!secret_.empty()) {
+    // The handshake is this session's first frame; any failure means
+    // the connection never became usable, so it classifies as connect.
+    std::string reply;
+    if (!roundTrip(encodeHelloRequest(secret_), MessageType::helloReply,
+                   reply)) {
+      disconnect();
+      return fail(ErrorKind::connect,
+                  "handshake with " + where + " failed: " + error_);
+    }
+  }
   kind_ = ErrorKind::none;
   return true;
 }

@@ -71,9 +71,30 @@ public:
   void setBusyRetries(std::size_t retries) { busy_retries_ = retries; }
   std::size_t busyRetries() const { return busy_retries_; }
 
+  /// Bound on establishing a TCP connection, milliseconds (<= 0 waits
+  /// indefinitely). Unix-domain connects are immediate and unaffected.
+  void setConnectTimeoutMillis(int millis) { connect_timeout_ = millis; }
+
+  /// Bound on waiting for any single reply frame, milliseconds (<= 0
+  /// waits indefinitely, the default). A stalled daemon then surfaces
+  /// as a transport failure instead of a hang. Applies to connections
+  /// opened after the call, on either transport.
+  void setReadTimeoutMillis(int millis) { read_timeout_ = millis; }
+
+  /// Shared secret for daemons started with one: connect()/connectTcp()
+  /// then sends a Hello frame as the session's first request and fails
+  /// (ErrorKind::connect) unless the daemon answers helloReply. Empty
+  /// (default) skips the handshake. Requires protocol v2.
+  void setSecret(const std::string &secret) { secret_ = secret; }
+
   /// Connect to the daemon socket at `path`. False (see lastError()) if
   /// no daemon is listening.
   bool connect(const std::string &path);
+
+  /// Connect to a daemon's TCP endpoint at `host:port`, honoring the
+  /// connect timeout. False (see lastError()) when unreachable or the
+  /// handshake is rejected.
+  bool connectTcp(const std::string &host, std::uint16_t port);
 
   bool connected() const { return socket_.valid(); }
 
@@ -179,12 +200,20 @@ private:
   bool receiveReply(MessageType &type, std::string &reply);
   bool decodeOutcome(const AnalyzeReply &wire, ClientOutcome &outcome);
   bool fail(ErrorKind kind, const std::string &message);
+  /// Shared tail of connect()/connectTcp(): arm the read timeout and
+  /// run the Hello handshake when a secret is configured. On handshake
+  /// failure the socket is closed and ErrorKind::connect recorded (the
+  /// session was never usable).
+  bool finishConnect(const std::string &where);
 
   net::Socket socket_;
   std::string error_;
   ErrorKind kind_ = ErrorKind::none;
   std::uint32_t version_ = kProtocolVersion;
   std::size_t busy_retries_ = 8;
+  int connect_timeout_ = 0;
+  int read_timeout_ = 0;
+  std::string secret_;
 };
 
 } // namespace mira::server

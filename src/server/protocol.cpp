@@ -251,6 +251,13 @@ std::string encodeMetricsRequest() {
   return encodeEmptyMessage(MessageType::metrics, kProtocolVersion);
 }
 
+std::string encodeHelloRequest(const std::string &secret) {
+  std::string out;
+  beginMessage(out, MessageType::hello, kProtocolVersion);
+  bio::putString(out, secret);
+  return out;
+}
+
 std::string encodeManifestBatchRequest(const ManifestBatchRequest &request) {
   std::string out;
   beginMessage(out, MessageType::manifestBatch, kProtocolVersion);
@@ -511,6 +518,10 @@ bool decodeManifestDiffRequest(bio::Reader &r, std::string &oldManifestBytes,
                                std::string &newManifestBytes) {
   return r.str(oldManifestBytes) && r.str(newManifestBytes) &&
          r.remaining() == 0;
+}
+
+bool decodeHelloRequest(bio::Reader &r, std::string &secret) {
+  return r.str(secret) && r.remaining() == 0;
 }
 
 bool decodeManifestBatchRequest(bio::Reader &r,

@@ -20,14 +20,18 @@
 /// kProtocolVersionMin up, and replies are encoded in the requester's
 /// version (v1 clients get v1 payload bytes, and never see v2-only
 /// message types or stats fields). The ManifestDiff and ManifestBatch
-/// requests and the Metrics/Busy/BatchProgress messages are additive
-/// late-v2 extensions (new message types, no layout changes); older v2
-/// daemons answer them with Error-and-close like any unknown type,
-/// which clients must treat as "not supported". Busy and BatchProgress
-/// are the two replies that do NOT close the connection: Busy reports
-/// the in-flight cap was hit and carries a retry-after hint;
-/// BatchProgress precedes a manifestBatchReply on the same request. See
-/// docs/PROTOCOL.md, "Compatibility".
+/// requests and the Metrics/Busy/BatchProgress/Hello messages are
+/// additive late-v2 extensions (new message types, no layout changes);
+/// older v2 daemons answer them with Error-and-close like any unknown
+/// type, which clients must treat as "not supported". Busy and
+/// BatchProgress are the two replies that do NOT close the connection:
+/// Busy reports the in-flight cap was hit and carries a retry-after
+/// hint; BatchProgress precedes a manifestBatchReply on the same
+/// request. Hello is the optional shared-secret handshake used on TCP
+/// endpoints: a daemon started with a secret answers every other
+/// request with Error-and-close until the session's first frame is a
+/// Hello carrying the matching secret. See docs/PROTOCOL.md,
+/// "Compatibility".
 ///
 /// Analysis results travel as the canonical artifact payload of
 /// driver::serializeArtifactPayload — the same bytes the disk cache
@@ -81,6 +85,7 @@ enum class MessageType : std::uint8_t {
   manifestDiff = 8, ///< (v2) diff two corpus manifests: [old str][new str]
   metrics = 9,    ///< (v2) named counter/gauge snapshot; empty body
   manifestBatch = 10, ///< (v2) run a whole manifest (ManifestBatchRequest)
+  hello = 11,     ///< (v2) shared-secret handshake: [secret str]
 
   // Replies (server -> client).
   error = 100,           ///< [message str]; connection closes after
@@ -98,6 +103,8 @@ enum class MessageType : std::uint8_t {
   batchProgress = 112,   ///< (v2) streamed before manifestBatchReply; the
                          ///< second reply type that does NOT close the
                          ///< connection (see BatchProgress)
+  helloReply = 113,      ///< (v2) handshake accepted; empty body, the
+                         ///< connection stays open for requests
 };
 
 /// Model-affecting option bits carried by analyze/batch requests —
@@ -301,6 +308,10 @@ std::string encodeManifestDiffRequest(const std::string &oldManifestBytes,
                                       const std::string &newManifestBytes);
 /// Build a metrics request (v2): header only, like ping.
 std::string encodeMetricsRequest();
+/// Build a hello handshake request (v2) carrying the shared secret:
+/// [secret str]. Sent as a session's first frame on authenticated
+/// endpoints; answered with helloReply (empty) or Error-and-close.
+std::string encodeHelloRequest(const std::string &secret);
 /// Build a manifestBatch request (v2).
 std::string encodeManifestBatchRequest(const ManifestBatchRequest &request);
 /// Build a batchProgress frame (v2).
@@ -352,6 +363,8 @@ bool decodeSimulateRequest(bio::Reader &r, SourceItem &item,
 /// Error on blobs that fail validation there).
 bool decodeManifestDiffRequest(bio::Reader &r, std::string &oldManifestBytes,
                                std::string &newManifestBytes);
+/// Decode a hello handshake request body into the presented secret.
+bool decodeHelloRequest(bio::Reader &r, std::string &secret);
 /// Decode a manifestBatch request body. Validates the scalar fields
 /// (progress byte <= 1, shardCount >= 1, shardIndex < shardCount) but
 /// not the manifest blobs — the caller runs corpus::deserializeManifest

@@ -66,6 +66,10 @@ struct AnalysisServer::Session {
   std::uint64_t closeAfterSeq = kNoCloseSeq;
   /// A write failed or closeAfterSeq was flushed: stop writing.
   bool aborted = false;
+  /// The session passed the shared-secret handshake (or none is
+  /// configured). Only the reader thread consults and sets this, so no
+  /// synchronization is needed.
+  bool authed = false;
   /// The reader loop exited: the peer closed, vanished, or the daemon is
   /// draining. Long-running manifest batches poll this between chunks so
   /// a disconnected client's work is abandoned instead of computed into
@@ -110,7 +114,7 @@ AnalysisServer::AnalysisServer(ServerOptions options)
 }
 
 AnalysisServer::~AnalysisServer() {
-  if (bound_) {
+  if (bound_ && !options_.socketPath.empty()) {
     // serve() normally unlinks; cover start()-without-serve() too.
     ::unlink(options_.socketPath.c_str());
   }
@@ -125,16 +129,34 @@ bool AnalysisServer::start(std::string &error) {
   stop_read_ = net::Socket(pipeFds[0]);
   stop_write_ = net::Socket(pipeFds[1]);
 
-  // Owner-only from the first instant: bind() creates the inode with
-  // 0777&~umask, so a chmod afterwards would leave a connectable
-  // window under a permissive umask. umask is process-global; start()
-  // runs before the daemon spawns request threads (docs/SERVING.md).
-  const mode_t oldMask = ::umask(0177);
-  listener_ = net::listenUnix(options_.socketPath, error);
-  ::umask(oldMask);
-  if (!listener_.valid())
+  if (options_.socketPath.empty() && !options_.tcpListen) {
+    error = "no endpoint configured: set a socket path or a TCP listen "
+            "address";
     return false;
-  ::chmod(options_.socketPath.c_str(), 0600);
+  }
+  if (!options_.socketPath.empty()) {
+    // Owner-only from the first instant: bind() creates the inode with
+    // 0777&~umask, so a chmod afterwards would leave a connectable
+    // window under a permissive umask. umask is process-global; start()
+    // runs before the daemon spawns request threads (docs/SERVING.md).
+    const mode_t oldMask = ::umask(0177);
+    listener_ = net::listenUnix(options_.socketPath, error);
+    ::umask(oldMask);
+    if (!listener_.valid())
+      return false;
+    ::chmod(options_.socketPath.c_str(), 0600);
+  }
+  if (options_.tcpListen) {
+    tcp_listener_ =
+        net::listenTcp(options_.tcpHost, options_.tcpPortRequested, error);
+    if (!tcp_listener_.valid()) {
+      if (!options_.socketPath.empty()) {
+        listener_.close();
+        ::unlink(options_.socketPath.c_str());
+      }
+      return false;
+    }
+  }
   bound_ = true;
   return true;
 }
@@ -154,8 +176,12 @@ void AnalysisServer::serve() {
   // refresh it; otherwise block in poll indefinitely.
   const int pollTimeoutMillis = options_.metricsFile.empty() ? -1 : 1000;
   for (;;) {
-    pollfd fds[2] = {{listener_.fd(), POLLIN, 0}, {stop_read_.fd(), POLLIN, 0}};
-    const int ready = ::poll(fds, 2, pollTimeoutMillis);
+    // Endpoint fds first, the stop pipe last; either listener may be
+    // absent (fd -1 entries are ignored by poll).
+    pollfd fds[3] = {{listener_.fd(), POLLIN, 0},
+                     {tcp_listener_.fd(), POLLIN, 0},
+                     {stop_read_.fd(), POLLIN, 0}};
+    const int ready = ::poll(fds, 3, pollTimeoutMillis);
     if (ready < 0) {
       if (errno == EINTR)
         continue;
@@ -165,21 +191,25 @@ void AnalysisServer::serve() {
       writeMetricsFile();
       continue;
     }
-    if (fds[1].revents != 0)
+    if (fds[2].revents != 0)
       break; // stop requested
-    if ((fds[0].revents & POLLIN) == 0)
-      continue;
-    net::Socket conn = net::acceptConnection(listener_);
-    if (!conn.valid())
-      continue; // transient (EMFILE, aborted handshake): keep serving
-    connections_accepted_.increment();
-    auto session = std::make_shared<Session>(*this, std::move(conn));
-    sessions_->submit([this, session] { handleConnection(session); });
+    for (int i = 0; i < 2; ++i) {
+      if ((fds[i].revents & POLLIN) == 0)
+        continue;
+      net::Socket conn =
+          net::acceptConnection(i == 0 ? listener_ : tcp_listener_);
+      if (!conn.valid())
+        continue; // transient (EMFILE, aborted handshake): keep serving
+      connections_accepted_.increment();
+      auto session = std::make_shared<Session>(*this, std::move(conn));
+      sessions_->submit([this, session] { handleConnection(session); });
+    }
   }
 
   // Graceful drain. Step 1: stop accepting and wake idle readers —
   // blocked readFrames see EOF, replies in flight still go out.
   listener_.close();
+  tcp_listener_.close();
   {
     std::lock_guard<std::mutex> lock(connections_mutex_);
     stopping_ = true;
@@ -204,7 +234,8 @@ void AnalysisServer::serve() {
   }
   sessions_->waitIdle();
   compute_->waitIdle();
-  ::unlink(options_.socketPath.c_str());
+  if (!options_.socketPath.empty())
+    ::unlink(options_.socketPath.c_str());
   bound_ = false;
   writeMetricsFile();
 }
@@ -267,6 +298,33 @@ bool AnalysisServer::handleFrame(const std::shared_ptr<Session> &session,
     // The peer's dialect is unknown; v1 error frames are the common
     // denominator every client version can decode.
     sendErrorAt(session, seq, headerError, kProtocolVersionMin);
+    return false;
+  }
+
+  // The shared-secret handshake is resolved before any dispatch: on a
+  // secret-bearing daemon nothing past this point runs (and no compute
+  // is ever scheduled) until the session's first frame is a Hello with
+  // the matching secret. A stray port scan gets one Error frame and a
+  // closed connection.
+  if (type == MessageType::hello) {
+    std::string presented;
+    if (version < 2 || !decodeHelloRequest(r, presented)) {
+      sendErrorAt(session, seq, "malformed hello request", version);
+      return false;
+    }
+    if (!options_.secret.empty() && presented != options_.secret) {
+      sendErrorAt(session, seq, "handshake rejected", version);
+      return false;
+    }
+    // A hello on a secretless daemon is accepted too, so clients can
+    // always send one without knowing the daemon's configuration.
+    session->authed = true;
+    enqueueReply(session, seq,
+                 encodeEmptyMessage(MessageType::helloReply, version), false);
+    return true;
+  }
+  if (!options_.secret.empty() && !session->authed) {
+    sendErrorAt(session, seq, "handshake required", version);
     return false;
   }
 

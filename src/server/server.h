@@ -1,7 +1,8 @@
 /// \file
 /// The long-lived analysis daemon behind `mira-cli serve`.
 ///
-/// AnalysisServer listens on a Unix-domain socket, fans client sessions
+/// AnalysisServer listens on a Unix-domain socket and/or a TCP
+/// endpoint, fans client sessions
 /// across a ThreadPool, and answers protocol requests (server/protocol.h)
 /// from one shared BatchAnalyzer — so the in-memory analysis cache stays
 /// hot across requests and processes stop paying startup plus cold-cache
@@ -45,8 +46,23 @@ namespace mira::server {
 /// over the wire; everything here is placement and execution strategy.
 struct ServerOptions {
   /// Filesystem path of the Unix-domain listening socket. The daemon
-  /// creates it (mode 0600) and unlinks it on clean shutdown.
+  /// creates it (mode 0600) and unlinks it on clean shutdown. Empty =
+  /// no Unix endpoint (TCP-only daemon; at least one endpoint must be
+  /// configured).
   std::string socketPath;
+  /// When true, also (or only) listen on TCP at tcpHost:tcpPort. Port 0
+  /// asks the kernel for an ephemeral port — read it back with
+  /// tcpPort() after start().
+  bool tcpListen = false;
+  std::string tcpHost = "127.0.0.1"; ///< TCP bind address
+  std::uint16_t tcpPortRequested = 0; ///< TCP bind port; 0 = ephemeral
+  /// Optional shared secret. When set, every session's first frame must
+  /// be a Hello carrying exactly this string; anything else (including
+  /// a stray port-scan probe) is answered Error-and-close before any
+  /// request dispatch or compute. Applies to both endpoints so a
+  /// daemon's auth story does not depend on which transport a client
+  /// picked.
+  std::string secret;
   /// Concurrent client sessions (reader threads) and, independently,
   /// compute workers. Additional accepted connections wait in the pool
   /// queue until a reader frees up.
@@ -78,8 +94,9 @@ struct ServerOptions {
   std::string metricsFile;
 };
 
-/// Unix-socket analysis daemon serving the wire protocol of
-/// server/protocol.h from a shared two-level analysis cache.
+/// Analysis daemon serving the wire protocol of server/protocol.h from
+/// a shared two-level analysis cache, over a Unix-domain socket, a TCP
+/// endpoint, or both — sessions behave identically on either transport.
 class AnalysisServer {
 public:
   explicit AnalysisServer(ServerOptions options);
@@ -123,6 +140,11 @@ public:
   std::string renderMetricsText() const;
 
   const ServerOptions &options() const { return options_; }
+
+  /// The TCP port actually bound (resolves a requested port of 0 to the
+  /// kernel-assigned one). 0 when the daemon has no TCP endpoint or
+  /// start() has not succeeded yet.
+  std::uint16_t tcpPort() const { return net::boundPort(tcp_listener_); }
 
 private:
   /// Per-connection state: the socket, the reader's sequence numbers,
@@ -206,7 +228,8 @@ private:
   /// client never starves computation (and vice versa), and so one
   /// connection can have several requests genuinely in flight.
   std::unique_ptr<ThreadPool> compute_;
-  net::Socket listener_;
+  net::Socket listener_;     // Unix endpoint (invalid when socketPath empty)
+  net::Socket tcp_listener_; // TCP endpoint (invalid when !tcpListen)
   net::Socket stop_read_, stop_write_; // self-pipe: poll()-able stop event
   std::chrono::steady_clock::time_point started_;
   bool bound_ = false;

@@ -5,8 +5,15 @@
 
 #include "support/fault_injection.h"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -136,12 +143,194 @@ Socket connectUnix(const std::string &path, std::string &error) {
 Socket acceptConnection(const Socket &listener) {
   for (;;) {
     int fd = ::accept(listener.fd(), nullptr, nullptr);
-    if (fd >= 0)
+    if (fd >= 0) {
+      // Frames are request/reply units; on TCP connections Nagle
+      // batching only adds latency. Harmlessly ENOTSUP on AF_UNIX.
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return Socket(fd);
+    }
     if (errno == EINTR)
       continue;
     return Socket();
   }
+}
+
+bool parseHostPort(const std::string &spec, std::string &host,
+                   std::uint16_t &port, std::string &error) {
+  // Split on the *last* colon so IPv6 literals ("::1:9000",
+  // "[::1]:9000") keep their internal colons in the host part.
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    error = "endpoint '" + spec + "' is not HOST:PORT";
+    return false;
+  }
+  std::string hostPart = spec.substr(0, colon);
+  if (hostPart.size() >= 2 && hostPart.front() == '[' &&
+      hostPart.back() == ']')
+    hostPart = hostPart.substr(1, hostPart.size() - 2);
+  const std::string portPart = spec.substr(colon + 1);
+  if (portPart.empty() ||
+      portPart.find_first_not_of("0123456789") != std::string::npos) {
+    error = "endpoint '" + spec + "' has a non-numeric port";
+    return false;
+  }
+  unsigned long value = 0;
+  try {
+    value = std::stoul(portPart);
+  } catch (const std::exception &) {
+    value = 65536; // overflow: fall through to the range check
+  }
+  if (value > 65535) {
+    error = "endpoint '" + spec + "' port is out of range";
+    return false;
+  }
+  host = hostPart;
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+namespace {
+
+/// getaddrinfo wrapper; the caller owns the returned list via
+/// freeaddrinfo. `passive` selects listener semantics (wildcard bind
+/// when host is empty).
+addrinfo *resolve(const std::string &host, std::uint16_t port, bool passive,
+                  std::string &error) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo *result = nullptr;
+  const std::string portStr = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               portStr.c_str(), &hints, &result);
+  if (rc != 0) {
+    error = "resolve '" + host + "': " + ::gai_strerror(rc);
+    return nullptr;
+  }
+  return result;
+}
+
+void setNoDelay(int fd) {
+  // Frames are request/reply units; Nagle batching only adds latency.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+} // namespace
+
+Socket listenTcp(const std::string &host, std::uint16_t port,
+                 std::string &error) {
+  addrinfo *list = resolve(host, port, /*passive=*/true, error);
+  if (!list)
+    return Socket();
+  Socket sock;
+  for (addrinfo *ai = list; ai; ai = ai->ai_next) {
+    Socket candidate(
+        ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      error = errnoString("socket");
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(candidate.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(candidate.fd(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      error = errnoString("bind " + host + ":" + std::to_string(port));
+      continue;
+    }
+    if (::listen(candidate.fd(), 64) != 0) {
+      error = errnoString("listen");
+      continue;
+    }
+    sock = std::move(candidate);
+    break;
+  }
+  ::freeaddrinfo(list);
+  return sock;
+}
+
+Socket connectTcp(const std::string &host, std::uint16_t port,
+                  int timeoutMillis, std::string &error) {
+  addrinfo *list = resolve(host, port, /*passive=*/false, error);
+  if (!list)
+    return Socket();
+  Socket sock;
+  for (addrinfo *ai = list; ai; ai = ai->ai_next) {
+    Socket candidate(
+        ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!candidate.valid()) {
+      error = errnoString("socket");
+      continue;
+    }
+    if (timeoutMillis <= 0) {
+      if (::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen) != 0) {
+        error = errnoString("connect to " + host + ":" + std::to_string(port));
+        continue;
+      }
+      sock = std::move(candidate);
+      break;
+    }
+    // Bounded connect: go non-blocking, start the connect, poll for
+    // writability, then check SO_ERROR for the real outcome.
+    const int flags = ::fcntl(candidate.fd(), F_GETFL, 0);
+    ::fcntl(candidate.fd(), F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(candidate.fd(), ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno != EINPROGRESS) {
+      error = errnoString("connect to " + host + ":" + std::to_string(port));
+      continue;
+    }
+    if (rc != 0) {
+      pollfd pfd = {candidate.fd(), POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, timeoutMillis);
+      } while (ready < 0 && errno == EINTR);
+      if (ready <= 0) {
+        error = ready == 0 ? "connect to " + host + ":" +
+                                 std::to_string(port) + ": timed out"
+                           : errnoString("poll");
+        continue;
+      }
+      int soError = 0;
+      socklen_t len = sizeof(soError);
+      ::getsockopt(candidate.fd(), SOL_SOCKET, SO_ERROR, &soError, &len);
+      if (soError != 0) {
+        error = "connect to " + host + ":" + std::to_string(port) + ": " +
+                std::strerror(soError);
+        continue;
+      }
+    }
+    ::fcntl(candidate.fd(), F_SETFL, flags);
+    sock = std::move(candidate);
+    break;
+  }
+  ::freeaddrinfo(list);
+  if (sock.valid())
+    setNoDelay(sock.fd());
+  return sock;
+}
+
+std::uint16_t boundPort(const Socket &sock) {
+  if (!sock.valid())
+    return 0;
+  sockaddr_storage addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+    return 0;
+  if (addr.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<const sockaddr_in *>(&addr)->sin_port);
+  if (addr.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<const sockaddr_in6 *>(&addr)->sin6_port);
+  return 0;
+}
+
+bool setReadTimeout(int fd, int millis) {
+  timeval tv;
+  tv.tv_sec = millis > 0 ? millis / 1000 : 0;
+  tv.tv_usec = millis > 0 ? (millis % 1000) * 1000 : 0;
+  return ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0;
 }
 
 namespace {

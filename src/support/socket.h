@@ -1,16 +1,17 @@
 /// \file
-/// Unix-domain stream sockets and length-prefixed frame I/O.
+/// Stream-socket transports and length-prefixed frame I/O.
 ///
 /// The serving subsystem (server/) moves protocol messages as frames: a
 /// little-endian u32 byte count followed by that many payload bytes
 /// (the count excludes itself). This header owns the two halves every
 /// peer needs — RAII file descriptors with listen/connect/accept on
-/// AF_UNIX sockets, and readFrame/writeFrame built on loop-until-done
-/// send/recv — so the daemon, the client library, and the protocol
-/// tests all share one framing implementation. Frame reads never trust
-/// the wire: the declared length is capped by the caller, and short
-/// reads surface as distinct FrameStatus values (docs/PROTOCOL.md
-/// specifies the behavior peers may rely on).
+/// AF_UNIX and TCP (AF_INET/AF_INET6) stream sockets, and
+/// readFrame/writeFrame built on loop-until-done send/recv — so the
+/// daemon, the client library, the fleet coordinator, and the protocol
+/// tests all share one framing implementation regardless of transport.
+/// Frame reads never trust the wire: the declared length is capped by
+/// the caller, and short reads surface as distinct FrameStatus values
+/// (docs/PROTOCOL.md specifies the behavior peers may rely on).
 #pragma once
 
 #include <cstdint>
@@ -67,6 +68,44 @@ Socket connectUnix(const std::string &path, std::string &error);
 /// Accept one connection; blocks. Returns an invalid Socket when the
 /// listening socket is closed or on error.
 Socket acceptConnection(const Socket &listener);
+
+/// Split a `HOST:PORT` endpoint spec on its *last* colon (so bracketed
+/// or bare IPv6 literals keep their internal colons). Port 0 is allowed
+/// for listeners (kernel-assigned port); empty host means "all
+/// interfaces" for listeners. Returns false and sets `error` when the
+/// spec has no colon or the port is not a number in [0, 65535].
+bool parseHostPort(const std::string &spec, std::string &host,
+                   std::uint16_t &port, std::string &error);
+
+/// Bind and listen on a TCP stream socket at `host:port`.
+///
+/// `host` is resolved with getaddrinfo (numeric literals and names both
+/// work; empty binds the wildcard address). `port` 0 asks the kernel
+/// for an ephemeral port — read it back with boundPort(). SO_REUSEADDR
+/// is set so restarts don't trip over TIME_WAIT. On any failure returns
+/// an invalid Socket and sets `error` to a description.
+Socket listenTcp(const std::string &host, std::uint16_t port,
+                 std::string &error);
+
+/// Connect to a TCP listener at `host:port`, failing after
+/// `timeoutMillis` (<= 0 means block indefinitely). The connect runs
+/// non-blocking under poll(2) so an unreachable host errors out in
+/// bounded time; the returned socket is blocking with TCP_NODELAY set
+/// (frames are latency-sensitive request/reply units). Returns an
+/// invalid Socket and sets `error` on failure.
+Socket connectTcp(const std::string &host, std::uint16_t port,
+                  int timeoutMillis, std::string &error);
+
+/// The locally bound port of a socket (listener or connection). Returns
+/// 0 when the fd is invalid or not an inet socket — Unix-domain sockets
+/// have no port. Lets callers pass port 0 to listenTcp and discover the
+/// kernel-assigned port.
+std::uint16_t boundPort(const Socket &sock);
+
+/// Arm SO_RCVTIMEO so blocked recv calls fail with EAGAIN after
+/// `millis` (<= 0 disables the timeout). Frame reads then surface as
+/// FrameStatus::ioError instead of hanging forever on a stalled peer.
+bool setReadTimeout(int fd, int millis);
 
 /// Outcome of readFrame, in decreasing order of normality.
 enum class FrameStatus {

@@ -737,5 +737,272 @@ TEST(ServerFuzz, MalformedManifestBatchBlobsAnswerErrorThenClose) {
   client.disconnect();
 }
 
+// ------------------------------------------- TCP + handshake layer
+
+/// A live server on a loopback TCP ephemeral port (no Unix socket),
+/// optionally requiring a shared-secret Hello handshake.
+struct TcpServerFixture {
+  ServerOptions options;
+  AnalysisServer server;
+  std::thread thread;
+
+  explicit TcpServerFixture(const std::string &secret = std::string(),
+                            std::uint32_t maxFrameBytes = 1 << 16)
+      : options(makeOptions(secret, maxFrameBytes)), server(options) {
+    std::string error;
+    if (!server.start(error)) {
+      ADD_FAILURE() << "server start failed: " << error;
+      return;
+    }
+    thread = std::thread([this] { server.serve(); });
+  }
+
+  ~TcpServerFixture() {
+    server.requestStop();
+    if (thread.joinable())
+      thread.join();
+  }
+
+  std::uint16_t port() const { return server.tcpPort(); }
+
+  static ServerOptions makeOptions(const std::string &secret,
+                                   std::uint32_t maxFrameBytes) {
+    ServerOptions options;
+    options.tcpListen = true;
+    options.tcpHost = "127.0.0.1";
+    options.tcpPortRequested = 0; // ephemeral; tests read server.tcpPort()
+    options.threads = 2;
+    options.maxFrameBytes = maxFrameBytes;
+    options.secret = secret;
+    return options;
+  }
+};
+
+/// rawExchange over loopback TCP: write one frame, half-close, read
+/// replies until EOF.
+std::vector<std::string> rawExchangeTcp(std::uint16_t port,
+                                        const std::string &frame,
+                                        bool truncateBody = false) {
+  std::string error;
+  net::Socket sock = net::connectTcp("127.0.0.1", port, 2000, error);
+  EXPECT_TRUE(sock.valid()) << error;
+  if (!sock.valid())
+    return {};
+  if (truncateBody) {
+    std::string prefix;
+    bio::putU32(prefix, static_cast<std::uint32_t>(frame.size() + 64));
+    prefix += frame;
+    ::send(sock.fd(), prefix.data(), prefix.size(), MSG_NOSIGNAL);
+    sock.close();
+    return {};
+  }
+  EXPECT_TRUE(net::writeFrame(sock.fd(), frame));
+  ::shutdown(sock.fd(), SHUT_WR);
+  std::vector<std::string> replies;
+  for (;;) {
+    std::string reply;
+    const net::FrameStatus status =
+        net::readFrame(sock.fd(), reply, kMaxFrameBytes);
+    if (status != net::FrameStatus::ok)
+      break;
+    replies.push_back(std::move(reply));
+  }
+  return replies;
+}
+
+TEST(ServerFuzz, TcpMalformedTruncatedOversizedAnswerErrorThenClose) {
+  TcpServerFixture fixture;
+  ASSERT_GT(fixture.port(), 0);
+
+  std::mt19937_64 rng(kSeed ^ 0x8);
+  int errorReplies = 0;
+  for (int round = 0; round < 40; ++round) {
+    switch (round % 4) {
+    case 0: {
+      std::string garbage = randomBytes(rng, 64);
+      garbage.insert(garbage.begin(), 'X');
+      const auto replies = rawExchangeTcp(fixture.port(), garbage);
+      ASSERT_EQ(replies.size(), 1u) << "expected exactly Error-then-close";
+      EXPECT_TRUE(isErrorReply(replies[0]));
+      ++errorReplies;
+      break;
+    }
+    case 1: {
+      std::string wire =
+          encodeAnalyzeRequest({"fuzz", randomBytes(rng, 80)}, 0x3);
+      wire = mutate(rng, wire);
+      if (wire.size() >= 9 && wire.compare(0, 4, "MirP") == 0 &&
+          static_cast<std::uint8_t>(wire[8]) ==
+              static_cast<std::uint8_t>(MessageType::shutdown))
+        wire[8] = static_cast<char>(MessageType::ping);
+      const auto replies = rawExchangeTcp(fixture.port(), wire);
+      EXPECT_LE(replies.size(), 1u);
+      break;
+    }
+    case 2: {
+      // Oversized declared length over TCP: Error without reading the
+      // body, then close — a port scan cannot make the daemon buffer.
+      std::string error;
+      net::Socket sock = net::connectTcp("127.0.0.1", fixture.port(), 2000,
+                                         error);
+      ASSERT_TRUE(sock.valid()) << error;
+      std::string prefix;
+      bio::putU32(prefix, fixture.options.maxFrameBytes + 1);
+      ASSERT_EQ(::send(sock.fd(), prefix.data(), prefix.size(), MSG_NOSIGNAL),
+                static_cast<ssize_t>(prefix.size()));
+      std::string reply;
+      ASSERT_EQ(net::readFrame(sock.fd(), reply, kMaxFrameBytes),
+                net::FrameStatus::ok);
+      EXPECT_TRUE(isErrorReply(reply));
+      ASSERT_EQ(net::readFrame(sock.fd(), reply, kMaxFrameBytes),
+                net::FrameStatus::closed);
+      ++errorReplies;
+      break;
+    }
+    default:
+      rawExchangeTcp(fixture.port(), encodeEmptyMessage(MessageType::ping),
+                     /*truncateBody=*/true);
+      break;
+    }
+  }
+  EXPECT_GT(errorReplies, 0);
+
+  // A healthy TCP client still works after the abuse.
+  Client client;
+  ASSERT_TRUE(client.connectTcp("127.0.0.1", fixture.port()))
+      << client.lastError();
+  EXPECT_TRUE(client.ping());
+  client.disconnect();
+}
+
+TEST(ServerFuzz, WrongSecretAnswersErrorThenCloseWithZeroCompute) {
+  TcpServerFixture fixture("sesame");
+  ASSERT_GT(fixture.port(), 0);
+
+  // Requests without a Hello — including compute-bearing ones — are
+  // refused before dispatch: exactly one Error frame, then close.
+  const std::string analyze =
+      encodeAnalyzeRequest({"probe", "int f() { return 1; }"}, 0x3);
+  for (const std::string &frame :
+       {analyze, encodeEmptyMessage(MessageType::ping),
+        encodeEmptyMessage(MessageType::cacheStats)}) {
+    const auto replies = rawExchangeTcp(fixture.port(), frame);
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_TRUE(isErrorReply(replies[0]));
+  }
+
+  // Wrong secret: the client library surfaces it as a connect failure.
+  {
+    Client client;
+    client.setSecret("wrong");
+    EXPECT_FALSE(client.connectTcp("127.0.0.1", fixture.port()));
+    EXPECT_EQ(client.lastErrorKind(), Client::ErrorKind::connect);
+  }
+
+  // Mutated Hello frames: the gate must answer at most one frame and
+  // never wedge or grant a session.
+  std::mt19937_64 rng(kSeed ^ 0x9);
+  const std::string hello = encodeHelloRequest("sesame");
+  for (int round = 0; round < 40; ++round) {
+    std::string wire = mutate(rng, hello);
+    if (wire == hello)
+      continue; // the unmutated handshake is tested separately below
+    const auto replies = rawExchangeTcp(fixture.port(), wire);
+    EXPECT_LE(replies.size(), 1u);
+  }
+
+  // None of the above reached the pipeline: an unauthenticated peer
+  // costs the daemon parsing, never compute.
+  const ServerStats stats = fixture.server.snapshotStats();
+  EXPECT_EQ(stats.sourcesAnalyzed, 0u);
+  EXPECT_EQ(stats.computed, 0u);
+  EXPECT_GT(stats.protocolErrors, 0u);
+
+  // The correct secret still opens a fully working session.
+  Client client;
+  client.setSecret("sesame");
+  ASSERT_TRUE(client.connectTcp("127.0.0.1", fixture.port()))
+      << client.lastError();
+  EXPECT_TRUE(client.ping()) << client.lastError();
+  ClientOutcome outcome;
+  core::MiraOptions options;
+  EXPECT_TRUE(client.analyze("ok.mc", "int f(int n) { return n; }", options,
+                             outcome))
+      << client.lastError();
+  client.disconnect();
+}
+
+TEST(ServerFuzz, HelloOnSecretlessDaemonIsAcceptedNotRequired) {
+  TcpServerFixture fixture; // no secret configured
+  ASSERT_GT(fixture.port(), 0);
+
+  // A client configured with a secret still connects: the daemon
+  // answers helloReply (ignoring the presented secret) so deployments
+  // can roll secrets out client-first.
+  Client withSecret;
+  withSecret.setSecret("anything");
+  ASSERT_TRUE(withSecret.connectTcp("127.0.0.1", fixture.port()))
+      << withSecret.lastError();
+  EXPECT_TRUE(withSecret.ping());
+  withSecret.disconnect();
+
+  // And a secretless client needs no handshake at all.
+  Client plain;
+  ASSERT_TRUE(plain.connectTcp("127.0.0.1", fixture.port()))
+      << plain.lastError();
+  EXPECT_TRUE(plain.ping());
+  plain.disconnect();
+}
+
+// ------------------------------------------- partial-io layer
+
+TEST(ProtocolFuzz, DribbledFramesReassembleByteAtATime) {
+  // sendAll/recvAll must tolerate arbitrarily small reads/writes: a
+  // frame dribbled one byte per send still reassembles exactly. This
+  // pins the loop-until-complete behavior TCP depends on (a single
+  // send() on a congested link can return short at any byte).
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string frame = encodeAnalyzeRequest(
+      {"dribble.mc", "int f(int n) { return n * 2; }"}, 0x3);
+  std::string wire;
+  bio::putU32(wire, static_cast<std::uint32_t>(frame.size()));
+  wire += frame;
+
+  std::thread writer([&] {
+    for (char byte : wire) {
+      ASSERT_EQ(::send(fds[0], &byte, 1, MSG_NOSIGNAL), 1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    ::close(fds[0]);
+  });
+  std::string received;
+  EXPECT_EQ(net::readFrame(fds[1], received, kMaxFrameBytes),
+            net::FrameStatus::ok);
+  EXPECT_EQ(received, frame);
+  // After the dribbled frame the peer closed: a clean EOF, not an error.
+  std::string rest;
+  EXPECT_EQ(net::readFrame(fds[1], rest, kMaxFrameBytes),
+            net::FrameStatus::closed);
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(ProtocolFuzz, WriteFrameToClosedPeerFailsWithoutSignal) {
+  // MSG_NOSIGNAL everywhere: writing into a closed peer must return
+  // false (EPIPE), never raise SIGPIPE and kill the process.
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  const std::string frame = encodeEmptyMessage(MessageType::ping);
+  bool ok = true;
+  // The first write may land in the buffer before the RST is seen;
+  // a bounded number of attempts must observe the failure.
+  for (int i = 0; i < 32 && ok; ++i)
+    ok = net::writeFrame(fds[0], frame);
+  EXPECT_FALSE(ok);
+  ::close(fds[0]);
+}
+
 } // namespace
 } // namespace mira::server

@@ -319,6 +319,85 @@ TEST(ShardBatch, ShardSelectionIsDisjointAndExhaustive) {
   }
 }
 
+TEST(ShardBatch, ShardReexecutionIsIdempotent) {
+  // The property the fleet coordinator's lease re-issue leans on
+  // (docs/FLEET.md): running the same shard again — on a fresh machine
+  // after a crash, or against a cache the dead attempt half-populated —
+  // changes nothing observable. Three runs of shard 1/2 pin both arms:
+  //   run 1: cold cache A        -> the canonical report bytes;
+  //   run 2: cold fresh cache B  -> byte-identical report (a re-issued
+  //          lease on a different worker reproduces the original);
+  //   run 3: cache A again       -> byte-identical cache dir, zero
+  //          recomputes (a duplicate execution is a no-op).
+  TempDir dir("idempotent");
+  const fs::path corpus = dir.path / "corpus";
+  writeCorpus(corpus, 8);
+  const fs::path manifest = dir.path / "corpus.manifest";
+  ASSERT_EQ(runCli({"manifest", "build", corpus.string(), "--out",
+                    manifest.string()},
+                   dir.path / "build.log"),
+            0);
+
+  const fs::path cacheA = dir.path / "cache_a";
+  const fs::path cacheB = dir.path / "cache_b";
+  const fs::path r1 = dir.path / "run1.report";
+  const fs::path r2 = dir.path / "run2.report";
+  const fs::path r3 = dir.path / "run3.report";
+  const std::vector<std::string> base = {"batch", "--manifest",
+                                         manifest.string(), "--shard", "1/2"};
+
+  auto withArgs = [&base](std::initializer_list<std::string> extra) {
+    std::vector<std::string> args = base;
+    args.insert(args.end(), extra.begin(), extra.end());
+    return args;
+  };
+  ASSERT_EQ(runCli(withArgs({"--cache-dir", cacheA.string(), "--report",
+                             r1.string()}),
+                   dir.path / "run1.log"),
+            0);
+  ASSERT_EQ(runCli(withArgs({"--cache-dir", cacheB.string(), "--report",
+                             r2.string()}),
+                   dir.path / "run2.log"),
+            0);
+  EXPECT_EQ(readFile(r1), readFile(r2))
+      << "re-executing a shard on a fresh cache changed the report bytes";
+
+  // Snapshot cache A, re-run against it, and diff: same files, same
+  // bytes, and the report records pure cache hits.
+  std::vector<std::string> before;
+  for (const auto &it : fs::directory_iterator(cacheA))
+    before.push_back(it.path().filename().string());
+  std::sort(before.begin(), before.end());
+  std::vector<std::string> beforeBytes;
+  for (const std::string &name : before)
+    beforeBytes.push_back(readFile(cacheA / name));
+
+  ASSERT_EQ(runCli(withArgs({"--cache-dir", cacheA.string(), "--report",
+                             r3.string()}),
+                   dir.path / "run3.log"),
+            0);
+  const driver::BatchReport warm = loadReport(r3);
+  EXPECT_EQ(warm.stats.cacheMisses, 0u)
+      << "duplicate shard execution recomputed instead of hitting cache";
+  EXPECT_EQ(warm.stats.cacheHits, warm.stats.requests);
+
+  std::vector<std::string> after;
+  for (const auto &it : fs::directory_iterator(cacheA))
+    after.push_back(it.path().filename().string());
+  std::sort(after.begin(), after.end());
+  ASSERT_EQ(after, before);
+  for (std::size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(readFile(cacheA / after[i]), beforeBytes[i])
+        << "cache entry " << after[i] << " changed on re-execution";
+
+  // The two reports' entry sets agree with the planner: every entry in
+  // shard 1/2 and none from shard 2/2.
+  const driver::BatchReport run1 = loadReport(r1);
+  EXPECT_FALSE(run1.entries.empty());
+  for (const auto &entry : run1.entries)
+    EXPECT_TRUE(driver::keyInShard(entry.key, {0, 2})) << entry.name;
+}
+
 TEST(CacheCli, PruneKeepsEveryOptionConfigAndUnionsManifests) {
   TempDir dir("prune");
   const fs::path corpusA = dir.path / "corpus_a";
