@@ -26,6 +26,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <thread>
 
 #include <unistd.h>
@@ -34,6 +35,7 @@
 #include "driver/batch.h"
 #include "server/client.h"
 #include "server/server.h"
+#include "symbolic/interner.h"
 #include "workloads/coverage_suite.h"
 
 namespace {
@@ -416,6 +418,87 @@ void printManifestBatchPhase() {
   bench::printRule();
 }
 
+/// Hash-consing phase: what the expression arena does to the cold
+/// compute path that caching cannot hide. Reports the cold batch wall
+/// clock alongside the process-wide intern counter deltas for that run
+/// (greppable `mira_intern_*` lines — the same names the daemon's
+/// metrics render exports), and a directly measured improvement: the
+/// cached-key/hash equality the interner provides vs. the recursive
+/// string serialization `Expr::equals` used before it.
+void printInternPhase() {
+  bench::printHeader(
+      "Hash-consed expressions: cold-phase cost + intern counters\n"
+      "(cache off; counters are process-wide deltas over one batch)");
+  auto requests = batchRequests();
+
+  const symbolic::InternStats before = symbolic::ExprInterner::globalStats();
+  double best = timeBatch(requests, 1);
+  for (int repeat = 0; repeat < 2; ++repeat)
+    best = std::min(best, timeBatch(requests, 1));
+  const symbolic::InternStats after = symbolic::ExprInterner::globalStats();
+
+  const std::uint64_t hits = after.hits - before.hits;
+  const std::uint64_t misses = after.misses - before.misses;
+  std::printf("cold batch (1 thread, best of 3): %.4f s for %zu sources\n",
+              best, requests.size());
+  std::printf("mira_intern_hits %llu\n",
+              static_cast<unsigned long long>(hits));
+  std::printf("mira_intern_misses %llu\n",
+              static_cast<unsigned long long>(misses));
+  std::printf("mira_intern_nodes %llu\n",
+              static_cast<unsigned long long>(after.nodes));
+  if (hits + misses > 0)
+    std::printf("intern hit rate: %.1f%% (every hit is one node allocation "
+                "+ key build avoided)\n",
+                100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses));
+
+  // The measured improvement: equality on a canonicalization-sized
+  // expression, old way (serialize both subtrees to strings, compare)
+  // vs. the interner's way (pointer identity / cached hash).
+  std::function<std::string(const symbolic::ExprNode &)> legacyKey =
+      [&](const symbolic::ExprNode &n) -> std::string {
+    std::string s;
+    s += std::to_string(static_cast<int>(n.kind));
+    s += n.name;
+    s += std::to_string(n.value);
+    s += '(';
+    for (const auto &op : n.operands) {
+      s += legacyKey(*op);
+      s += ',';
+    }
+    s += ')';
+    return s;
+  };
+  symbolic::Expr wide;
+  for (int i = 0; i < 24; ++i)
+    wide += symbolic::Expr::intConst(i % 5 + 1) *
+            symbolic::Expr::param("p" + std::to_string(i % 8)) *
+            symbolic::Expr::param("q" + std::to_string(i % 3));
+  symbolic::Expr same = wide + symbolic::Expr::intConst(0);
+
+  constexpr int kEqualsRepeats = 20000;
+  auto now = [] { return std::chrono::steady_clock::now(); };
+  auto start = now();
+  bool sink = false;
+  for (int i = 0; i < kEqualsRepeats; ++i)
+    sink ^= legacyKey(wide.node()) == legacyKey(same.node());
+  const double legacySeconds =
+      std::chrono::duration<double>(now() - start).count();
+  start = now();
+  for (int i = 0; i < kEqualsRepeats; ++i)
+    sink ^= wide.equals(same);
+  const double internedSeconds =
+      std::chrono::duration<double>(now() - start).count();
+  benchmark::DoNotOptimize(sink);
+  std::printf("equals on a %zu-term expression, %d reps: string rebuild "
+              "%.4f s -> hash-consed %.6f s (%.0fx)\n",
+              wide.node().operands.size(), kEqualsRepeats, legacySeconds,
+              internedSeconds,
+              internedSeconds > 0 ? legacySeconds / internedSeconds : 0.0);
+  bench::printRule();
+}
+
 std::vector<core::AnalysisSpec> coverageSpecs() {
   std::vector<core::AnalysisSpec> specs;
   for (driver::AnalysisRequest &request : batchRequests()) {
@@ -753,6 +836,37 @@ void BM_BatchAnalyzeParallel(benchmark::State &state) {
 BENCHMARK(BM_BatchAnalyzeParallel)->Arg(2)->Arg(4)->Arg(8)->Unit(
     benchmark::kMillisecond);
 
+void BM_ExprCanonicalizeLikeTerms(benchmark::State &state) {
+  // The canonicalizing Expr::add hot path: many mergeable terms, the
+  // merge keyed on interned node identity.
+  using symbolic::Expr;
+  for (auto _ : state) {
+    std::vector<Expr> terms;
+    terms.reserve(96);
+    for (int i = 0; i < 96; ++i)
+      terms.push_back(Expr::intConst(i % 7 + 1) *
+                      Expr::param("p" + std::to_string(i % 8)));
+    benchmark::DoNotOptimize(&Expr::add(std::move(terms)).node());
+  }
+  state.SetItemsProcessed(state.iterations() * 96);
+}
+BENCHMARK(BM_ExprCanonicalizeLikeTerms)->Unit(benchmark::kMicrosecond);
+
+void BM_ExprEqualsInterned(benchmark::State &state) {
+  // Pointer-identity equality on hash-consed expressions — the
+  // comparison canonicalization and like-term merging do constantly.
+  using symbolic::Expr;
+  Expr a, b;
+  for (int i = 0; i < 32; ++i) {
+    a += Expr::param("n" + std::to_string(i % 6)) * Expr::intConst(i + 1);
+    b += Expr::param("n" + std::to_string(i % 6)) * Expr::intConst(i + 1);
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(a.equals(b));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExprEqualsInterned)->Unit(benchmark::kNanosecond);
+
 void BM_BatchAnalyzeWarmCache(benchmark::State &state) {
   auto requests = batchRequests();
   driver::BatchAnalyzer analyzer(driver::BatchOptions{4, true});
@@ -772,6 +886,7 @@ int main(int argc, char **argv) {
   printSpeedupTable();
   printManifestBatchPhase();
   printCoveragePhase();
+  printInternPhase();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

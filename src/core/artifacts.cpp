@@ -1,5 +1,7 @@
 #include "core/artifacts.h"
 
+#include "symbolic/interner.h"
+
 namespace mira::core {
 
 std::shared_ptr<ProgramHandle>
@@ -33,6 +35,12 @@ std::shared_ptr<const CompiledProgram> ProgramHandle::get(bool *compiledNow) {
     // diagnostics are discarded: the original analysis already rendered
     // them, and a source that analyzed cleanly recompiles cleanly.
     DiagnosticEngine diags;
+    // Recompilation gets its own expression arena, like a full analyze:
+    // symbolic churn from this one compile stays out of the calling
+    // thread's default interner (nodes the program keeps stay alive
+    // through their shared_ptrs after the arena dies).
+    symbolic::ExprInterner interner;
+    symbolic::ExprInterner::Scope scope(interner);
     program_ = compileProgram(source_, name_, options_, diags);
     if (compiledNow)
       *compiledNow = program_ != nullptr;
@@ -68,6 +76,16 @@ Artifacts analyze(const AnalysisSpec &spec, DiagnosticEngine &diags) {
   Artifacts out;
   out.name = spec.name;
   out.requested = spec.artifacts;
+
+  // Per-compile expression arena: every symbolic node built while
+  // analyzing this spec (parse -> sema -> MIR -> model, including the
+  // per-function model tasks, which re-enter this interner on their pool
+  // threads) is hash-consed here, so within one analysis structurally
+  // equal expressions are one node and equality is pointer identity. The
+  // arena dies with the request; nodes the returned artifacts reference
+  // stay alive through their shared_ptrs.
+  symbolic::ExprInterner interner;
+  symbolic::ExprInterner::Scope scope(interner);
 
   std::shared_ptr<const CompiledProgram> program =
       compileProgram(spec.source, spec.name, spec.options.compile, diags);

@@ -12,6 +12,7 @@
 #include "support/binary_io.h"
 #include "support/fault_injection.h"
 #include "support/hash.h"
+#include "symbolic/interner.h"
 
 namespace mira::driver {
 
@@ -431,6 +432,13 @@ bool deserializeArtifactPayload(
 
 // -------------------------------------------------------- BatchAnalyzer
 
+void publishInternGauges(core::MetricsRegistry &metrics) {
+  const symbolic::InternStats stats = symbolic::ExprInterner::globalStats();
+  metrics.gauge("intern_hits").set(stats.hits);
+  metrics.gauge("intern_misses").set(stats.misses);
+  metrics.gauge("intern_nodes").set(stats.nodes);
+}
+
 BatchAnalyzer::BatchAnalyzer(BatchOptions options)
     : options_(std::move(options)), pool_(options_.threads),
       owned_metrics_(options_.metrics ? nullptr : new core::MetricsRegistry()),
@@ -450,6 +458,15 @@ BatchAnalyzer::BatchAnalyzer(BatchOptions options)
   if (options_.useCache && !options_.cacheDir.empty())
     disk_ = std::make_unique<CacheStore>(options_.cacheDir,
                                          options_.cacheBytesLimit);
+  // Contained task exceptions are a should-not-happen signal (computeValue
+  // catches at the task boundary), so surface them in the shared registry
+  // rather than letting them vanish into the pool.
+  core::MetricsRegistry::Counter &poolExceptions =
+      metrics_->counter("pool_task_exceptions_total");
+  pool_.setExceptionHandler([&poolExceptions] { poolExceptions.increment(); });
+  if (model_pool_)
+    model_pool_->setExceptionHandler(
+        [&poolExceptions] { poolExceptions.increment(); });
 }
 
 std::size_t BatchAnalyzer::cacheSize() const {
@@ -800,6 +817,7 @@ BatchAnalyzer::runArtifacts(const std::vector<core::AnalysisSpec> &specs) {
   // traffic — the same tally the daemon's ManifestBatch reports.
   stats_ = tallyBatchStats(results, options_.useCache);
   stats_.wallSeconds = secondsSince(start);
+  publishInternGauges(*metrics_);
   return results;
 }
 

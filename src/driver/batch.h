@@ -217,6 +217,13 @@ BatchStats mergeBatchStats(const std::vector<BatchStats> &parts);
 BatchStats tallyBatchStats(const std::vector<core::Artifacts> &results,
                            bool useCache);
 
+/// Copy the process-wide symbolic::ExprInterner tallies into the
+/// registry as gauges (rendered as mira_intern_{hits,misses,nodes}).
+/// The hash-consing hot path never touches the registry itself; callers
+/// with a metrics view (batch runs, the daemon's refreshGauges) publish
+/// on render instead.
+void publishInternGauges(core::MetricsRegistry &metrics);
+
 /// One line of a shard report: which request, under which cache key,
 /// with what outcome. Deliberately excludes timing so reports are
 /// deterministic (byte-comparable across runs and process counts).

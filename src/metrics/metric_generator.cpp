@@ -9,6 +9,7 @@
 #include "polyhedral/counting.h"
 #include "sema/loop_analysis.h"
 #include "support/string_utils.h"
+#include "symbolic/interner.h"
 
 namespace mira::metrics {
 
@@ -631,11 +632,17 @@ model::PerformanceModel generateModel(const frontend::TranslationUnit &unit,
     for (auto &promise : promises)
       futures.push_back(promise.get_future());
     std::size_t submitted = 0;
+    // Pool workers have their own thread-local interner state; re-enter
+    // this compile's expression arena inside each task so all functions
+    // of one analysis hash-cons into the same table (intern() is
+    // internally synchronized).
+    symbolic::ExprInterner &interner = symbolic::ExprInterner::current();
     try {
       for (; submitted < decls.size(); ++submitted) {
         const std::size_t i = submitted;
         pool->submit([&unit, &bridge, &options, &functionDiags, &promises,
-                      &decls, i] {
+                      &decls, &interner, i] {
+          symbolic::ExprInterner::Scope scope(interner);
           try {
             FunctionModeler modeler(unit, *decls[i],
                                     bridge.of(decls[i]->qualifiedName()),

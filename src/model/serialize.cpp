@@ -3,6 +3,7 @@
 #include "isa/opcode.h"
 #include "support/binary_io.h"
 #include "symbolic/expr.h"
+#include "symbolic/interner.h"
 
 namespace mira::model {
 
@@ -148,6 +149,14 @@ void serializeModel(const PerformanceModel &model, std::string &out) {
 bool deserializeModel(const std::string &bytes, std::size_t &offset,
                       PerformanceModel &out) {
   Reader r{{bytes, offset}};
+  // One expression arena per payload: Expr::fromNode re-enters the
+  // current interner, so expressions repeated across a model's functions
+  // deserialize to shared nodes, and the table dies with this call
+  // instead of accumulating in the calling thread's default interner.
+  // Re-interning is structure-preserving, so reserializing the result
+  // reproduces the input bytes exactly (pinned by model_test).
+  symbolic::ExprInterner interner;
+  symbolic::ExprInterner::Scope scope(interner);
   out = PerformanceModel();
   if (!r.str(out.sourceFile))
     return false;

@@ -111,6 +111,15 @@ AnalysisServer::AnalysisServer(ServerOptions options)
   analyzer_ = std::make_unique<driver::BatchAnalyzer>(batchOptions);
   sessions_ = std::make_unique<ThreadPool>(options_.threads);
   compute_ = std::make_unique<ThreadPool>(options_.threads);
+  // Session/compute tasks catch at their own boundaries; if one still
+  // throws, the pool contains it (instead of std::terminate taking the
+  // daemon down) and the registry records that it happened.
+  core::MetricsRegistry::Counter &poolExceptions =
+      metrics_.counter("pool_task_exceptions_total");
+  sessions_->setExceptionHandler(
+      [&poolExceptions] { poolExceptions.increment(); });
+  compute_->setExceptionHandler(
+      [&poolExceptions] { poolExceptions.increment(); });
 }
 
 AnalysisServer::~AnalysisServer() {
@@ -917,6 +926,7 @@ void AnalysisServer::refreshGauges() const {
   }
   metrics_.gauge("server_threads").set(options_.threads);
   metrics_.gauge("server_cache_memory_entries").set(analyzer_->cacheSize());
+  driver::publishInternGauges(metrics_);
   if (CacheStore *disk = analyzer_->diskCache()) {
     std::size_t entries = 0;
     std::uint64_t bytes = 0;

@@ -29,6 +29,10 @@ void ThreadPool::submit(std::function<void()> task) {
   wake_.notify_one();
 }
 
+void ThreadPool::setExceptionHandler(std::function<void()> handler) {
+  onTaskException_ = std::move(handler);
+}
+
 void ThreadPool::waitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
@@ -51,7 +55,18 @@ void ThreadPool::workerLoop() {
       queue_.pop_front();
       ++running_;
     }
-    task();
+    try {
+      task();
+    } catch (...) {
+      // Contain at the pool boundary: an exception escaping here would
+      // unwind the worker's top frame and std::terminate the process
+      // (in the daemon: one bad request killing the server). The task's
+      // submitter observes failure through whatever the capture carries
+      // (a promise, an error slot); the pool just counts and reports.
+      exceptions_.fetch_add(1, std::memory_order_relaxed);
+      if (onTaskException_)
+        onTaskException_();
+    }
     // Destroy captured state before reporting idle: waitIdle() returning
     // must mean no task-owned object (sessions, sockets, promises) is
     // still alive on a worker, or callers could tear down shared state

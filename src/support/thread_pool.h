@@ -10,8 +10,10 @@
 /// captured (promises, pre-sized output slots).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -39,10 +41,25 @@ public:
   ThreadPool &operator=(const ThreadPool &) = delete;
 
   /// Enqueue a task. Safe from any thread, including worker threads
-  /// (tasks may submit follow-up tasks). Tasks must not throw: an
-  /// escaping exception would reach the worker thread and terminate the
-  /// process, so callers (e.g. BatchAnalyzer) catch at the task boundary.
+  /// (tasks may submit follow-up tasks). An exception escaping a task is
+  /// contained at the pool boundary: the worker swallows it, bumps
+  /// taskExceptions(), invokes the exception handler (if set), and keeps
+  /// serving the queue — it never reaches the worker thread's top frame,
+  /// which would std::terminate the whole process. Tasks that need the
+  /// error itself must still transport it (promise, captured slot); the
+  /// pool can only tell callers THAT a task threw, not what.
   void submit(std::function<void()> task);
+
+  /// Callback run on the worker thread each time a task throws, after
+  /// the internal counter is bumped (e.g. to feed a metrics registry).
+  /// Must not throw. Not synchronized with submit: install it before the
+  /// first task is submitted and leave it in place.
+  void setExceptionHandler(std::function<void()> handler);
+
+  /// Number of tasks whose exceptions the pool has contained.
+  std::uint64_t taskExceptions() const {
+    return exceptions_.load(std::memory_order_relaxed);
+  }
 
   /// Block until the queue is empty and no task is executing. Only
   /// meaningful when this caller is the sole submitter; a task waiting
@@ -63,6 +80,8 @@ private:
   std::condition_variable idle_;   // waitIdle/destructor wait for drain
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> workers_;
+  std::function<void()> onTaskException_; // see setExceptionHandler
+  std::atomic<std::uint64_t> exceptions_{0};
   std::size_t running_ = 0; // tasks currently executing
   bool stop_ = false;
 };

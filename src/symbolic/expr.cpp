@@ -2,58 +2,36 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
+
+#include "symbolic/interner.h"
 
 namespace mira::symbolic {
 
 namespace {
 
+/// All builders construct through the calling thread's interner, so one
+/// canonical node exists per structure and every node carries its
+/// precomputed hash and ordering key.
+ExprNodeRef internNode(ExprKind kind, std::int64_t value, std::string name,
+                       std::vector<ExprNodeRef> operands) {
+  return ExprInterner::current().intern(kind, value, std::move(name),
+                                        std::move(operands));
+}
+
 ExprNodeRef makeConst(std::int64_t v) {
-  auto n = std::make_shared<ExprNode>(ExprKind::IntConst);
-  n->value = v;
-  return n;
+  return internNode(ExprKind::IntConst, v, {}, {});
 }
 
 bool isConst(const ExprNodeRef &n, std::int64_t v) {
   return n->kind == ExprKind::IntConst && n->value == v;
 }
 
-/// Canonical ordering key used to sort commutative operand lists so that
-/// structurally equal expressions compare equal.
-std::string orderKey(const ExprNodeRef &n);
-
-std::string orderKeyList(const std::vector<ExprNodeRef> &ops) {
-  std::string s;
-  for (const auto &o : ops) {
-    s += orderKey(o);
-    s += ',';
-  }
-  return s;
-}
-
-std::string orderKey(const ExprNodeRef &n) {
-  switch (n->kind) {
-  case ExprKind::IntConst:
-    return "#" + std::to_string(n->value);
-  case ExprKind::Param:
-    return "p" + n->name;
-  case ExprKind::Add:
-    return "A(" + orderKeyList(n->operands) + ")";
-  case ExprKind::Mul:
-    return "M(" + orderKeyList(n->operands) + ")";
-  case ExprKind::FloorDiv:
-    return "F(" + orderKeyList(n->operands) + ")";
-  case ExprKind::ExactDiv:
-    return "E(" + orderKeyList(n->operands) + ")";
-  case ExprKind::Mod:
-    return "%(" + orderKeyList(n->operands) + ")";
-  case ExprKind::Min:
-    return "m(" + orderKeyList(n->operands) + ")";
-  case ExprKind::Max:
-    return "X(" + orderKeyList(n->operands) + ")";
-  case ExprKind::Sum:
-    return "S" + n->name + "(" + orderKeyList(n->operands) + ")";
-  }
-  return "?";
+/// Canonical ordering for commutative operand lists: the interner caches
+/// the historical string key on every node, so comparison is a string
+/// compare, never a subtree walk.
+bool keyLess(const ExprNodeRef &a, const ExprNodeRef &b) {
+  return a->key < b->key;
 }
 
 } // namespace
@@ -63,34 +41,44 @@ Expr::Expr() : node_(makeConst(0)) {}
 Expr Expr::intConst(std::int64_t value) { return Expr(makeConst(value)); }
 
 Expr Expr::param(std::string name) {
-  auto n = std::make_shared<ExprNode>(ExprKind::Param);
-  n->name = std::move(name);
-  return Expr(n);
+  return Expr(internNode(ExprKind::Param, 0, std::move(name), {}));
 }
 
 Expr Expr::add(std::vector<Expr> operands) {
+  ExprInterner &interner = ExprInterner::current();
   std::vector<ExprNodeRef> flat;
   std::int64_t constant = 0;
+  // Absorbed nodes are canonicalized into the current interner so the
+  // like-term merge below can key on node identity.
   std::function<void(const ExprNodeRef &)> absorb =
       [&](const ExprNodeRef &n) {
         if (n->kind == ExprKind::IntConst) {
-          constant = checkedAdd(constant, n->value);
+          try {
+            constant = checkedAdd(constant, n->value);
+          } catch (const ArithmeticError &) {
+            // Folding would overflow int64; keep the constant symbolic.
+            // evaluate() reports the overflow as nullopt at use time —
+            // construction itself must not throw.
+            flat.push_back(interner.reintern(n));
+          }
         } else if (n->kind == ExprKind::Add) {
           for (const auto &o : n->operands)
             absorb(o);
         } else {
-          flat.push_back(n);
+          flat.push_back(interner.reintern(n));
         }
       };
   for (const Expr &e : operands)
     absorb(e.node_);
 
-  // Combine like terms: each term is (coeff, residual-key). Terms are
+  // Combine like terms: each term is (coeff, residual factors). Terms are
   // either Param/other nodes (coeff 1) or Mul nodes with a leading const.
+  // Factors are canonical nodes in the current interner, so "same
+  // residual" is pointer-vector equality — no string keys, and no false
+  // merges when param names contain key metacharacters.
   struct Term {
     std::int64_t coeff;
     std::vector<ExprNodeRef> factors; // non-const factors, sorted
-    std::string key;
   };
   std::vector<Term> terms;
   for (const auto &n : flat) {
@@ -98,20 +86,28 @@ Expr Expr::add(std::vector<Expr> operands) {
     t.coeff = 1;
     if (n->kind == ExprKind::Mul) {
       for (const auto &f : n->operands) {
-        if (f->kind == ExprKind::IntConst)
-          t.coeff = checkedMul(t.coeff, f->value);
-        else
+        if (f->kind == ExprKind::IntConst) {
+          try {
+            t.coeff = checkedMul(t.coeff, f->value);
+          } catch (const ArithmeticError &) {
+            t.factors.push_back(f); // overflow: keep the const as a factor
+          }
+        } else {
           t.factors.push_back(f);
+        }
       }
     } else {
       t.factors.push_back(n);
     }
-    t.key = orderKeyList(t.factors);
     bool merged = false;
     for (Term &prev : terms) {
-      if (prev.key == t.key) {
-        prev.coeff = checkedAdd(prev.coeff, t.coeff);
-        merged = true;
+      if (prev.factors == t.factors) {
+        try {
+          prev.coeff = checkedAdd(prev.coeff, t.coeff);
+          merged = true;
+        } catch (const ArithmeticError &) {
+          // Coefficient sum overflows; keep the terms separate.
+        }
         break;
       }
     }
@@ -135,31 +131,31 @@ Expr Expr::add(std::vector<Expr> operands) {
     }
   }
 
-  std::sort(result.begin(), result.end(),
-            [](const ExprNodeRef &a, const ExprNodeRef &b) {
-              return orderKey(a) < orderKey(b);
-            });
+  std::sort(result.begin(), result.end(), keyLess);
   if (constant != 0 || result.empty())
     result.push_back(makeConst(constant));
   if (result.size() == 1)
     return Expr(result[0]);
-  auto n = std::make_shared<ExprNode>(ExprKind::Add);
-  n->operands = std::move(result);
-  return Expr(n);
+  return Expr(internNode(ExprKind::Add, 0, {}, std::move(result)));
 }
 
 Expr Expr::mul(std::vector<Expr> operands) {
+  ExprInterner &interner = ExprInterner::current();
   std::vector<ExprNodeRef> flat;
   std::int64_t constant = 1;
   std::function<void(const ExprNodeRef &)> absorb =
       [&](const ExprNodeRef &n) {
         if (n->kind == ExprKind::IntConst) {
-          constant = checkedMul(constant, n->value);
+          try {
+            constant = checkedMul(constant, n->value);
+          } catch (const ArithmeticError &) {
+            flat.push_back(interner.reintern(n));
+          }
         } else if (n->kind == ExprKind::Mul) {
           for (const auto &o : n->operands)
             absorb(o);
         } else {
-          flat.push_back(n);
+          flat.push_back(interner.reintern(n));
         }
       };
   for (const Expr &e : operands)
@@ -168,49 +164,55 @@ Expr Expr::mul(std::vector<Expr> operands) {
   if (constant == 0)
     return Expr::intConst(0);
 
-  std::sort(flat.begin(), flat.end(),
-            [](const ExprNodeRef &a, const ExprNodeRef &b) {
-              return orderKey(a) < orderKey(b);
-            });
+  std::sort(flat.begin(), flat.end(), keyLess);
   std::vector<ExprNodeRef> result;
   if (constant != 1 || flat.empty())
     result.push_back(makeConst(constant));
   result.insert(result.end(), flat.begin(), flat.end());
   if (result.size() == 1)
     return Expr(result[0]);
-  auto n = std::make_shared<ExprNode>(ExprKind::Mul);
-  n->operands = std::move(result);
-  return Expr(n);
+  return Expr(internNode(ExprKind::Mul, 0, {}, std::move(result)));
 }
 
 Expr Expr::floorDiv(Expr a, Expr b) {
-  if (b.node_->kind == ExprKind::IntConst && a.node_->kind == ExprKind::IntConst)
-    return Expr::intConst(mira::symbolic::floorDiv(a.node_->value, b.node_->value));
+  if (b.node_->kind == ExprKind::IntConst &&
+      a.node_->kind == ExprKind::IntConst) {
+    try {
+      return Expr::intConst(
+          mira::symbolic::floorDiv(a.node_->value, b.node_->value));
+    } catch (const ArithmeticError &) {
+      // Zero divisor (or INT64_MIN / -1): the fold is undefined, but
+      // construction must not throw — build the symbolic node and let
+      // evaluate() report nullopt, per its documented contract.
+    }
+  }
   if (isConst(b.node_, 1))
     return a;
-  auto n = std::make_shared<ExprNode>(ExprKind::FloorDiv);
-  n->operands = {a.node_, b.node_};
-  return Expr(n);
+  return Expr(internNode(ExprKind::FloorDiv, 0, {}, {a.node_, b.node_}));
 }
 
 Expr Expr::exactDiv(Expr a, Expr b) {
   if (b.node_->kind == ExprKind::IntConst &&
       a.node_->kind == ExprKind::IntConst && b.node_->value != 0 &&
+      !(a.node_->value == std::numeric_limits<std::int64_t>::min() &&
+        b.node_->value == -1) &&
       a.node_->value % b.node_->value == 0)
     return Expr::intConst(a.node_->value / b.node_->value);
   if (isConst(b.node_, 1))
     return a;
-  auto n = std::make_shared<ExprNode>(ExprKind::ExactDiv);
-  n->operands = {a.node_, b.node_};
-  return Expr(n);
+  return Expr(internNode(ExprKind::ExactDiv, 0, {}, {a.node_, b.node_}));
 }
 
 Expr Expr::mod(Expr a, Expr b) {
-  if (a.node_->kind == ExprKind::IntConst && b.node_->kind == ExprKind::IntConst)
-    return Expr::intConst(floorMod(a.node_->value, b.node_->value));
-  auto n = std::make_shared<ExprNode>(ExprKind::Mod);
-  n->operands = {a.node_, b.node_};
-  return Expr(n);
+  if (a.node_->kind == ExprKind::IntConst &&
+      b.node_->kind == ExprKind::IntConst) {
+    try {
+      return Expr::intConst(floorMod(a.node_->value, b.node_->value));
+    } catch (const ArithmeticError &) {
+      // Zero divisor: keep the node symbolic; see floorDiv.
+    }
+  }
+  return Expr(internNode(ExprKind::Mod, 0, {}, {a.node_, b.node_}));
 }
 
 Expr Expr::min(Expr a, Expr b) {
@@ -218,9 +220,7 @@ Expr Expr::min(Expr a, Expr b) {
     return a;
   if (a.node_->kind == ExprKind::IntConst && b.node_->kind == ExprKind::IntConst)
     return Expr::intConst(std::min(a.node_->value, b.node_->value));
-  auto n = std::make_shared<ExprNode>(ExprKind::Min);
-  n->operands = {a.node_, b.node_};
-  return Expr(n);
+  return Expr(internNode(ExprKind::Min, 0, {}, {a.node_, b.node_}));
 }
 
 Expr Expr::max(Expr a, Expr b) {
@@ -228,9 +228,7 @@ Expr Expr::max(Expr a, Expr b) {
     return a;
   if (a.node_->kind == ExprKind::IntConst && b.node_->kind == ExprKind::IntConst)
     return Expr::intConst(std::max(a.node_->value, b.node_->value));
-  auto n = std::make_shared<ExprNode>(ExprKind::Max);
-  n->operands = {a.node_, b.node_};
-  return Expr(n);
+  return Expr(internNode(ExprKind::Max, 0, {}, {a.node_, b.node_}));
 }
 
 Expr Expr::sum(std::string var, Expr lo, Expr hi, Expr body) {
@@ -240,20 +238,26 @@ Expr Expr::sum(std::string var, Expr lo, Expr hi, Expr body) {
     std::int64_t h = *hi.constValue();
     if (h < l)
       return Expr::intConst(0);
-    if (body.isIntConst())
-      return Expr::intConst(
-          checkedMul(checkedAdd(checkedSub(h, l), 1), *body.constValue()));
+    if (body.isIntConst()) {
+      try {
+        return Expr::intConst(
+            checkedMul(checkedAdd(checkedSub(h, l), 1), *body.constValue()));
+      } catch (const ArithmeticError &) {
+        // Count or product overflows int64: keep the Sum symbolic.
+      }
+    }
   }
-  auto n = std::make_shared<ExprNode>(ExprKind::Sum);
-  n->name = std::move(var);
-  n->operands = {lo.node_, hi.node_, body.node_};
-  return Expr(n);
+  return Expr(internNode(ExprKind::Sum, 0, std::move(var),
+                         {lo.node_, hi.node_, body.node_}));
 }
 
 Expr Expr::fromNode(ExprNodeRef node) {
   if (!node)
     return Expr();
-  return Expr(std::move(node));
+  // Structure-preserving: reintern never reorders or rewrites, it only
+  // replaces each subtree with the interner's canonical copy, so
+  // serialized bytes cannot drift across a deserialize/reserialize trip.
+  return Expr(ExprInterner::current().reintern(node));
 }
 
 Expr operator+(const Expr &a, const Expr &b) { return Expr::add({a, b}); }
@@ -305,8 +309,26 @@ std::set<std::string> Expr::parameters() const {
   return out;
 }
 
+namespace {
+
+bool nodesEqual(const ExprNodeRef &a, const ExprNodeRef &b) {
+  if (a == b) // canonical within an interner: the common case
+    return true;
+  if (a->hash != b->hash)
+    return false;
+  if (a->kind != b->kind || a->value != b->value || a->name != b->name ||
+      a->operands.size() != b->operands.size())
+    return false;
+  for (std::size_t i = 0; i < a->operands.size(); ++i)
+    if (!nodesEqual(a->operands[i], b->operands[i]))
+      return false;
+  return true;
+}
+
+} // namespace
+
 bool Expr::equals(const Expr &other) const {
-  return orderKey(node_) == orderKey(other.node_);
+  return nodesEqual(node_, other.node_);
 }
 
 namespace {
@@ -353,6 +375,8 @@ std::optional<std::int64_t> evalNode(const ExprNodeRef &n, const Env &env) {
     auto b = evalNode(n->operands[1], env);
     if (!a || !b || *b == 0)
       return std::nullopt;
+    if (*a == std::numeric_limits<std::int64_t>::min() && *b == -1)
+      return std::nullopt; // quotient unrepresentable; '/' would be UB
     if (*a % *b != 0)
       return std::nullopt; // closed form produced a non-integer: bug upstream
     return *a / *b;
@@ -494,10 +518,32 @@ Expr Expr::substitute(const std::string &name, const Expr &replacement) const {
       Expr lo = walk(n->operands[0]);
       Expr hi = walk(n->operands[1]);
       // The bound variable shadows same-named outer parameters.
-      Expr body = n->name == name ? Expr(n->operands[2])
-                                  : Expr(n->operands[2]).substitute(name,
-                                                                    replacement);
-      return Expr::sum(n->name, lo, hi, body);
+      if (n->name == name)
+        return Expr::sum(n->name, lo, hi, Expr(n->operands[2]));
+      Expr body = Expr(n->operands[2]);
+      std::string var = n->name;
+      if (body.parameters().count(name) &&
+          replacement.parameters().count(var)) {
+        // The replacement references the bound variable: substituting
+        // under this binder would capture it (N -> i under Sum(i, ...)
+        // must not turn occurrences of N into the loop variable).
+        // Alpha-rename the binder to a fresh name first; the rename is
+        // itself a substitute() call, so a clashing inner binder gets
+        // renamed recursively by this same rule.
+        std::set<std::string> avoid = replacement.parameters();
+        std::set<std::string> bodyParams = body.parameters();
+        avoid.insert(bodyParams.begin(), bodyParams.end());
+        avoid.insert(name);
+        std::string fresh;
+        for (std::uint64_t i = 1;; ++i) {
+          fresh = var + "_" + std::to_string(i);
+          if (!avoid.count(fresh))
+            break;
+        }
+        body = body.substitute(var, Expr::param(fresh));
+        var = fresh;
+      }
+      return Expr::sum(var, lo, hi, body.substitute(name, replacement));
     }
     }
     return Expr::intConst(0);

@@ -64,11 +64,14 @@ public:
   /// (hi < lo) evaluate to 0.
   static Expr sum(std::string var, Expr lo, Expr hi, Expr body);
 
-  /// Wrap an already-built node verbatim, bypassing the canonicalizing
-  /// builders. For deserialization (model/serialize.h) only: the node
-  /// must come from a tree that was canonical when serialized, so
-  /// re-canonicalizing would be at best a no-op and at worst a source of
-  /// byte-level drift between cached and fresh models.
+  /// Wrap an already-built node, bypassing the canonicalizing builders.
+  /// For deserialization (model/serialize.h) only: the node must come
+  /// from a tree that was canonical when serialized, so re-canonicalizing
+  /// would be at best a no-op and at worst a source of byte-level drift
+  /// between cached and fresh models. The tree IS re-entered into the
+  /// calling thread's ExprInterner (structure-preserving, so serialized
+  /// bytes cannot drift) to restore node sharing and the cached
+  /// hash/order-key that deserialized nodes lack.
   static Expr fromNode(ExprNodeRef node);
 
   friend Expr operator+(const Expr &a, const Expr &b);
@@ -90,6 +93,10 @@ public:
   const ExprNode &node() const { return *node_; }
 
   /// Structural equality (after builder-level canonicalization).
+  /// Pointer identity for nodes interned in the same ExprInterner — the
+  /// common case, since hash-consing gives every structure one canonical
+  /// node per interner. Falls back to the precomputed structural hash
+  /// and a pointer-shortcutting deep walk across interners.
   bool equals(const Expr &other) const;
 
   // --- evaluation & printing ---------------------------------------------
@@ -120,6 +127,18 @@ public:
   std::int64_t value = 0;             // IntConst
   std::string name;                   // Param, Sum bound variable
   std::vector<ExprNodeRef> operands;  // others
+
+  // Hash-consing metadata, filled once by ExprInterner when the node is
+  // interned (zero/empty on raw deserialized nodes until fromNode
+  // re-enters them). `hash` is the structural hash; `key` caches the
+  // canonical ordering key the builders sort commutative operand lists
+  // by, in the exact historical format ("#3", "pN", "A(pN,#1,)", ...)
+  // so interning cannot move bytes in any serialized output. `ownerId`
+  // identifies the interner that owns the node (ids are never reused,
+  // so a dead interner's nodes can never be mistaken for a live one's).
+  std::uint64_t hash = 0;
+  std::string key;
+  std::uint64_t ownerId = 0;
 
   ExprNode(ExprKind k) : kind(k) {}
 };

@@ -28,6 +28,10 @@ std::int64_t checkedMul(std::int64_t a, std::int64_t b) {
 std::int64_t floorDiv(std::int64_t a, std::int64_t b) {
   if (b == 0)
     throw ArithmeticError("floorDiv by zero");
+  // INT64_MIN / -1 is the one in-range division whose quotient is not
+  // representable; the raw `/` below would be signed-overflow UB.
+  if (a == kMin && b == -1)
+    throw ArithmeticError("int64 overflow in floorDiv");
   std::int64_t q = a / b;
   std::int64_t r = a % b;
   if (r != 0 && ((r < 0) != (b < 0)))

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "support/diagnostics.h"
 #include "support/source_location.h"
 #include "support/string_utils.h"
+#include "support/thread_pool.h"
 
 namespace mira {
 namespace {
@@ -116,6 +120,41 @@ TEST(StringUtils, Padding) {
   EXPECT_EQ(padRight("ab", 4), "ab  ");
   EXPECT_EQ(padLeft("ab", 4), "  ab");
   EXPECT_EQ(padRight("abcdef", 4), "abcdef");
+}
+
+// ---------------------------------------------------------------- thread pool
+
+TEST(ThreadPool, ContainsThrowingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> handled{0};
+  pool.setExceptionHandler([&handled] { ++handled; });
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&ran, i] {
+      ++ran;
+      if (i % 2 == 0)
+        throw std::runtime_error("task failure");
+    });
+  // A throwing task must not take the worker (let alone the process via
+  // std::terminate) down: waitIdle() still drains, every task still ran.
+  pool.waitIdle();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(pool.taskExceptions(), 4u);
+  EXPECT_EQ(handled.load(), 4);
+
+  // The pool stays healthy for subsequent work.
+  std::atomic<bool> after{false};
+  pool.submit([&after] { after = true; });
+  pool.waitIdle();
+  EXPECT_TRUE(after.load());
+  EXPECT_EQ(pool.taskExceptions(), 4u);
+}
+
+TEST(ThreadPool, NonStdExceptionIsContainedToo) {
+  ThreadPool pool(1);
+  pool.submit([] { throw 42; }); // catch (...) path
+  pool.waitIdle();
+  EXPECT_EQ(pool.taskExceptions(), 1u);
 }
 
 } // namespace

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "symbolic/expr.h"
+#include "symbolic/interner.h"
 #include "symbolic/polynomial.h"
 #include "symbolic/rational.h"
 #include "symbolic/summation.h"
@@ -299,6 +302,147 @@ TEST(Summation, ParametricRectangle) {
   Polynomial total = sumOverRange(inner, "i", Polynomial{Rational(0)},
                                   n - Polynomial{Rational(1)});
   EXPECT_EQ(total.evaluate({{"N", 12}, {"M", 9}}), 108);
+}
+
+// ---------------------------------------------------------------- interner
+
+TEST(Interner, EqualsIsPointerIdentityWithinOneInterner) {
+  ExprInterner interner;
+  ExprInterner::Scope scope(interner);
+  Expr a = Expr::param("N") * Expr::param("M") + Expr::intConst(3);
+  Expr b = Expr::param("N") * Expr::param("M") + Expr::intConst(3);
+  // Hash-consing: structurally equal construction yields the same node.
+  EXPECT_EQ(&a.node(), &b.node());
+  EXPECT_TRUE(a.equals(b));
+  Expr c = a + Expr::intConst(1);
+  EXPECT_NE(&a.node(), &c.node());
+  EXPECT_FALSE(a.equals(c));
+}
+
+TEST(Interner, CommutedConstructionSharesTheCanonicalNode) {
+  ExprInterner interner;
+  ExprInterner::Scope scope(interner);
+  Expr a = Expr::param("x") + Expr::param("y");
+  Expr b = Expr::param("y") + Expr::param("x");
+  EXPECT_EQ(&a.node(), &b.node());
+}
+
+TEST(Interner, EqualsFallsBackToStructureAcrossInterners) {
+  auto build = [] {
+    return Expr::sum("i", Expr::intConst(1), Expr::param("N"),
+                     Expr::param("i") * Expr::param("i"));
+  };
+  ExprInterner first;
+  ExprInterner second;
+  Expr a, b;
+  {
+    ExprInterner::Scope scope(first);
+    a = build();
+  }
+  {
+    ExprInterner::Scope scope(second);
+    b = build();
+  }
+  EXPECT_NE(&a.node(), &b.node()); // different arenas, different nodes
+  EXPECT_TRUE(a.equals(b));        // hash + deep walk still agree
+}
+
+TEST(Interner, ReinternPreservesStructureAndDedups) {
+  ExprInterner first;
+  Expr original;
+  {
+    ExprInterner::Scope scope(first);
+    original = Expr::param("N") * Expr::intConst(7) + Expr::param("k");
+  }
+  ExprInterner second;
+  {
+    ExprInterner::Scope scope(second);
+    Expr restored = Expr::fromNode(
+        std::shared_ptr<const ExprNode>(ExprNodeRef(), &original.node()));
+    EXPECT_EQ(restored.str(), original.str());
+    EXPECT_TRUE(restored.equals(original));
+    // A second trip lands on the node the first trip created.
+    Expr again = Expr::fromNode(
+        std::shared_ptr<const ExprNode>(ExprNodeRef(), &original.node()));
+    EXPECT_EQ(&restored.node(), &again.node());
+  }
+}
+
+TEST(Interner, CountersAdvance) {
+  const InternStats before = ExprInterner::globalStats();
+  ExprInterner interner;
+  ExprInterner::Scope scope(interner);
+  Expr a = Expr::param("fresh_counter_param") + Expr::intConst(41);
+  Expr b = Expr::param("fresh_counter_param") + Expr::intConst(41);
+  EXPECT_TRUE(a.equals(b));
+  const InternStats after = ExprInterner::globalStats();
+  EXPECT_GT(after.misses, before.misses); // new unique nodes were created
+  EXPECT_GT(after.hits, before.hits);     // the rebuild hit the table
+}
+
+// ------------------------------------------------- builder crash fixes
+
+TEST(Expr, ZeroDivisorConstantFoldDoesNotThrow) {
+  Expr fd = Expr::floorDiv(Expr::intConst(5), Expr::intConst(0));
+  EXPECT_EQ(fd.kind(), ExprKind::FloorDiv); // stays symbolic
+  EXPECT_EQ(fd.evaluate({}), std::nullopt); // documented contract
+  Expr md = Expr::mod(Expr::intConst(5), Expr::intConst(0));
+  EXPECT_EQ(md.kind(), ExprKind::Mod);
+  EXPECT_EQ(md.evaluate({}), std::nullopt);
+}
+
+TEST(Expr, FloorDivIntMinByMinusOneStaysSymbolic) {
+  const std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  // The one in-range division whose quotient overflows int64: folding it
+  // (or evaluating it) must not be UB or a throw out of the builder.
+  Expr fd = Expr::floorDiv(Expr::intConst(kMin), Expr::intConst(-1));
+  EXPECT_EQ(fd.kind(), ExprKind::FloorDiv);
+  EXPECT_EQ(fd.evaluate({}), std::nullopt);
+  Expr ed = Expr::exactDiv(Expr::intConst(kMin), Expr::intConst(-1));
+  EXPECT_EQ(ed.kind(), ExprKind::ExactDiv);
+  EXPECT_THROW(mira::symbolic::floorDiv(kMin, -1), ArithmeticError);
+}
+
+TEST(Expr, OverflowingConstantFoldsStaySymbolic) {
+  const std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  Expr a = Expr::add({Expr::intConst(kMax), Expr::intConst(1)});
+  EXPECT_EQ(a.evaluate({}), std::nullopt); // overflow surfaces at evaluate
+  Expr m = Expr::mul({Expr::intConst(kMax), Expr::intConst(2)});
+  EXPECT_EQ(m.evaluate({}), std::nullopt);
+  // Like-term coefficient merge overflow keeps the terms separate
+  // instead of throwing.
+  Expr big = Expr::intConst(kMax) * Expr::param("N");
+  Expr doubled = Expr::add({big, big});
+  EXPECT_EQ(doubled.evaluate({{"N", 0}}), 0);
+  // Sum const fold where count * body overflows.
+  Expr s = Expr::sum("i", Expr::intConst(0), Expr::intConst(kMax - 1),
+                     Expr::intConst(kMax));
+  EXPECT_EQ(s.kind(), ExprKind::Sum);
+}
+
+TEST(Expr, SubstituteAlphaRenamesOnCapture) {
+  // Sum(i, 1, N, N + i) with N -> i: the replacement references the
+  // bound variable, so the binder must be renamed before substituting —
+  // otherwise the outer i is captured and the meaning changes.
+  Expr body = Expr::param("N") + Expr::param("i");
+  Expr s = Expr::sum("i", Expr::intConst(1), Expr::intConst(3), body);
+  EXPECT_EQ(s.evaluate({{"N", 3}}), 15); // (3+1)+(3+2)+(3+3)
+
+  Expr substituted = s.substitute("N", Expr::param("i"));
+  // Same meaning with the outer parameter now spelled i.
+  EXPECT_EQ(substituted.evaluate({{"i", 3}}), 15);
+  // The capturing reading would have produced Sum(i,1,3,2i) = 12.
+  EXPECT_NE(substituted.evaluate({{"i", 3}}), 12);
+  // Only the free N was rewritten: the result depends on outer i alone.
+  EXPECT_EQ(substituted.parameters(), std::set<std::string>{"i"});
+}
+
+TEST(Expr, SubstituteDoesNotRenameWithoutCapture) {
+  Expr body = Expr::param("N") + Expr::param("i");
+  Expr s = Expr::sum("i", Expr::intConst(1), Expr::param("N"), body);
+  Expr substituted = s.substitute("N", Expr::param("M"));
+  EXPECT_EQ(substituted.node().name, "i"); // binder untouched
+  EXPECT_EQ(substituted.evaluate({{"M", 3}}), 15);
 }
 
 class RangeSumProperty
